@@ -1,0 +1,31 @@
+# Convenience targets for the Continuous Analytics reproduction.
+
+PYTHON ?= python
+
+.PHONY: install test bench examples shell coverage clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/
+
+bench:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+examples:
+	$(PYTHON) examples/quickstart.py
+	$(PYTHON) examples/security_monitoring.py
+	$(PYTHON) examples/clickstream_dashboard.py
+	$(PYTHON) examples/fault_tolerant_pipeline.py
+
+shell:
+	$(PYTHON) -m repro.cli
+
+artifacts:
+	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only 2>&1 | tee bench_output.txt
+
+clean:
+	find . -name __pycache__ -type d -exec rm -rf {} +
+	rm -rf .pytest_cache .hypothesis benchmarks/results

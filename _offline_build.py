@@ -1,0 +1,128 @@
+"""A minimal, stdlib-only PEP 517 build backend.
+
+Why this exists: the reproduction environment is fully offline and has
+no ``wheel`` package, so setuptools' PEP 660 editable path fails inside
+``pip install -e .``.  Wheels are just zip files with a dist-info
+directory, so this backend builds them directly:
+
+- ``build_editable``: a wheel containing one ``.pth`` file pointing at
+  ``src/`` (plus dist-info) — the classic editable install;
+- ``build_wheel``: a wheel containing the ``src/repro`` tree;
+- ``build_sdist``: a tarball of the repository sources.
+
+No third-party imports, no network.  ``pyproject.toml`` selects it via
+``backend-path``.
+"""
+
+import base64
+import hashlib
+import os
+import tarfile
+import zipfile
+
+NAME = "repro"
+VERSION = "1.0.0"
+TAG = "py3-none-any"
+
+_HERE = os.path.dirname(os.path.abspath(__file__))
+
+METADATA = """\
+Metadata-Version: 2.1
+Name: {name}
+Version: {version}
+Summary: Continuous Analytics: a stream-relational database \
+(reproduction of Franklin et al., CIDR 2009)
+Requires-Python: >=3.9
+""".format(name=NAME, version=VERSION)
+
+WHEEL_METADATA = """\
+Wheel-Version: 1.0
+Generator: _offline_build
+Root-Is-Purelib: true
+Tag: {tag}
+""".format(tag=TAG)
+
+
+def _record_entry(path, data):
+    digest = base64.urlsafe_b64encode(
+        hashlib.sha256(data).digest()).rstrip(b"=").decode()
+    return f"{path},sha256={digest},{len(data)}"
+
+
+def _write_wheel(wheel_directory, files):
+    """Write a wheel containing ``files`` ({archive path: bytes})."""
+    dist_info = f"{NAME}-{VERSION}.dist-info"
+    files = dict(files)
+    files[f"{dist_info}/METADATA"] = METADATA.encode()
+    files[f"{dist_info}/WHEEL"] = WHEEL_METADATA.encode()
+    record_path = f"{dist_info}/RECORD"
+    record_lines = [_record_entry(path, data)
+                    for path, data in sorted(files.items())]
+    record_lines.append(f"{record_path},,")
+    files[record_path] = ("\n".join(record_lines) + "\n").encode()
+
+    filename = f"{NAME}-{VERSION}-{TAG}.whl"
+    target = os.path.join(wheel_directory, filename)
+    with zipfile.ZipFile(target, "w", zipfile.ZIP_DEFLATED) as archive:
+        for path, data in sorted(files.items()):
+            archive.writestr(path, data)
+    return filename
+
+
+# -- PEP 517 hooks -----------------------------------------------------------
+
+
+def get_requires_for_build_wheel(config_settings=None):
+    return []
+
+
+def get_requires_for_build_editable(config_settings=None):
+    return []
+
+
+def get_requires_for_build_sdist(config_settings=None):
+    return []
+
+
+def build_wheel(wheel_directory, config_settings=None,
+                metadata_directory=None):
+    package_root = os.path.join(_HERE, "src")
+    files = {}
+    for directory, _subdirs, names in os.walk(os.path.join(package_root,
+                                                           NAME)):
+        for name in names:
+            if name.endswith(".pyc"):
+                continue
+            full = os.path.join(directory, name)
+            rel = os.path.relpath(full, package_root).replace(os.sep, "/")
+            with open(full, "rb") as f:
+                files[rel] = f.read()
+    return _write_wheel(wheel_directory, files)
+
+
+def build_editable(wheel_directory, config_settings=None,
+                   metadata_directory=None):
+    src = os.path.join(_HERE, "src")
+    files = {f"__editable__.{NAME}.pth": (src + "\n").encode()}
+    return _write_wheel(wheel_directory, files)
+
+
+def build_sdist(sdist_directory, config_settings=None):
+    filename = f"{NAME}-{VERSION}.tar.gz"
+    target = os.path.join(sdist_directory, filename)
+    base = f"{NAME}-{VERSION}"
+    include = ["src", "tests", "benchmarks", "examples", "docs",
+               "pyproject.toml", "setup.py", "_offline_build.py",
+               "README.md", "DESIGN.md", "EXPERIMENTS.md", "Makefile"]
+
+    def keep(info):
+        if "__pycache__" in info.name or info.name.endswith(".pyc"):
+            return None
+        return info
+
+    with tarfile.open(target, "w:gz") as archive:
+        for entry in include:
+            full = os.path.join(_HERE, entry)
+            if os.path.exists(full):
+                archive.add(full, arcname=f"{base}/{entry}", filter=keep)
+    return filename

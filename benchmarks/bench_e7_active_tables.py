@@ -1,0 +1,117 @@
+"""E7 / A2 — reporting queries on active tables; indexes help further.
+
+Section 3.3: the reporting query over an active table "will run extremely
+fast, as the computation has already been done.  And because Active
+Tables are simply SQL tables, indexes can be defined over them to further
+improve query performance."  We populate an active table through a
+channel, then time point and range reports (a) against the raw events
+(store-first), (b) against the active table unindexed, (c) against the
+active table with a B+tree (the A2 ablation).
+"""
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.bench.metrics import measure
+from repro.workloads import ClickstreamGenerator
+
+EVENTS = 40_000
+RATE = 50.0  # ~13 minutes of data -> a dozen archived windows
+N_URLS = 200
+
+
+def build():
+    db = Database(buffer_pages=128)
+    db.execute("CREATE STREAM url_stream (url varchar(1024), "
+               "atime timestamp CQTIME USER, client_ip varchar(50))")
+    db.execute_script("""
+        CREATE STREAM per_minute AS
+            SELECT url, count(*) c, cq_close(*)
+            FROM url_stream <VISIBLE '1 minute'> GROUP BY url;
+        CREATE TABLE url_minutes (url varchar(1024), c bigint,
+                                  stime timestamp);
+        CREATE CHANNEL mins_ch FROM per_minute INTO url_minutes APPEND;
+    """)
+    # the raw log too, so the store-first comparison has something to scan
+    db.execute("CREATE TABLE url_log (url varchar(1024), atime timestamp, "
+               "client_ip varchar(50))")
+    gen = ClickstreamGenerator(n_urls=N_URLS, rate_per_second=RATE, seed=9)
+    events = gen.batch(EVENTS)
+    db.insert_stream("url_stream", events)
+    db.insert_table("url_log", events)
+    db.advance_streams(events[-1][1] + 60.0)
+    db.storage.pool.flush()
+    return db
+
+
+def timed_query(db, sql):
+    db.drop_caches()
+    with measure(db) as m:
+        result = db.query(sql)
+    return m, result
+
+
+POINT_RAW = ("SELECT count(*) FROM url_log WHERE url = '/page/00000'")
+POINT_ACTIVE = ("SELECT sum(c) FROM url_minutes WHERE url = '/page/00000'")
+RANGE_RAW = ("SELECT count(*) FROM url_log WHERE atime < 60")
+RANGE_ACTIVE = ("SELECT sum(c) FROM url_minutes WHERE stime = 60")
+
+
+def test_e7_active_table_reports(benchmark, report):
+    report.experiment_id = "E7_active_tables"
+    db = build()
+
+    raw_point, r1 = timed_query(db, POINT_RAW)
+    active_point, r2 = timed_query(db, POINT_ACTIVE)
+    assert r1.scalar() == r2.scalar()  # same answer, precomputed
+
+    raw_range, r3 = timed_query(db, RANGE_RAW)
+    active_range, r4 = timed_query(db, RANGE_ACTIVE)
+    assert r3.scalar() == r4.scalar()
+
+    # A2: add indexes over the active table and repeat
+    db.execute("CREATE INDEX um_url ON url_minutes (url)")
+    db.execute("CREATE INDEX um_stime ON url_minutes (stime)")
+    assert "IndexScan" in db.explain(POINT_ACTIVE)
+    indexed_point, r5 = timed_query(db, POINT_ACTIVE)
+    indexed_range, r6 = timed_query(db, RANGE_ACTIVE)
+    assert r5.scalar() == r2.scalar()
+    assert r6.scalar() == r4.scalar()
+
+    rows = [
+        ["point: raw scan", raw_point.pages_read,
+         round(raw_point.sim_seconds, 4), round(raw_point.wall_seconds * 1e3, 2)],
+        ["point: active table", active_point.pages_read,
+         round(active_point.sim_seconds, 4),
+         round(active_point.wall_seconds * 1e3, 2)],
+        ["point: active + index (A2)", indexed_point.pages_read,
+         round(indexed_point.sim_seconds, 4),
+         round(indexed_point.wall_seconds * 1e3, 2)],
+        ["range: raw scan", raw_range.pages_read,
+         round(raw_range.sim_seconds, 4), round(raw_range.wall_seconds * 1e3, 2)],
+        ["range: active table", active_range.pages_read,
+         round(active_range.sim_seconds, 4),
+         round(active_range.wall_seconds * 1e3, 2)],
+        ["range: active + index (A2)", indexed_range.pages_read,
+         round(indexed_range.sim_seconds, 4),
+         round(indexed_range.wall_seconds * 1e3, 2)],
+    ]
+    text = format_table(
+        ["report query", "pages read (cold)", "sim s", "wall ms"], rows,
+        title=f"E7/A2: reporting over {EVENTS} raw events — raw scan vs "
+              "active table vs indexed active table")
+    print("\n" + text)
+    report.add(text)
+
+    # shapes: active table beats the raw scan; the index reads fewer
+    # pages and answers faster in wall clock.  (On the seek-bound 2009
+    # disk model, a handful of random index reads can cost more
+    # *simulated* seconds than a short sequential scan — the classic
+    # index-vs-scan crossover — so the sim column is reported, not
+    # asserted, for the index rows.)
+    assert active_point.pages_read < raw_point.pages_read / 5
+    assert indexed_point.pages_read < active_point.pages_read
+    assert indexed_point.wall_seconds < raw_point.wall_seconds
+    assert active_range.pages_read < raw_range.pages_read / 5
+
+    benchmark.pedantic(lambda: timed_query(db, POINT_ACTIVE),
+                       rounds=5, iterations=1)

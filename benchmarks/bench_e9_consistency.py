@@ -1,0 +1,178 @@
+"""E9 — window consistency (Section 4).
+
+Two guarantees are measured:
+
+1. *Window-consistent table reads*: a CQ joining a table sees table
+   updates only at window boundaries — never a mix of old and new
+   dimension values inside one window's output.  We update the dimension
+   row mid-window many times and count mixed windows (must be zero),
+   versus a deliberately broken per-tuple-refresh variant that exhibits
+   the anomaly.
+
+2. *Atomic window publication*: a channel applies each window's result
+   in one transaction, so a concurrent reporting query never observes a
+   partially-written window in the active table.  We compare against a
+   broken channel that commits row by row and count partial observations.
+"""
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.streaming.channels import Channel
+
+MINUTE = 60.0
+
+
+# ---------------------------------------------------------------------------
+# part 1: mixed-version join outputs
+# ---------------------------------------------------------------------------
+
+
+def mixed_version_run(consistent: bool, rounds: int = 30):
+    """Each round, the CQ's per-window plan reads the dimension table
+    twice (it is joined twice) while a concurrent writer keeps bumping
+    the row's version.  Under window consistency both reads use the
+    snapshot pinned at the window boundary, so the two joined versions
+    always agree; a per-operator READ-COMMITTED engine (the broken
+    variant) takes a fresh snapshot per read and emits windows in which
+    ``d1.version <> d2.version`` — a join against two different states
+    of the same table in one answer."""
+    db = Database()
+    db.execute("CREATE STREAM hits (k varchar(10), ts timestamp CQTIME USER)")
+    db.execute("CREATE TABLE dim (k varchar(10), version integer)")
+    db.insert_table("dim", [("a", 0)])
+    sub = db.subscribe(
+        "SELECT d1.version v1, d2.version v2, count(*) "
+        "FROM hits <VISIBLE '1 minute'> h, dim d1, dim d2 "
+        "WHERE h.k = d1.k AND h.k = d2.k GROUP BY d1.version, d2.version")
+
+    # the racing writer: commits a version bump right before every read
+    # of the dimension table (simulating a concurrent update workload)
+    table = db.get_table("dim")
+    original_scan = table.scan
+    state = {"version": 0}
+
+    def racing_scan(snapshot, manager, own=None):
+        state["version"] += 1
+        txn = db.txn_manager.begin()
+        for rid, version in list(table.heap.scan(table._pool)):
+            if version.xmax is None:
+                table.update_version(txn, rid, version,
+                                     ("a", state["version"]))
+        txn.commit()
+        if consistent:
+            use = snapshot          # pinned at the window boundary
+        else:
+            use = db.txn_manager.take_snapshot()  # leaky: per-read
+        return original_scan(use, manager, own)
+
+    table.scan = racing_scan
+
+    mixed = 0
+    for round_no in range(rounds):
+        base = round_no * MINUTE
+        db.insert_stream("hits", [("a", base + 10.0)])
+        db.advance_streams(base + MINUTE)
+        for window in sub.poll():
+            if any(v1 != v2 for v1, v2, _c in window.rows):
+                mixed += 1
+    table.scan = original_scan
+    return mixed, rounds
+
+
+# ---------------------------------------------------------------------------
+# part 2: partial-window observations in the active table
+# ---------------------------------------------------------------------------
+
+
+class RowAtATimeChannel(Channel):
+    """A broken channel: commits each result row separately, exposing
+    readers to partially-written windows."""
+
+    def on_batch(self, rows, open_time, close_time):
+        for row in rows:
+            txn = self._txn_manager.begin()
+            self.table.insert(txn, row)
+            txn.commit()
+            if self.probe is not None:
+                self.probe(close_time)
+        self.stats.batches += 1
+        self.stats.rows_written += len(rows)
+        self.stats.last_close = close_time
+
+
+def partial_window_run(transactional: bool, minutes: int = 20, keys: int = 8):
+    db = Database()
+    db.execute("CREATE STREAM hits (k varchar(10), ts timestamp CQTIME USER)")
+    db.execute_script("""
+        CREATE STREAM rollup AS SELECT k, count(*) c, cq_close(*)
+            FROM hits <VISIBLE '1 minute'> GROUP BY k;
+        CREATE TABLE arch (k varchar(10), c bigint, stime timestamp);
+    """)
+    derived = db.catalog.get_relation("rollup")
+    table = db.get_table("arch")
+
+    observations = {"partial": 0, "probes": 0}
+
+    def probe(close_time):
+        # a concurrent dashboard query: how many keys has this window
+        # archived so far?  (a fresh snapshot, as any reader would take)
+        snapshot = db.txn_manager.take_snapshot()
+        seen = sum(1 for _rid, row in table.scan(snapshot, db.txn_manager)
+                   if row[2] == close_time)
+        observations["probes"] += 1
+        if 0 < seen < keys:
+            observations["partial"] += 1
+
+    if transactional:
+        channel = Channel("ch", derived, table, db.txn_manager)
+        channel.probe = None
+        original = channel.on_batch
+
+        def with_probe(rows, open_time, close_time):
+            original(rows, open_time, close_time)
+            probe(close_time)  # readers only ever probe between txns
+        channel.on_batch = with_probe
+        derived.subscribe(channel)
+    else:
+        channel = RowAtATimeChannel("ch", derived, table, db.txn_manager)
+        channel.probe = probe
+        derived.subscribe(channel)
+
+    for minute in range(minutes):
+        base = minute * MINUTE
+        rows = [(f"k{i}", base + 1.0 + i * 0.01) for i in range(keys)]
+        db.insert_stream("hits", rows)
+    db.advance_streams(minutes * MINUTE)
+    return observations["partial"], observations["probes"]
+
+
+def test_e9_window_consistency(benchmark, report):
+    report.experiment_id = "E9_consistency"
+
+    mixed_ok, rounds = mixed_version_run(consistent=True)
+    mixed_broken, _rounds = mixed_version_run(consistent=False)
+    partial_ok, probes_ok = partial_window_run(transactional=True)
+    partial_broken, probes_broken = partial_window_run(transactional=False)
+
+    rows = [
+        ["mixed-version join windows",
+         f"{mixed_ok}/{rounds}", f"{mixed_broken}/{rounds}"],
+        ["partial windows seen by readers",
+         f"{partial_ok}/{probes_ok}", f"{partial_broken}/{probes_broken}"],
+    ]
+    text = format_table(
+        ["anomaly", "window consistency (this system)",
+         "broken variant (per-tuple / per-row)"],
+        rows,
+        title="E9: window consistency — table updates visible only on "
+              "window boundaries; windows publish atomically (Section 4)")
+    print("\n" + text)
+    report.add(text)
+
+    assert mixed_ok == 0
+    assert mixed_broken > 0          # the anomaly is real without it
+    assert partial_ok == 0
+    assert partial_broken > 0
+
+    benchmark.pedantic(lambda: partial_window_run(True, minutes=5),
+                       rounds=2, iterations=1)

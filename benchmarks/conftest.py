@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+Each ``bench_*`` module reproduces one experiment from DESIGN.md's index
+(F1, EX1–EX5, E1–E9) and prints the rows/series the paper's claims imply.
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+
+Reports are also written to ``benchmarks/results/<id>.txt``.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    # benchmarks print their tables; -s is recommended but not required
+    pass
+
+
+@pytest.fixture
+def report():
+    """Collects lines and writes them to benchmarks/results on teardown."""
+    from repro.bench.harness import write_report
+
+    class Collector:
+        def __init__(self):
+            self.chunks = []
+            self.experiment_id = None
+
+        def add(self, text: str):
+            self.chunks.append(text)
+
+        def flush(self):
+            if self.experiment_id:
+                write_report(self.experiment_id, "\n\n".join(self.chunks))
+
+    collector = Collector()
+    yield collector
+    collector.flush()

@@ -1,0 +1,96 @@
+"""Clickstream dashboard with week-over-week comparison (Example 5).
+
+The use case from the paper's introduction: "understanding what a user
+is doing while they are still interacting with the site".  A clickstream
+feeds per-minute URL rollups into an archive; a second CQ joins the live
+rollup against the archive to report each minute's traffic versus the
+same minute one week earlier — the paper's Example 5 pattern.
+
+Run:  python examples/clickstream_dashboard.py
+"""
+
+from repro import Database
+from repro.workloads import ClickstreamGenerator
+from repro.workloads.clickstream import URL_STREAM_DDL
+
+MINUTE = 60.0
+WEEK = 7 * 86400.0
+
+
+def main():
+    db = Database()
+    db.execute(URL_STREAM_DDL)
+    db.execute_script("""
+        CREATE STREAM urls_now AS
+            SELECT url, count(*) AS scnt, cq_close(*)
+            FROM url_stream <VISIBLE '1 minute'>
+            GROUP BY url;
+        CREATE TABLE urls_archive (url varchar(1024), scnt integer,
+                                   stime timestamp);
+        CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND;
+    """)
+
+    # Example 5, verbatim save the comparison horizon
+    week_over_week = db.execute("""
+        SELECT c.scnt, h.scnt, c.stime
+        FROM (SELECT sum(scnt) AS scnt, cq_close(*) AS stime
+              FROM urls_now <slices 1 windows>) c,
+             urls_archive h
+        WHERE c.stime - '1 week'::interval = h.stime
+    """)
+
+    # ---- last week's traffic: five minutes at ~2 clicks/second --------
+    last_week = ClickstreamGenerator(n_urls=20, rate_per_second=2.0, seed=1)
+    events = last_week.batch(int(2 * 60 * 5))
+    db.insert_stream("url_stream", events)
+    db.advance_streams(6 * MINUTE)
+    print(f"archived {len(db.table_rows('urls_archive'))} per-URL-minute "
+          "rows for last week")
+
+    # ---- a quiet week passes ------------------------------------------
+    db.get_stream("url_stream").advance_to(WEEK)
+
+    # ---- this week: the same five minutes, heavier traffic ------------
+    this_week = ClickstreamGenerator(n_urls=20, rate_per_second=3.0,
+                                     start_time=WEEK, seed=2)
+    events = this_week.batch(int(3 * 60 * 5))
+    db.insert_stream("url_stream", events)
+    db.advance_streams(WEEK + 6 * MINUTE)
+
+    print("\n== Example 5's join output (current total vs each archived "
+          "row one week earlier) ==")
+    shown = 0
+    for window in week_over_week.poll():
+        for current, historical, stime in window.rows:
+            if shown < 5:
+                minute = int((stime - WEEK) / MINUTE)
+                print(f"  minute {minute}: current total {current} vs "
+                      f"archived per-URL count {historical}")
+                shown += 1
+
+    print("\n== minute-by-minute totals vs the same minute last week ==")
+    print(f"{'minute':>8}  {'this week':>10}  {'last week':>10}  {'change':>8}")
+    totals = db.query(f"""
+        SELECT stime, sum(scnt) FROM urls_archive
+        WHERE stime >= {WEEK!r} GROUP BY stime ORDER BY stime
+    """)
+    for stime, current_total in totals.rows:
+        past = db.query(
+            f"SELECT sum(scnt) FROM urls_archive "
+            f"WHERE stime = {stime - WEEK!r}").scalar()
+        if past is None:
+            continue
+        minute = int((stime - WEEK) / MINUTE)
+        change = (current_total - past) / past * 100.0
+        print(f"{minute:>8}  {current_total:>10}  {past:>10}  {change:>7.1f}%")
+
+    print("\n== top pages this week (live, from the archive) ==")
+    print(db.query(f"""
+        SELECT url, sum(scnt) AS clicks
+        FROM urls_archive WHERE stime >= {WEEK!r}
+        GROUP BY url ORDER BY clicks DESC LIMIT 5
+    """).pretty())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+"""Quickstart: the paper's Examples 1-4 in twenty lines.
+
+Creates a stream, runs the top-10-URLs continuous query (Example 2),
+archives per-minute counts into an active table through a derived stream
+and a channel (Examples 3-4), and queries the archive with plain SQL.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Database
+
+MINUTE = 60.0
+
+
+def main():
+    db = Database()
+
+    # Example 1: a stream is an ordered, unbounded relation
+    db.execute("""
+        CREATE STREAM url_stream (
+            url        varchar(1024),
+            atime      timestamp CQTIME USER,
+            client_ip  varchar(50)
+        )
+    """)
+
+    # Example 2: a continuous query — note the window clause; everything
+    # else is plain SQL
+    top10 = db.execute("""
+        SELECT url, count(*) url_count
+        FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+        GROUP BY url
+        ORDER BY url_count DESC
+        LIMIT 10
+    """)
+
+    # Examples 3 + 4: derived stream -> channel -> active table
+    db.execute_script("""
+        CREATE STREAM urls_now AS
+            SELECT url, count(*) AS scnt, cq_close(*)
+            FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+            GROUP BY url;
+        CREATE TABLE urls_archive (url varchar(1024), scnt integer,
+                                   stime timestamp);
+        CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND;
+    """)
+
+    # feed two minutes of traffic (event time is the CQTIME column)
+    db.insert_stream("url_stream", [
+        ("/home", 5.0, "10.0.0.1"),
+        ("/home", 12.0, "10.0.0.2"),
+        ("/cart", 30.0, "10.0.0.1"),
+        ("/home", 65.0, "10.0.0.3"),
+        ("/checkout", 80.0, "10.0.0.1"),
+    ])
+    db.advance_streams(2 * MINUTE)  # the clock reaches t=120s
+
+    print("== top-10 windows so far ==")
+    for window in top10.poll():
+        print(f"  window closing at t={window.close_time:.0f}s:")
+        for url, count in window.rows:
+            print(f"    {url:<12} {count}")
+
+    print("\n== the active table is an ordinary SQL table ==")
+    result = db.query("""
+        SELECT url, sum(scnt) AS total
+        FROM urls_archive GROUP BY url ORDER BY total DESC
+    """)
+    print(result.pretty())
+
+
+if __name__ == "__main__":
+    main()

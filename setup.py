@@ -1,0 +1,18 @@
+"""Legacy-installer fallback (`python setup.py develop`).
+
+Normal installs use `pip install -e .`, which works fully offline via the
+stdlib-only PEP 517 backend in _offline_build.py.
+"""
+from setuptools import setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    package_dir={"": "src"},
+    packages=[
+        "repro", "repro.baselines", "repro.bench", "repro.catalog",
+        "repro.core", "repro.exec", "repro.sql", "repro.storage",
+        "repro.streaming", "repro.txn", "repro.types", "repro.workloads",
+    ],
+    python_requires=">=3.9",
+)

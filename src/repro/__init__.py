@@ -1,0 +1,34 @@
+"""repro — Continuous Analytics: a stream-relational database.
+
+A from-scratch reproduction of Franklin et al., "Continuous Analytics:
+Rethinking Query Processing in a Network-Effect World" (CIDR 2009): a
+full SQL database with stream processing embedded in the engine, speaking
+the paper's TruSQL dialect (streams, window clauses, derived streams,
+channels, active tables).
+
+Quickstart::
+
+    from repro import Database
+
+    db = Database()
+    db.execute(\"\"\"CREATE STREAM url_stream (
+        url varchar(1024), atime timestamp CQTIME USER,
+        client_ip varchar(50))\"\"\")
+    sub = db.execute(\"\"\"SELECT url, count(*) url_count
+        FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+        GROUP BY url ORDER BY url_count DESC LIMIT 10\"\"\")
+"""
+
+from repro.core import Database, ResultSet, Subscription, WindowResult
+from repro.errors import TruvisoError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Database",
+    "ResultSet",
+    "Subscription",
+    "WindowResult",
+    "TruvisoError",
+    "__version__",
+]

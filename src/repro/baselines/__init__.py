@@ -1,0 +1,27 @@
+"""Baseline architectures the paper argues against (Sections 1, 5).
+
+Three comparators, each built on the same simulated-disk cost model as
+the stream-relational engine so the comparisons are apples-to-apples:
+
+- :class:`~repro.baselines.batch_warehouse.BatchWarehouse` —
+  store-first-query-later: raw events are loaded into a table, reports
+  re-scan them (Section 1.3's "decades-old legacy");
+- :class:`~repro.baselines.materialized_view.BatchRefreshMV` —
+  timer-driven materialized views, full or incremental refresh
+  (Section 5's MV discussion);
+- :class:`~repro.baselines.mapreduce.MiniMapReduce` — a miniature
+  map/shuffle/reduce engine that materialises between stages
+  (Section 5's Hadoop discussion).
+"""
+
+from repro.baselines.batch_warehouse import BatchWarehouse
+from repro.baselines.materialized_view import BatchRefreshMV
+from repro.baselines.mapreduce import MapReduceJob, MiniMapReduce, rollup_job
+
+__all__ = [
+    "BatchWarehouse",
+    "BatchRefreshMV",
+    "MiniMapReduce",
+    "MapReduceJob",
+    "rollup_job",
+]

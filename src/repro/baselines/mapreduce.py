@@ -1,0 +1,150 @@
+"""A miniature MapReduce engine with honest I/O accounting.
+
+Section 5: data-parallel batch systems "are inherently batch-oriented and
+are much more resource intensive than the Jellybean processing that a
+stream-relational system can provide".  The resource intensity comes from
+materialisation: input is read from disk, map output is *written* to
+shuffle partitions and *read back* by reducers, and reduce output is
+written again.  This engine charges every one of those transfers against
+a :class:`~repro.storage.disk.SimulatedDisk`, so experiment E6 can
+compare bytes moved and simulated time against a CQ computing the same
+rollup while the data flies by.
+
+The API is deliberately Hadoop-shaped: a job is a mapper
+``row -> [(key, value), ...]`` plus a reducer ``(key, values) -> [row]``,
+with an optional combiner applied per map partition.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.page import value_bytes
+
+
+@dataclass
+class MapReduceJob:
+    """One job: mapper, reducer, optional combiner."""
+
+    mapper: Callable          # row -> iterable of (key, value)
+    reducer: Callable         # (key, [values]) -> iterable of rows
+    combiner: Optional[Callable] = None  # (key, [values]) -> single value
+
+
+@dataclass
+class JobResult:
+    rows: List[tuple]
+    wall_seconds: float
+    sim_seconds: float
+    io: DiskStats
+    bytes_read: int
+    bytes_shuffled: int
+    bytes_written: int
+
+
+class MiniMapReduce:
+    """An in-process engine that simulates the disk traffic of a cluster."""
+
+    #: synthetic file ids on the simulated disk
+    INPUT_FILE = 9001
+    SHUFFLE_FILE = 9002
+    OUTPUT_FILE = 9003
+
+    def __init__(self, disk: Optional[SimulatedDisk] = None,
+                 num_partitions: int = 4):
+        self.disk = disk if disk is not None else SimulatedDisk()
+        self.num_partitions = max(1, num_partitions)
+
+    def run(self, job: MapReduceJob, input_rows: List[tuple]) -> JobResult:
+        """Execute map → shuffle → reduce over ``input_rows``."""
+        before = self.disk.snapshot()
+        started = time.perf_counter()
+
+        # phase 1: read input splits from "HDFS"
+        bytes_read = self._charge_read(self.INPUT_FILE, input_rows)
+
+        # phase 2: map (+ per-partition combine), write shuffle partitions
+        partitions = [dict() for _ in range(self.num_partitions)]
+        for row in input_rows:
+            for key, value in job.mapper(row):
+                bucket = partitions[hash(key) % self.num_partitions]
+                bucket.setdefault(key, []).append(value)
+        if job.combiner is not None:
+            for bucket in partitions:
+                for key in list(bucket):
+                    bucket[key] = [job.combiner(key, bucket[key])]
+        shuffle_rows = [
+            (key, value)
+            for bucket in partitions
+            for key, values in bucket.items()
+            for value in values
+        ]
+        bytes_shuffled = self._charge_write(self.SHUFFLE_FILE, shuffle_rows)
+
+        # phase 3: reducers read their partitions back
+        self._charge_read(self.SHUFFLE_FILE, shuffle_rows)
+        output: List[tuple] = []
+        for bucket in partitions:
+            for key in sorted(bucket, key=repr):
+                output.extend(job.reducer(key, bucket[key]))
+
+        # phase 4: write the job output
+        bytes_written = self._charge_write(self.OUTPUT_FILE, output)
+
+        io = self.disk.snapshot() - before
+        return JobResult(
+            rows=output,
+            wall_seconds=time.perf_counter() - started,
+            sim_seconds=self.disk.elapsed_seconds(io),
+            io=io,
+            bytes_read=bytes_read,
+            bytes_shuffled=bytes_shuffled,
+            bytes_written=bytes_written,
+        )
+
+    # -- disk charging ---------------------------------------------------------
+
+    def _row_bytes(self, rows) -> int:
+        total = 0
+        for row in rows:
+            if isinstance(row, tuple):
+                total += sum(value_bytes(v) for v in row) + 8
+            else:
+                total += value_bytes(row) + 8
+        return total
+
+    def _pages(self, nbytes: int) -> int:
+        return max(1, -(-nbytes // self.disk.page_size))
+
+    def _charge_read(self, file_id: int, rows) -> int:
+        nbytes = self._row_bytes(rows)
+        for page in range(self._pages(nbytes)):
+            self.disk.read_page(file_id, page)
+        return nbytes
+
+    def _charge_write(self, file_id: int, rows) -> int:
+        nbytes = self._row_bytes(rows)
+        for page in range(self._pages(nbytes)):
+            self.disk.write_page(file_id, page)
+        return nbytes
+
+
+def rollup_job(key_fn: Callable, value_fn: Callable = None) -> MapReduceJob:
+    """The classic count/sum rollup as a MapReduce job.
+
+    ``key_fn(row)`` extracts the group key; ``value_fn(row)`` the value to
+    sum (defaults to 1, i.e. a count).
+    """
+    def mapper(row):
+        yield key_fn(row), (value_fn(row) if value_fn is not None else 1)
+
+    def combiner(_key, values):
+        return sum(values)
+
+    def reducer(key, values):
+        yield (key, sum(values))
+
+    return MapReduceJob(mapper, reducer, combiner)

@@ -1,0 +1,12 @@
+"""Benchmark harness utilities: measurement and table reporting."""
+
+from repro.bench.metrics import Measurement, measure
+from repro.bench.harness import format_table, print_table, write_report
+
+__all__ = [
+    "Measurement",
+    "measure",
+    "format_table",
+    "print_table",
+    "write_report",
+]

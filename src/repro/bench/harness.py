@@ -1,0 +1,59 @@
+"""Rendering benchmark results the way the paper reports them:
+fixed-width tables and series, plus a per-experiment report file that
+EXPERIMENTS.md links to."""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+#: where bench runs drop their report files (relative to the repo root)
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.dirname(os.path.dirname(
+    os.path.dirname(os.path.abspath(__file__))))), "benchmarks", "results")
+
+
+def format_value(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value != 0 and (abs(value) >= 1e5 or abs(value) < 1e-3):
+            return f"{value:.3e}"
+        return f"{value:,.3f}"
+    if isinstance(value, int):
+        return f"{value:,}"
+    return str(value)
+
+
+def format_table(headers: List[str], rows: List[list],
+                 title: Optional[str] = None) -> str:
+    """Fixed-width text table."""
+    cells = [[format_value(v) for v in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in cells:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def print_table(headers: List[str], rows: List[list],
+                title: Optional[str] = None) -> str:
+    text = format_table(headers, rows, title)
+    print("\n" + text)
+    return text
+
+
+def write_report(experiment_id: str, text: str) -> str:
+    """Persist a bench report under benchmarks/results/<id>.txt."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{experiment_id}.txt")
+    with open(path, "w") as f:
+        f.write(text + "\n")
+    return path

@@ -1,0 +1,51 @@
+"""Measurement helpers: wall-clock + simulated-disk interval accounting."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.storage.disk import DiskStats
+
+
+@dataclass
+class Measurement:
+    """One measured interval: wall time, simulated time, raw I/O counts."""
+
+    label: str = ""
+    wall_seconds: float = 0.0
+    sim_seconds: float = 0.0
+    io: DiskStats = field(default_factory=DiskStats)
+
+    @property
+    def pages_read(self) -> int:
+        return self.io.pages_read
+
+    @property
+    def pages_written(self) -> int:
+        return self.io.pages_written
+
+    def __repr__(self):
+        return (f"Measurement({self.label!r}, wall={self.wall_seconds:.4f}s, "
+                f"sim={self.sim_seconds:.4f}s, r={self.io.pages_read}, "
+                f"w={self.io.pages_written})")
+
+
+@contextmanager
+def measure(db, label: str = ""):
+    """Context manager measuring one block against ``db``'s disk.
+
+    >>> with measure(db, "report") as m:          # doctest: +SKIP
+    ...     db.query("SELECT count(*) FROM t")
+    >>> m.sim_seconds                              # doctest: +SKIP
+    """
+    out = Measurement(label)
+    before = db.io_snapshot()
+    started = time.perf_counter()
+    try:
+        yield out
+    finally:
+        out.wall_seconds = time.perf_counter() - started
+        out.io = db.io_snapshot() - before
+        out.sim_seconds = db.disk.elapsed_seconds(out.io)

@@ -1,0 +1,6 @@
+"""Catalog: schemas and the registry of tables, streams, views, channels."""
+
+from repro.catalog.schema import Column, Schema
+from repro.catalog.catalog import Catalog
+
+__all__ = ["Column", "Schema", "Catalog"]

@@ -1,0 +1,128 @@
+"""The system catalog: registry of every named object in a database.
+
+The paper's core principle (Section 2.3) is that "stored data is simply
+streaming data that has been entered into persistent structures", so the
+catalog holds tables and streams side by side, plus the glue objects:
+views, derived streams, channels and indexes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.errors import DuplicateObjectError, UnknownObjectError
+
+TABLE = "table"
+STREAM = "stream"
+DERIVED_STREAM = "derived stream"
+VIEW = "view"
+CHANNEL = "channel"
+INDEX = "index"
+
+
+class Catalog:
+    """Name → object registry with a single namespace for relations.
+
+    Tables, streams, derived streams and views share one namespace (as in
+    PostgreSQL); channels and indexes have their own.
+    """
+
+    def __init__(self):
+        self._relations: Dict[str, tuple] = {}   # name -> (kind, object)
+        self._channels: Dict[str, object] = {}
+        self._indexes: Dict[str, object] = {}
+
+    # -- relations ----------------------------------------------------------
+
+    def add_relation(self, name: str, kind: str, obj) -> None:
+        key = name.lower()
+        if key in self._relations:
+            raise DuplicateObjectError(f"relation {name!r} already exists")
+        self._relations[key] = (kind, obj)
+
+    def relation_kind(self, name: str) -> Optional[str]:
+        entry = self._relations.get(name.lower())
+        return entry[0] if entry else None
+
+    def get_relation(self, name: str, kind: Optional[str] = None):
+        entry = self._relations.get(name.lower())
+        if entry is None:
+            raise UnknownObjectError(f"relation {name!r} does not exist")
+        found_kind, obj = entry
+        if kind is not None and found_kind != kind:
+            raise UnknownObjectError(
+                f"{name!r} is a {found_kind}, not a {kind}"
+            )
+        return obj
+
+    def has_relation(self, name: str) -> bool:
+        return name.lower() in self._relations
+
+    def drop_relation(self, name: str, kind: Optional[str] = None):
+        obj = self.get_relation(name, kind)
+        del self._relations[name.lower()]
+        return obj
+
+    def relations(self, kind: Optional[str] = None):
+        """Iterate (name, object) pairs, optionally filtered by kind."""
+        for name, (found_kind, obj) in self._relations.items():
+            if kind is None or found_kind == kind:
+                yield name, obj
+
+    # -- channels -----------------------------------------------------------
+
+    def add_channel(self, name: str, channel) -> None:
+        key = name.lower()
+        if key in self._channels:
+            raise DuplicateObjectError(f"channel {name!r} already exists")
+        self._channels[key] = channel
+
+    def get_channel(self, name: str):
+        channel = self._channels.get(name.lower())
+        if channel is None:
+            raise UnknownObjectError(f"channel {name!r} does not exist")
+        return channel
+
+    def has_channel(self, name: str) -> bool:
+        return name.lower() in self._channels
+
+    def drop_channel(self, name: str):
+        channel = self.get_channel(name)
+        del self._channels[name.lower()]
+        return channel
+
+    def channels(self):
+        return self._channels.items()
+
+    # -- indexes ------------------------------------------------------------
+
+    def add_index(self, name: str, index) -> None:
+        key = name.lower()
+        if key in self._indexes:
+            raise DuplicateObjectError(f"index {name!r} already exists")
+        self._indexes[key] = index
+
+    def get_index(self, name: str):
+        index = self._indexes.get(name.lower())
+        if index is None:
+            raise UnknownObjectError(f"index {name!r} does not exist")
+        return index
+
+    def has_index(self, name: str) -> bool:
+        return name.lower() in self._indexes
+
+    def drop_index(self, name: str):
+        index = self.get_index(name)
+        del self._indexes[name.lower()]
+        return index
+
+    def indexes_on(self, table_name: str):
+        """All index objects whose table matches ``table_name``."""
+        table_name = table_name.lower()
+        return [
+            index for index in self._indexes.values()
+            if index.table_name.lower() == table_name
+        ]
+
+    def indexes(self):
+        return self._indexes.items()

@@ -1,0 +1,112 @@
+"""Column and row-schema descriptions shared by tables, streams and plans."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import BindError, ConstraintError
+from repro.types.datatypes import DataType
+
+
+class Column:
+    """One column: a name, a declared type, and constraints.
+
+    ``cqtime`` marks the ordering attribute of a stream (Example 1 in the
+    paper: ``atime timestamp CQTIME USER``); it is ``None`` for ordinary
+    columns, ``'user'`` when event time is supplied by the tuple, and
+    ``'system'`` when the engine stamps arrival time.
+    """
+
+    __slots__ = ("name", "datatype", "not_null", "primary_key", "cqtime")
+
+    def __init__(self, name: str, datatype: DataType, not_null: bool = False,
+                 primary_key: bool = False, cqtime: Optional[str] = None):
+        self.name = name
+        self.datatype = datatype
+        self.not_null = not_null
+        self.primary_key = primary_key
+        self.cqtime = cqtime
+
+    def __repr__(self):
+        return f"Column({self.name} {self.datatype.sql_name()})"
+
+
+class Schema:
+    """An ordered list of columns with fast name lookup.
+
+    Plan nodes carry a ``Schema`` describing the rows they produce, so the
+    same machinery types both stored tables and intermediate results.
+    """
+
+    def __init__(self, columns: List[Column]):
+        self.columns = list(columns)
+        self._index = {}
+        for i, column in enumerate(self.columns):
+            # first occurrence wins for duplicate names (SQL allows dups
+            # in intermediate results; unqualified lookup is ambiguous)
+            self._index.setdefault(column.name.lower(), i)
+
+    def __len__(self):
+        return len(self.columns)
+
+    def __iter__(self):
+        return iter(self.columns)
+
+    def names(self) -> List[str]:
+        return [column.name for column in self.columns]
+
+    def index_of(self, name: str) -> int:
+        """Position of ``name`` (case-insensitive); raises BindError."""
+        i = self._index.get(name.lower())
+        if i is None:
+            raise BindError(f"column {name!r} does not exist")
+        return i
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._index
+
+    def column(self, name: str) -> Column:
+        return self.columns[self.index_of(name)]
+
+    def cqtime_index(self) -> Optional[int]:
+        """Index of the CQTIME ordering column, or None."""
+        for i, column in enumerate(self.columns):
+            if column.cqtime is not None:
+                return i
+        return None
+
+    def coerce_row(self, values) -> tuple:
+        """Validate and coerce a full row to this schema.
+
+        Raises :class:`ConstraintError` on arity or NOT NULL violations.
+        """
+        if len(values) != len(self.columns):
+            raise ConstraintError(
+                f"row has {len(values)} values, schema has {len(self.columns)}"
+            )
+        out = []
+        for column, value in zip(self.columns, values):
+            coerced = column.datatype.coerce(value)
+            if coerced is None and column.not_null:
+                raise ConstraintError(
+                    f"null value in column {column.name!r} violates NOT NULL"
+                )
+            out.append(coerced)
+        return tuple(out)
+
+    def project(self, names) -> "Schema":
+        """A new schema with just the named columns, in the given order."""
+        return Schema([self.columns[self.index_of(name)] for name in names])
+
+    def rename(self, new_names) -> "Schema":
+        """A copy with columns renamed positionally."""
+        if len(new_names) != len(self.columns):
+            raise BindError("rename arity mismatch")
+        return Schema([
+            Column(name, col.datatype, col.not_null, col.primary_key, col.cqtime)
+            for name, col in zip(new_names, self.columns)
+        ])
+
+    def __repr__(self):
+        inner = ", ".join(f"{c.name} {c.datatype.sql_name()}" for c in self.columns)
+        return f"Schema({inner})"

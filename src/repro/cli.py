@@ -1,0 +1,206 @@
+"""An interactive TruSQL shell.
+
+Run::
+
+    python -m repro.cli
+    echo "SELECT 1 + 1;" | python -m repro.cli
+
+Statements end with ``;``.  Continuous queries become named
+subscriptions whose windows are printed by ``\\poll``.  Backslash
+commands:
+
+    \\d              list catalog objects
+    \\poll [name]    print pending windows of one/all subscriptions
+    \\advance T      heartbeat all streams to event time T
+    \\flush          flush all streams (drain pending windows)
+    \\timing         toggle wall/sim timing output
+    \\q              quit
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.catalog import catalog as cat
+from repro.core.database import Database
+from repro.core.results import ResultSet, Subscription
+from repro.errors import TruvisoError
+
+PROMPT = "trusql> "
+CONTINUE_PROMPT = "   ...> "
+
+
+class Shell:
+    """State and command handling for one CLI session."""
+
+    def __init__(self, db: Database = None, out=None):
+        self.db = db if db is not None else Database()
+        self.out = out if out is not None else sys.stdout
+        self.subscriptions = {}
+        self._sub_counter = 0
+        self.timing = False
+
+    # -- output ---------------------------------------------------------------
+
+    def write(self, text: str = "") -> None:
+        self.out.write(text + "\n")
+
+    # -- command dispatch --------------------------------------------------------
+
+    def handle_line(self, line: str) -> bool:
+        """Process one complete input (statement or backslash command).
+        Returns False when the shell should exit."""
+        stripped = line.strip()
+        if not stripped:
+            return True
+        if stripped.startswith("\\"):
+            return self._command(stripped)
+        self._statement(stripped)
+        return True
+
+    def _command(self, text: str) -> bool:
+        parts = text.split()
+        command, args = parts[0], parts[1:]
+        if command in ("\\q", "\\quit"):
+            return False
+        if command == "\\d":
+            self._describe()
+        elif command == "\\poll":
+            self._poll(args[0] if args else None)
+        elif command == "\\advance":
+            if not args:
+                self.write("usage: \\advance <event-time-seconds>")
+            else:
+                self.db.advance_streams(float(args[0]))
+                self.write(f"advanced all streams to t={args[0]}")
+                self._poll(None)
+        elif command == "\\flush":
+            self.db.flush_streams()
+            self.write("flushed all streams")
+            self._poll(None)
+        elif command == "\\timing":
+            self.timing = not self.timing
+            self.write(f"timing {'on' if self.timing else 'off'}")
+        elif command in ("\\h", "\\help", "\\?"):
+            self.write(__doc__.strip())
+        else:
+            self.write(f"unknown command {command}; try \\help")
+        return True
+
+    def _describe(self) -> None:
+        rows = []
+        for name, kind in sorted(
+                (name, kind)
+                for name, (kind, _obj) in self.db.catalog._relations.items()):
+            rows.append(f"  {name:<28} {kind}")
+        for name, _channel in sorted(self.db.catalog.channels()):
+            rows.append(f"  {name:<28} channel")
+        for name, _index in sorted(self.db.catalog.indexes()):
+            rows.append(f"  {name:<28} index")
+        if rows:
+            self.write("\n".join(rows))
+        else:
+            self.write("(empty catalog)")
+
+    def _poll(self, name) -> None:
+        targets = ([(name, self.subscriptions[name])]
+                   if name else sorted(self.subscriptions.items()))
+        if name and name not in self.subscriptions:
+            self.write(f"no subscription named {name!r}")
+            return
+        for sub_name, sub in targets:
+            windows = sub.poll()
+            for window in windows:
+                self.write(f"-- {sub_name}: window "
+                           f"[{window.open_time:g}, {window.close_time:g})")
+                result = ResultSet(sub.columns, window.rows)
+                self.write(result.pretty())
+
+    def _statement(self, sql: str) -> None:
+        started = time.perf_counter()
+        io_before = self.db.io_snapshot()
+        try:
+            result = self.db.execute(sql)
+        except TruvisoError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        elapsed = time.perf_counter() - started
+        if isinstance(result, Subscription):
+            self._sub_counter += 1
+            sub_name = f"sub{self._sub_counter}"
+            self.subscriptions[sub_name] = result
+            self.write(f"continuous query running as {sub_name!r} "
+                       f"({', '.join(result.columns)}); use \\poll")
+        elif result.columns:
+            self.write(result.pretty())
+            self.write(f"({len(result.rows)} row"
+                       f"{'' if len(result.rows) == 1 else 's'})")
+        else:
+            self.write(f"OK (rowcount={result.rowcount})")
+        if self.timing:
+            delta = self.db.io_snapshot() - io_before
+            sim = self.db.disk.elapsed_seconds(delta)
+            self.write(f"Time: {elapsed * 1000:.2f} ms wall, "
+                       f"{sim * 1000:.2f} ms simulated disk "
+                       f"(r={delta.pages_read} w={delta.pages_written})")
+
+    # -- main loop -----------------------------------------------------------------
+
+    def run(self, lines) -> None:
+        """Drive the shell from an iterable of raw input lines."""
+        buffer = []
+        for raw in lines:
+            line = raw.rstrip("\n")
+            stripped = line.strip()
+            if not buffer and stripped.startswith("\\"):
+                if not self.handle_line(stripped):
+                    return
+                continue
+            buffer.append(line)
+            if stripped.endswith(";"):
+                statement = "\n".join(buffer).strip().rstrip(";")
+                buffer = []
+                if statement and not self.handle_line(statement):
+                    return
+        leftover = "\n".join(buffer).strip().rstrip(";")
+        if leftover:
+            self.handle_line(leftover)
+
+
+def main(argv=None) -> int:
+    shell = Shell()
+    interactive = sys.stdin.isatty()
+    if interactive:
+        print("repro — Continuous Analytics shell; \\help for commands")
+        try:
+            while True:
+                try:
+                    line = input(PROMPT)
+                except EOFError:
+                    break
+                buffer = [line]
+                while not line.strip().startswith("\\") \
+                        and not line.strip().endswith(";") \
+                        and line.strip():
+                    line = input(CONTINUE_PROMPT)
+                    buffer.append(line)
+                text = "\n".join(buffer).strip().rstrip(";")
+                if not shell.handle_line(text):
+                    break
+        except KeyboardInterrupt:
+            print()
+    else:
+        try:
+            shell.run(sys.stdin)
+        except BrokenPipeError:
+            # downstream (e.g. `| head`) closed the pipe: exit quietly
+            try:
+                sys.stdout.close()
+            except Exception:
+                pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

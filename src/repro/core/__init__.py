@@ -1,0 +1,14 @@
+"""The stream-relational core: the public :class:`Database` facade.
+
+``Database.execute`` takes TruSQL text and dispatches exactly as the
+paper specifies (Section 3.1): queries over tables are *snapshot queries*
+returning a :class:`~repro.core.results.ResultSet`; queries touching a
+stream are *continuous queries* returning a
+:class:`~repro.core.results.Subscription` that yields results window by
+window until closed.
+"""
+
+from repro.core.database import Database
+from repro.core.results import ResultSet, Subscription, WindowResult
+
+__all__ = ["Database", "ResultSet", "Subscription", "WindowResult"]

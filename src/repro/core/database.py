@@ -1,0 +1,683 @@
+"""The Database facade: a full stream-relational database in one object.
+
+This is the paper's thesis made concrete (Sections 2.3, 3): one system,
+one SQL dialect, tables and streams side by side.  ``execute`` parses a
+TruSQL statement and dispatches:
+
+- DDL creates tables, streams, derived streams, views, channels, indexes;
+- DML runs transactionally under MVCC;
+- a SELECT over tables runs once (snapshot query);
+- a SELECT touching a stream becomes a continuous query and returns a
+  :class:`~repro.core.results.Subscription`.
+
+Typical use::
+
+    db = Database()
+    db.execute("CREATE STREAM url_stream (url varchar(1024), "
+               "atime timestamp CQTIME USER, client_ip varchar(50))")
+    sub = db.execute("SELECT url, count(*) c FROM url_stream "
+                     "<VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY url")
+    db.insert_stream("url_stream", [("/home", 30.0, "10.0.0.1")])
+    db.advance_streams(120.0)
+    for window in sub.poll():
+        print(window.close_time, window.rows)
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.catalog import catalog as cat
+from repro.catalog.catalog import Catalog
+from repro.catalog.schema import Column, Schema
+from repro.errors import (
+    ExecutionError,
+    PlanningError,
+    StreamingError,
+    TransactionError,
+    UnknownObjectError,
+)
+from repro.exec.expressions import RowLayout, compile_expr
+from repro.exec.planner import PlanContext, Planner
+from repro.sql import ast, parse_script, parse_statement
+from repro.storage.manager import StorageManager
+from repro.streaming.runtime import StreamingRuntime
+from repro.streaming.views import StreamingView
+from repro.txn.mvcc import TransactionManager
+from repro.types.datatypes import TimestampType, type_from_name
+from repro.core.results import ResultSet, Subscription
+
+
+class Database:
+    """An embedded stream-relational database instance."""
+
+    def __init__(self, buffer_pages: int = 256, share_slices: bool = False,
+                 emit_empty_windows: bool = True,
+                 stream_retention: Optional[float] = None,
+                 disorder_policy: str = "raise",
+                 stream_slack: float = 0.0):
+        self.storage = StorageManager(buffer_pages)
+        self.txn_manager = TransactionManager(self.storage.wal)
+        self.catalog = Catalog()
+        self.runtime = StreamingRuntime(
+            self.catalog, self.txn_manager,
+            share_slices=share_slices,
+            emit_empty_windows=emit_empty_windows,
+            default_retention=stream_retention,
+            disorder_policy=disorder_policy,
+            default_slack=stream_slack,
+        )
+        self._session_txn = None
+        self._current_params = None
+        from repro.core.system_views import install_system_views
+        install_system_views(self)
+
+    # ------------------------------------------------------------------
+    # statement execution
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params=None):
+        """Run one TruSQL statement.
+
+        ``params`` binds ``?`` placeholders positionally::
+
+            db.execute("SELECT * FROM t WHERE a = ? AND b < ?", (1, 9.5))
+
+        Returns a :class:`ResultSet` for snapshot queries, DML and DDL,
+        or a :class:`Subscription` for continuous queries (placeholder
+        values stay bound for the CQ's lifetime).
+        """
+        statement = parse_statement(sql)
+        previous = self._current_params
+        self._current_params = tuple(params) if params is not None else None
+        try:
+            return self._dispatch(statement)
+        finally:
+            self._current_params = previous
+
+    def execute_script(self, sql: str) -> list:
+        """Run a ``;``-separated script; returns one result per statement."""
+        return [self._dispatch(s) for s in parse_script(sql)]
+
+    def query(self, sql: str, params=None) -> ResultSet:
+        """Run a statement that must be a snapshot query."""
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise PlanningError(
+                "query() got a continuous query; use subscribe()")
+        return result
+
+    def subscribe(self, sql: str, params=None) -> Subscription:
+        """Run a statement that must be a continuous query."""
+        result = self.execute(sql, params)
+        if not isinstance(result, Subscription):
+            raise PlanningError(
+                "subscribe() got a snapshot statement; use query()")
+        return result
+
+    def _dispatch(self, statement: ast.Statement):
+        if isinstance(statement, (ast.Select, ast.SetOp)):
+            return self._execute_select(statement)
+        if isinstance(statement, ast.Explain):
+            return self._explain_statement(statement)
+        if isinstance(statement, ast.CreateTableAs):
+            return self._create_table_as(statement)
+        if isinstance(statement, ast.CreateTable):
+            return self._create_table(statement)
+        if isinstance(statement, ast.CreateStream):
+            return self._create_stream(statement)
+        if isinstance(statement, ast.CreateDerivedStream):
+            self.runtime.create_derived_stream(statement.name, statement.query)
+            return _ok()
+        if isinstance(statement, ast.CreateView):
+            return self._create_view(statement)
+        if isinstance(statement, ast.CreateChannel):
+            return self._create_channel(statement)
+        if isinstance(statement, ast.CreateIndex):
+            return self._create_index(statement)
+        if isinstance(statement, ast.Insert):
+            return self._insert(statement)
+        if isinstance(statement, ast.Update):
+            return self._update(statement)
+        if isinstance(statement, ast.Delete):
+            return self._delete(statement)
+        if isinstance(statement, ast.Truncate):
+            table = self.catalog.get_relation(statement.table, cat.TABLE)
+            return _count(self._with_txn(table.truncate))
+        if isinstance(statement, ast.Analyze):
+            return self._analyze(statement)
+        if isinstance(statement, ast.Drop):
+            return self._drop(statement)
+        if isinstance(statement, ast.Begin):
+            return self._begin()
+        if isinstance(statement, ast.Commit):
+            return self._commit()
+        if isinstance(statement, ast.Rollback):
+            return self._rollback()
+        raise ExecutionError(f"unhandled statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # SELECT: snapshot vs continuous
+    # ------------------------------------------------------------------
+
+    def _execute_select(self, select):
+        if self._query_references_streams(select):
+            if isinstance(select, ast.SetOp):
+                raise PlanningError(
+                    "set operations over streams are not supported; stage "
+                    "the branches through derived streams instead"
+                )
+            cq = self.runtime.create_cq(select, params=self._current_params)
+            return Subscription(cq, self.runtime)
+        plan = self._plan_snapshot(select)
+        rows = list(plan.execute(self._execution_ctx()))
+        return ResultSet(plan.column_names, rows)
+
+    def _execution_ctx(self) -> dict:
+        ctx = {}
+        if self._current_params is not None:
+            ctx["params"] = self._current_params
+        return ctx
+
+    def _plan_snapshot(self, select):
+        ctx = PlanContext(
+            self.catalog,
+            self.txn_manager,
+            snapshot_fn=self._statement_snapshot_fn(),
+            own_txid_fn=self._own_txid_fn(),
+        )
+        return Planner(ctx).plan_query(select)
+
+    def explain(self, sql: str) -> str:
+        """The physical plan of a snapshot query (or of a CQ's per-window
+        plan) as indented text."""
+        statement = parse_statement(sql)
+        if isinstance(statement, ast.Explain):
+            statement = statement.query
+        if not isinstance(statement, (ast.Select, ast.SetOp)):
+            raise PlanningError("EXPLAIN supports SELECT statements only")
+        if self._query_references_streams(statement):
+            cq = self.runtime._make_cq(statement)
+            return cq.explain()
+        return self._plan_snapshot(statement).explain()
+
+    def _explain_statement(self, statement: ast.Explain) -> ResultSet:
+        query = statement.query
+        if self._query_references_streams(query):
+            cq = self.runtime._make_cq(query)
+            text = cq.explain()
+        else:
+            text = self._plan_snapshot(query).explain()
+        return ResultSet(["QUERY PLAN"], [(line,) for line in text.split("\n")])
+
+    def _query_references_streams(self, node) -> bool:
+        if isinstance(node, ast.SetOp):
+            return (self._query_references_streams(node.left)
+                    or self._query_references_streams(node.right))
+        if isinstance(node, ast.Select):
+            return self._references_streams(node.from_clause)
+        return False
+
+    def _references_streams(self, node) -> bool:
+        if node is None:
+            return False
+        if isinstance(node, ast.TableRef):
+            kind = self.catalog.relation_kind(node.name)
+            if kind in (cat.STREAM, cat.DERIVED_STREAM):
+                return True
+            if kind == cat.VIEW:
+                view = self.catalog.get_relation(node.name)
+                return bool(getattr(view, "references_streams", False))
+            return False
+        if isinstance(node, ast.SubqueryRef):
+            return self._query_references_streams(node.query)
+        if isinstance(node, ast.Join):
+            return (self._references_streams(node.left)
+                    or self._references_streams(node.right))
+        return False
+
+    # ------------------------------------------------------------------
+    # DDL
+    # ------------------------------------------------------------------
+
+    def _create_table(self, statement: ast.CreateTable) -> ResultSet:
+        if statement.if_not_exists and self.catalog.has_relation(statement.name):
+            return _ok()
+        schema = _schema_from_defs(statement.columns, for_stream=False)
+        self._register_table(statement.name, schema)
+        return _ok()
+
+    def _register_table(self, name: str, schema: Schema):
+        """Create a table and log its DDL durably, so
+        :meth:`recover_from_wal` can rebuild the schema after a crash."""
+        table = self.storage.create_table(name, schema)
+        self.catalog.add_relation(name, cat.TABLE, table)
+        from repro.core.dump import _column_spec
+        self.storage.wal.append(
+            0, "ddl", name,
+            payload=[_column_spec(c) for c in schema])
+        self.storage.wal.flush()
+        return table
+
+    def _create_stream(self, statement: ast.CreateStream) -> ResultSet:
+        if statement.if_not_exists and self.catalog.has_relation(statement.name):
+            return _ok()
+        schema = _schema_from_defs(statement.columns, for_stream=True)
+        self.runtime.create_base_stream(statement.name, schema)
+        return _ok()
+
+    def _create_view(self, statement: ast.CreateView) -> ResultSet:
+        references = self._query_references_streams(statement.query)
+        view = StreamingView(statement.name, statement.query, references)
+        self.catalog.add_relation(statement.name, cat.VIEW, view)
+        return _ok()
+
+    def _create_table_as(self, statement: ast.CreateTableAs) -> ResultSet:
+        """CREATE TABLE ... AS SELECT: infer the schema, copy the rows."""
+        if statement.if_not_exists and \
+                self.catalog.has_relation(statement.name):
+            return _ok()
+        if self._query_references_streams(statement.query):
+            raise PlanningError(
+                "CREATE TABLE AS over a stream is continuous by nature; "
+                "use CREATE STREAM ... AS plus a channel instead"
+            )
+        plan = self._plan_snapshot(statement.query)
+        rows = list(plan.execute({}))
+        table = self._register_table(statement.name, plan.output_schema())
+        self._with_txn(lambda txn: _insert_all(table, txn, rows))
+        return _count(len(rows))
+
+    def _create_channel(self, statement: ast.CreateChannel) -> ResultSet:
+        table = self.catalog.get_relation(statement.target, cat.TABLE)
+        self.runtime.create_channel(
+            statement.name, statement.source, table, statement.mode)
+        return _ok()
+
+    def _create_index(self, statement: ast.CreateIndex) -> ResultSet:
+        table = self.catalog.get_relation(statement.table, cat.TABLE)
+        index = self.storage.create_index(
+            statement.name, table, statement.columns, statement.unique)
+        self.catalog.add_index(statement.name, index)
+        return _ok()
+
+    def _analyze(self, statement: ast.Analyze) -> ResultSet:
+        """Collect planner statistics for one table or all tables."""
+        if statement.name is not None:
+            tables = [(statement.name,
+                       self.catalog.get_relation(statement.name, cat.TABLE))]
+        else:
+            tables = list(self.catalog.relations(cat.TABLE))
+        snapshot = self.txn_manager.take_snapshot()
+        rows = []
+        for name, table in tables:
+            stats = table.analyze(snapshot, self.txn_manager)
+            rows.append((name, stats.row_count, stats.page_count))
+        return ResultSet(["table_name", "row_count", "pages"], rows)
+
+    def _drop(self, statement: ast.Drop) -> ResultSet:
+        name, kind = statement.name, statement.kind
+        try:
+            if kind == "table":
+                for channel_name, channel in list(self.catalog.channels()):
+                    if channel.table.name.lower() == name.lower():
+                        raise ExecutionError(
+                            f"channel {channel_name!r} writes into "
+                            f"{name!r}; drop the channel first"
+                        )
+                table = self.catalog.drop_relation(name, cat.TABLE)
+                self.storage.drop_table_storage(table)
+            elif kind == "stream":
+                self.runtime.drop_stream(name)
+            elif kind == "view":
+                self.catalog.drop_relation(name, cat.VIEW)
+            elif kind == "channel":
+                self.runtime.drop_channel(name)
+            elif kind == "index":
+                index = self.catalog.drop_index(name)
+                table = self.catalog.get_relation(index.table_name, cat.TABLE)
+                table.detach_index(index)
+        except UnknownObjectError:
+            if statement.if_exists:
+                return _ok()
+            raise
+        return _ok()
+
+    # ------------------------------------------------------------------
+    # DML
+    # ------------------------------------------------------------------
+
+    def _insert(self, statement: ast.Insert) -> ResultSet:
+        kind = self.catalog.relation_kind(statement.table)
+        if kind == cat.STREAM:
+            return self._insert_into_stream(statement)
+        table = self.catalog.get_relation(statement.table, cat.TABLE)
+        rows = self._insert_rows(statement, table.schema)
+        count = self._with_txn(
+            lambda txn: _insert_all(table, txn, rows))
+        return _count(count)
+
+    def _insert_rows(self, statement: ast.Insert, schema: Schema) -> list:
+        if statement.query is not None:
+            plan = self._plan_snapshot(statement.query)
+            produced = list(plan.execute(self._execution_ctx()))
+        else:
+            empty = RowLayout([])
+            produced = [
+                tuple(compile_expr(e, empty)(None, self._execution_ctx())
+                      for e in row)
+                for row in statement.rows
+            ]
+        if statement.columns is None:
+            return produced
+        positions = [schema.index_of(c) for c in statement.columns]
+        out = []
+        for row in produced:
+            if len(row) != len(positions):
+                raise ExecutionError(
+                    f"INSERT has {len(row)} values for "
+                    f"{len(positions)} columns"
+                )
+            full = [None] * len(schema)
+            for position, value in zip(positions, row):
+                full[position] = value
+            out.append(tuple(full))
+        return out
+
+    def _insert_into_stream(self, statement: ast.Insert) -> ResultSet:
+        stream = self.runtime.get_stream(statement.table)
+        rows = self._insert_rows(statement, stream.schema)
+        accepted = stream.insert_many(rows)
+        return _count(accepted)
+
+    def _update(self, statement: ast.Update) -> ResultSet:
+        table = self.catalog.get_relation(statement.table, cat.TABLE)
+        layout = _table_layout(table)
+        predicate = (compile_expr(statement.where, layout)
+                     if statement.where is not None else None)
+        assignment_fns = [
+            (table.schema.index_of(column), compile_expr(expr, layout))
+            for column, expr in statement.assignments
+        ]
+        ctx = self._execution_ctx()
+
+        def run(txn):
+            matches = [
+                (rid, version)
+                for rid, version in table.heap.scan(table._pool)
+                if self.txn_manager.visible(version, txn.snapshot, txn.txid)
+                and (predicate is None
+                     or predicate(version.values, ctx) is True)
+            ]
+            for rid, version in matches:
+                new_values = list(version.values)
+                for position, fn in assignment_fns:
+                    new_values[position] = fn(version.values, ctx)
+                table.update_version(txn, rid, version, tuple(new_values))
+            return len(matches)
+
+        return _count(self._with_txn(run))
+
+    def _delete(self, statement: ast.Delete) -> ResultSet:
+        table = self.catalog.get_relation(statement.table, cat.TABLE)
+        layout = _table_layout(table)
+        predicate = (compile_expr(statement.where, layout)
+                     if statement.where is not None else None)
+        ctx = self._execution_ctx()
+
+        def run(txn):
+            matches = [
+                (rid, version)
+                for rid, version in table.heap.scan(table._pool)
+                if self.txn_manager.visible(version, txn.snapshot, txn.txid)
+                and (predicate is None
+                     or predicate(version.values, ctx) is True)
+            ]
+            for rid, version in matches:
+                table.delete_version(txn, rid, version)
+            return len(matches)
+
+        return _count(self._with_txn(run))
+
+    # ------------------------------------------------------------------
+    # transactions
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> ResultSet:
+        if self._session_txn is not None:
+            raise TransactionError("a transaction is already in progress")
+        self._session_txn = self.txn_manager.begin()
+        return _ok()
+
+    def _commit(self) -> ResultSet:
+        if self._session_txn is None:
+            raise TransactionError("no transaction in progress")
+        self._session_txn.commit()
+        self._session_txn = None
+        return _ok()
+
+    def _rollback(self) -> ResultSet:
+        if self._session_txn is None:
+            raise TransactionError("no transaction in progress")
+        self._session_txn.abort()
+        self._session_txn = None
+        return _ok()
+
+    def _with_txn(self, fn):
+        """Run ``fn(txn)`` in the session txn or a fresh autocommit one."""
+        if self._session_txn is not None:
+            return fn(self._session_txn)
+        txn = self.txn_manager.begin()
+        try:
+            result = fn(txn)
+        except Exception:
+            if txn.is_active():
+                txn.abort()
+            raise
+        txn.commit()
+        return result
+
+    def _statement_snapshot_fn(self):
+        if self._session_txn is not None:
+            txn = self._session_txn
+            return lambda: txn.snapshot
+        snapshot = self.txn_manager.take_snapshot()
+        return lambda: snapshot
+
+    def _own_txid_fn(self):
+        if self._session_txn is not None:
+            txn = self._session_txn
+            return lambda: txn.txid
+        return None
+
+    # ------------------------------------------------------------------
+    # convenience API (benchmarks, workload generators, examples)
+    # ------------------------------------------------------------------
+
+    def insert_table(self, name: str, rows) -> int:
+        """Bulk insert Python tuples into a table (bypasses SQL parsing)."""
+        table = self.catalog.get_relation(name, cat.TABLE)
+        return self._with_txn(lambda txn: _insert_all(table, txn, rows))
+
+    def insert_stream(self, name: str, rows, at: Optional[float] = None) -> int:
+        """Push Python tuples into a base stream."""
+        stream = self.runtime.get_stream(name)
+        return stream.insert_many(rows, at)
+
+    def advance_streams(self, event_time: float) -> None:
+        """Heartbeat every base stream to ``event_time`` (closes windows)."""
+        self.runtime.heartbeat_all(event_time)
+
+    def flush_streams(self) -> None:
+        """End-of-input: force all pending windows out."""
+        self.runtime.flush_all()
+
+    def get_table(self, name: str):
+        """The :class:`~repro.storage.table.Table` object behind ``name``."""
+        return self.catalog.get_relation(name, cat.TABLE)
+
+    def get_stream(self, name: str):
+        """The :class:`~repro.streaming.streams.BaseStream` named ``name``."""
+        return self.runtime.get_stream(name)
+
+    def table_rows(self, name: str) -> List[tuple]:
+        """All visible rows of a table, via a fresh snapshot."""
+        table = self.catalog.get_relation(name, cat.TABLE)
+        snapshot = self.txn_manager.take_snapshot()
+        return [values for _rid, values in
+                table.scan(snapshot, self.txn_manager)]
+
+    # -- I/O cost accounting (used by every benchmark) ---------------------
+
+    @property
+    def disk(self):
+        return self.storage.disk
+
+    def io_snapshot(self):
+        """Copy of the simulated disk's counters (interval accounting)."""
+        return self.storage.disk.snapshot()
+
+    def simulated_seconds(self, since=None) -> float:
+        """Simulated elapsed disk time (optionally since a snapshot)."""
+        if since is None:
+            return self.storage.disk.elapsed_seconds()
+        delta = self.storage.disk.snapshot() - since
+        return self.storage.disk.elapsed_seconds(delta)
+
+    def reset_io(self) -> None:
+        """Zero the simulated disk counters (between benchmark trials)."""
+        self.storage.disk.reset()
+
+    def drop_caches(self) -> None:
+        """Simulate a cold start: empty the buffer pool."""
+        self.storage.pool.clear()
+
+    def close(self) -> None:
+        """Shut down the streaming side: stop every CQ (including those
+        behind derived streams) and detach every channel.  Tables and
+        the WAL remain readable; the object can still serve snapshot
+        queries but no longer reacts to stream input."""
+        for name, _channel in list(self.catalog.channels()):
+            self.runtime.drop_channel(name)
+        for _name, cq in list(self.runtime.cqs().items()):
+            self.runtime.stop_cq(cq)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+        return False
+
+    # -- dump / restore -----------------------------------------------------
+
+    def dump(self, path: str) -> dict:
+        """Write the whole database (schema + data + pipelines) to a
+        file; returns a manifest of object counts.  See
+        :mod:`repro.core.dump` for what is and is not preserved."""
+        from repro.core.dump import dump_database
+        return dump_database(self, path)
+
+    @classmethod
+    def restore(cls, path: str, **options) -> "Database":
+        """Create a new database from a dump file (options as in the
+        constructor)."""
+        from repro.core.dump import restore_database
+        db = cls(**options)
+        restore_database(db, path)
+        return db
+
+    @classmethod
+    def recover_from_wal(cls, wal, **options) -> "Database":
+        """Rebuild durable table state from a surviving write-ahead log.
+
+        The crash model of the paper's Section 4: "all in-flight
+        transactions are deemed aborted on failure" — only durably
+        logged, committed work is reconstructed.  Streams, views,
+        channels and CQ runtime state are *not* in the WAL; rebuild those
+        from a dump and the streaming recovery strategies.
+        """
+        from repro.catalog.schema import Column, Schema
+        from repro.core.dump import _type_from_sql_name
+
+        db = cls(**options)
+        for record in wal.durable_records():
+            if record.kind == "ddl" and record.payload is not None \
+                    and not db.catalog.has_relation(record.table):
+                schema = Schema([
+                    Column(spec["name"], _type_from_sql_name(spec["type"]),
+                           not_null=spec["not_null"],
+                           primary_key=spec["primary_key"])
+                    for spec in record.payload
+                ])
+                db._register_table(record.table, schema)
+        for name, rows in wal.replay().items():
+            if db.catalog.has_relation(name):
+                db.insert_table(name, rows)
+        return db
+
+    def vacuum(self, table_name: Optional[str] = None) -> int:
+        """Reclaim dead MVCC versions; returns how many were removed.
+
+        REPLACE-mode channels in particular churn versions fast (each
+        window deletes the previous result); run this periodically in a
+        long-lived process.
+        """
+        if table_name is not None:
+            table = self.catalog.get_relation(table_name, cat.TABLE)
+            return table.vacuum(self.txn_manager)
+        removed = 0
+        for _name, table in self.catalog.relations(cat.TABLE):
+            removed += table.vacuum(self.txn_manager)
+        return removed
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def _ok() -> ResultSet:
+    return ResultSet([], [], rowcount=0)
+
+
+def _count(n: int) -> ResultSet:
+    return ResultSet([], [], rowcount=n)
+
+
+def _insert_all(table, txn, rows) -> int:
+    count = 0
+    for row in rows:
+        table.insert(txn, row)
+        count += 1
+    return count
+
+
+def _table_layout(table) -> RowLayout:
+    return RowLayout([
+        (table.name, c.name, c.datatype) for c in table.schema
+    ])
+
+
+def _schema_from_defs(defs: List[ast.ColumnDef], for_stream: bool) -> Schema:
+    columns = []
+    for definition in defs:
+        datatype = type_from_name(definition.type_name, definition.length)
+        columns.append(Column(
+            definition.name, datatype,
+            not_null=definition.not_null,
+            primary_key=definition.primary_key,
+            cqtime=definition.cqtime if for_stream else None,
+        ))
+    if for_stream and not any(c.cqtime for c in columns):
+        # convenience default: the first timestamp column orders the stream
+        for column in columns:
+            if isinstance(column.datatype, TimestampType):
+                column.cqtime = "user"
+                break
+        else:
+            raise StreamingError(
+                "a stream needs a CQTIME column (or at least one "
+                "timestamp column)"
+            )
+    return Schema(columns)

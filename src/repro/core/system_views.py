@@ -1,0 +1,167 @@
+"""System views: the engine's own state as queryable relations.
+
+In the spirit of the paper's "stored data is simply streaming data that
+has been entered into persistent structures", the runtime itself is
+exposed through ordinary SQL::
+
+    SELECT name, tuples_in, watermark FROM repro_streams;
+    SELECT name, batches, rows_written FROM repro_channels;
+
+Each view is a :class:`VirtualTable`: a schema plus a zero-argument rows
+callable evaluated at query time, planned as a plain row source.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.catalog import catalog as cat
+from repro.catalog.schema import Column, Schema
+from repro.types.datatypes import (
+    BooleanType,
+    DoubleType,
+    IntegerType,
+    TimestampType,
+    VarcharType,
+)
+
+SYSTEM = "system view"
+
+
+class VirtualTable:
+    """A read-only relation computed on demand."""
+
+    def __init__(self, name: str, schema: Schema, rows_fn: Callable):
+        self.name = name
+        self.schema = schema
+        self._rows_fn = rows_fn
+
+    def rows(self) -> List[tuple]:
+        return [self.schema.coerce_row(row) for row in self._rows_fn()]
+
+    def __repr__(self):
+        return f"VirtualTable({self.name})"
+
+
+def _text(name):
+    return Column(name, VarcharType(None, "text"))
+
+
+def _int(name):
+    return Column(name, IntegerType("bigint"))
+
+
+def install_system_views(db) -> None:
+    """Register the repro_* views in ``db``'s catalog."""
+
+    def streams_rows():
+        out = []
+        for name, stream in db.catalog.relations(cat.STREAM):
+            watermark = stream.watermark
+            out.append((
+                name, "base", stream.tuples_in, stream.tuples_dropped,
+                None if watermark == float("-inf") else watermark,
+                len(stream.consumers),
+            ))
+        for name, derived in db.catalog.relations(cat.DERIVED_STREAM):
+            out.append((
+                name, "derived", derived.tuples_out, 0,
+                derived.cq.stats.last_close if derived.cq else None,
+                len(derived.consumers),
+            ))
+        return out
+
+    streams = VirtualTable("repro_streams", Schema([
+        _text("name"), _text("kind"), _int("tuples"), _int("dropped"),
+        Column("watermark", TimestampType()), _int("consumers"),
+    ]), streams_rows)
+
+    def channels_rows():
+        out = []
+        for name, channel in db.catalog.channels():
+            out.append((
+                name, channel.source.name, channel.table.name, channel.mode,
+                channel.stats.batches, channel.stats.rows_written,
+                channel.stats.last_close,
+            ))
+        return out
+
+    channels = VirtualTable("repro_channels", Schema([
+        _text("name"), _text("source"), _text("target"), _text("mode"),
+        _int("batches"), _int("rows_written"),
+        Column("last_close", TimestampType()),
+    ]), channels_rows)
+
+    def tables_rows():
+        out = []
+        for name, table in db.catalog.relations(cat.TABLE):
+            out.append((
+                name, table.heap.page_count, table.heap.row_count,
+                len(table.indexes()),
+            ))
+        return out
+
+    tables = VirtualTable("repro_tables", Schema([
+        _text("name"), _int("pages"), _int("row_slots"), _int("indexes"),
+    ]), tables_rows)
+
+    def indexes_rows():
+        out = []
+        for name, index in db.catalog.indexes():
+            out.append((
+                name, index.table_name, ",".join(index.column_names),
+                index.unique, index.entry_count,
+            ))
+        return out
+
+    indexes = VirtualTable("repro_indexes", Schema([
+        _text("name"), _text("table_name"), _text("columns"),
+        Column("is_unique", BooleanType()), _int("entries"),
+    ]), indexes_rows)
+
+    def cqs_rows():
+        out = []
+        for name, cq in db.runtime.cqs().items():
+            out.append((
+                name, bool(getattr(cq, "shared", False)),
+                cq.stats.windows_evaluated, cq.stats.rows_out,
+                cq.stats.last_close,
+            ))
+        return out
+
+    cqs = VirtualTable("repro_cqs", Schema([
+        _text("name"), Column("shared", BooleanType()),
+        _int("windows"), _int("rows_out"),
+        Column("last_close", TimestampType()),
+    ]), cqs_rows)
+
+    def io_rows():
+        stats = db.disk.stats
+        return [(
+            stats.pages_read, stats.pages_written, stats.seeks,
+            db.disk.elapsed_seconds(),
+            db.storage.pool.hits, db.storage.pool.misses,
+        )]
+
+    io = VirtualTable("repro_io", Schema([
+        _int("pages_read"), _int("pages_written"), _int("seeks"),
+        Column("sim_seconds", DoubleType()),
+        _int("buffer_hits"), _int("buffer_misses"),
+    ]), io_rows)
+
+    def stats_rows():
+        out = []
+        for name, table in db.catalog.relations(cat.TABLE):
+            if table.stats is None:
+                continue
+            for column, (n_distinct, null_frac) in table.stats.columns.items():
+                out.append((name, column, n_distinct, null_frac))
+        return out
+
+    stats = VirtualTable("repro_stats", Schema([
+        _text("table_name"), _text("column_name"), _int("n_distinct"),
+        Column("null_frac", DoubleType()),
+    ]), stats_rows)
+
+    for view in (streams, channels, tables, indexes, cqs, io, stats):
+        db.catalog.add_relation(view.name, SYSTEM, view)

@@ -1,0 +1,113 @@
+"""Exception hierarchy for the stream-relational engine.
+
+Every error raised by the public API derives from :class:`TruvisoError` so
+applications can catch one base class.  The hierarchy mirrors the layers of
+the system: parsing, catalog, planning, execution, storage, transactions,
+and the streaming runtime.
+"""
+
+from __future__ import annotations
+
+
+class TruvisoError(Exception):
+    """Base class for every error raised by the engine."""
+
+
+class SQLError(TruvisoError):
+    """Base class for errors in the SQL front end."""
+
+
+class LexerError(SQLError):
+    """Raised when the input text cannot be tokenized.
+
+    Carries the offending position so callers can point at the source.
+    """
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class ParseError(SQLError):
+    """Raised when a token stream does not form a valid statement."""
+
+    def __init__(self, message: str, position: int = -1, line: int = -1):
+        super().__init__(message)
+        self.position = position
+        self.line = line
+
+
+class TypeError_(TruvisoError):
+    """Raised on type mismatches during analysis or expression evaluation.
+
+    Named with a trailing underscore to avoid shadowing the builtin.
+    """
+
+
+class CatalogError(TruvisoError):
+    """Raised for missing/duplicate catalog objects (tables, streams...)."""
+
+
+class DuplicateObjectError(CatalogError):
+    """An object with the same name already exists."""
+
+
+class UnknownObjectError(CatalogError):
+    """The named table/stream/view/channel/index does not exist."""
+
+
+class PlanningError(TruvisoError):
+    """Raised when a parsed statement cannot be turned into a plan."""
+
+
+class BindError(PlanningError):
+    """A name in the query could not be resolved against the catalog."""
+
+
+class ExecutionError(TruvisoError):
+    """Raised during query execution."""
+
+
+class ConstraintError(ExecutionError):
+    """A NOT NULL / type-width constraint was violated."""
+
+
+class StorageError(TruvisoError):
+    """Base class for storage-engine failures."""
+
+
+class PageFullError(StorageError):
+    """No room left in a slotted page for the requested insert."""
+
+
+class WALError(StorageError):
+    """The write-ahead log is corrupt or cannot be replayed."""
+
+
+class TransactionError(TruvisoError):
+    """Base class for transaction failures."""
+
+
+class TransactionAborted(TransactionError):
+    """The transaction was rolled back (deadlock, explicit abort...)."""
+
+
+class SerializationError(TransactionError):
+    """A concurrent update conflicted under the snapshot rules."""
+
+
+class StreamingError(TruvisoError):
+    """Base class for streaming-runtime failures."""
+
+
+class OutOfOrderError(StreamingError):
+    """A tuple arrived with an event time before the stream's watermark."""
+
+
+class WindowError(StreamingError):
+    """An invalid window specification (e.g. advance > visible with gaps)."""
+
+
+class RecoveryError(StreamingError):
+    """Runtime state could not be rebuilt after a crash."""

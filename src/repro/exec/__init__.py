@@ -1,0 +1,14 @@
+"""The relational executor: iterator-style operators, an expression
+compiler, aggregate functions, and a rule-based planner.
+
+Exactly as the paper argues (Section 4), these "standard, well understood,
+iterator-style relational query operators" are reused unchanged by the
+streaming engine: a CQ plan applies the same operators to each window's
+relation.
+"""
+
+from repro.exec.expressions import compile_expr, infer_type
+from repro.exec.planner import Planner, PlanContext
+from repro.exec import operators
+
+__all__ = ["compile_expr", "infer_type", "Planner", "PlanContext", "operators"]

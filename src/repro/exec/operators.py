@@ -1,0 +1,472 @@
+"""Physical operators in the classic iterator (Volcano) style.
+
+Every operator implements ``rows(ctx)``, a generator of tuples; ``ctx``
+is the per-execution context dict (carries ``cq_close`` inside CQs).
+The same operators run snapshot queries over tables and per-window
+evaluations inside continuous queries — the code reuse the paper calls
+out in Section 4.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence
+
+from repro.types.values import sql_sort_key
+
+
+class Operator:
+    """Base class; subclasses yield tuples from :meth:`rows`."""
+
+    def rows(self, ctx):
+        raise NotImplementedError
+
+    def explain(self, depth: int = 0) -> str:
+        """A one-line-per-node plan rendering (for tests and debugging)."""
+        lines = ["  " * depth + self._describe()]
+        for child in self._children():
+            lines.append(child.explain(depth + 1))
+        return "\n".join(lines)
+
+    def _describe(self) -> str:
+        return type(self).__name__
+
+    def _children(self):
+        return []
+
+
+class RowSource(Operator):
+    """Rows from a Python sequence or factory (window relations, VALUES)."""
+
+    def __init__(self, source, label: str = "rows"):
+        # ``source`` is a list of tuples or a zero-arg callable returning one
+        self._source = source
+        self._label = label
+
+    def rows(self, ctx):
+        source = self._source
+        if callable(source):
+            source = source()
+        yield from source
+
+    def _describe(self):
+        return f"RowSource({self._label})"
+
+
+class SeqScan(Operator):
+    """Full scan of an MVCC table under a snapshot resolved at run time.
+
+    ``snapshot_fn`` is called when execution starts; inside a CQ it
+    returns the window-consistent snapshot (Section 4 of the paper),
+    outside it returns the statement snapshot.
+    """
+
+    def __init__(self, table, snapshot_fn: Callable, manager,
+                 own_txid_fn: Optional[Callable] = None):
+        self.table = table
+        self._snapshot_fn = snapshot_fn
+        self._manager = manager
+        self._own_txid_fn = own_txid_fn
+
+    def rows(self, ctx):
+        snapshot = self._snapshot_fn()
+        own = self._own_txid_fn() if self._own_txid_fn else None
+        for _rid, values in self.table.scan(snapshot, self._manager, own):
+            yield values
+
+    def _describe(self):
+        return f"SeqScan({self.table.name}, ~{self.table.heap.row_count} rows)"
+
+
+class IndexScan(Operator):
+    """B+tree lookup: equality or range, with MVCC visibility re-check."""
+
+    def __init__(self, table, index, snapshot_fn: Callable, manager,
+                 equal_fn: Optional[Callable] = None,
+                 range_fn: Optional[Callable] = None,
+                 own_txid_fn: Optional[Callable] = None):
+        # equal_fn(ctx) -> key tuple; range_fn(ctx) -> (lo, hi, lo_inc, hi_inc)
+        self.table = table
+        self.index = index
+        self._snapshot_fn = snapshot_fn
+        self._manager = manager
+        self._equal_fn = equal_fn
+        self._range_fn = range_fn
+        self._own_txid_fn = own_txid_fn
+
+    def rows(self, ctx):
+        snapshot = self._snapshot_fn()
+        own = self._own_txid_fn() if self._own_txid_fn else None
+        if self._equal_fn is not None:
+            key = self._equal_fn(ctx)
+            if any(v is None for v in key):
+                return  # NULL never matches an equality key
+            rids = self.index.search(key)
+        else:
+            low, high, low_inc, high_inc = self._range_fn(ctx)
+            rids = self.index.range_scan(low, high, low_inc, high_inc)
+        # NULL keys sort last in the tree, so an unbounded-high range
+        # would sweep them up; SQL comparisons never match NULL
+        key_positions = [
+            self.table.schema.index_of(name)
+            for name in self.index.column_names
+        ]
+        for rid in rids:
+            values = self.table.fetch(rid, snapshot, self._manager, own)
+            if values is None:
+                continue
+            if any(values[p] is None for p in key_positions):
+                continue
+            yield values
+
+    def _describe(self):
+        kind = "eq" if self._equal_fn else "range"
+        return f"IndexScan({self.table.name} via {self.index.name}, {kind})"
+
+
+class Filter(Operator):
+    """WHERE/HAVING: keeps rows whose predicate is strictly true."""
+
+    def __init__(self, child: Operator, predicate: Callable):
+        self.child = child
+        self._predicate = predicate
+
+    def rows(self, ctx):
+        predicate = self._predicate
+        for row in self.child.rows(ctx):
+            if predicate(row, ctx) is True:
+                yield row
+
+    def _children(self):
+        return [self.child]
+
+
+class Project(Operator):
+    """Compute the output expressions for each input row."""
+
+    def __init__(self, child: Operator, exprs: Sequence[Callable]):
+        self.child = child
+        self._exprs = list(exprs)
+
+    def rows(self, ctx):
+        exprs = self._exprs
+        for row in self.child.rows(ctx):
+            yield tuple(e(row, ctx) for e in exprs)
+
+    def _children(self):
+        return [self.child]
+
+
+class NestedLoopJoin(Operator):
+    """Inner/left join with an arbitrary predicate (right side cached)."""
+
+    def __init__(self, left: Operator, right: Operator,
+                 predicate: Optional[Callable], kind: str, right_width: int):
+        self.left = left
+        self.right = right
+        self._predicate = predicate
+        self.kind = kind
+        self._right_width = right_width
+
+    def rows(self, ctx):
+        right_rows = list(self.right.rows(ctx))
+        predicate = self._predicate
+        null_pad = (None,) * self._right_width
+        for left_row in self.left.rows(ctx):
+            matched = False
+            for right_row in right_rows:
+                combined = left_row + right_row
+                if predicate is None or predicate(combined, ctx) is True:
+                    matched = True
+                    yield combined
+            if not matched and self.kind == "LEFT":
+                yield left_row + null_pad
+
+    def _children(self):
+        return [self.left, self.right]
+
+    def _describe(self):
+        return f"NestedLoopJoin({self.kind})"
+
+
+class HashJoin(Operator):
+    """Equi-join.  By default the right input is the build side; with
+    ``build_left=True`` (chosen by the planner when the left side is
+    estimated smaller — e.g. a window relation joining a big table) the
+    left input is hashed and the right probes it.  Output column order is
+    always left ++ right either way."""
+
+    def __init__(self, left: Operator, right: Operator,
+                 left_keys: Sequence[Callable], right_keys: Sequence[Callable],
+                 kind: str, right_width: int,
+                 residual: Optional[Callable] = None,
+                 build_left: bool = False):
+        self.left = left
+        self.right = right
+        self._left_keys = list(left_keys)
+        self._right_keys = list(right_keys)
+        self.kind = kind
+        self._right_width = right_width
+        self._residual = residual
+        self.build_left = build_left
+
+    def rows(self, ctx):
+        if self.build_left:
+            yield from self._rows_build_left(ctx)
+        else:
+            yield from self._rows_build_right(ctx)
+
+    def _rows_build_right(self, ctx):
+        build = {}
+        for right_row in self.right.rows(ctx):
+            key = tuple(k(right_row, ctx) for k in self._right_keys)
+            if any(v is None for v in key):
+                continue  # NULL keys never join
+            build.setdefault(key, []).append(right_row)
+        null_pad = (None,) * self._right_width
+        residual = self._residual
+        for left_row in self.left.rows(ctx):
+            key = tuple(k(left_row, ctx) for k in self._left_keys)
+            matched = False
+            if not any(v is None for v in key):
+                for right_row in build.get(key, ()):
+                    combined = left_row + right_row
+                    if residual is None or residual(combined, ctx) is True:
+                        matched = True
+                        yield combined
+            if not matched and self.kind == "LEFT":
+                yield left_row + null_pad
+
+    def _rows_build_left(self, ctx):
+        # build on the left; entries carry a matched flag so LEFT joins
+        # can null-extend the untouched ones afterwards
+        build = {}
+        unmatchable = []  # left rows with NULL keys (LEFT join only)
+        for left_row in self.left.rows(ctx):
+            key = tuple(k(left_row, ctx) for k in self._left_keys)
+            if any(v is None for v in key):
+                unmatchable.append(left_row)
+                continue
+            build.setdefault(key, []).append([left_row, False])
+        residual = self._residual
+        for right_row in self.right.rows(ctx):
+            key = tuple(k(right_row, ctx) for k in self._right_keys)
+            if any(v is None for v in key):
+                continue
+            for entry in build.get(key, ()):
+                combined = entry[0] + right_row
+                if residual is None or residual(combined, ctx) is True:
+                    entry[1] = True
+                    yield combined
+        if self.kind == "LEFT":
+            null_pad = (None,) * self._right_width
+            for entries in build.values():
+                for left_row, matched in entries:
+                    if not matched:
+                        yield left_row + null_pad
+            for left_row in unmatchable:
+                yield left_row + null_pad
+
+    def _children(self):
+        return [self.left, self.right]
+
+    def _describe(self):
+        side = "build=left" if self.build_left else "build=right"
+        return f"HashJoin({self.kind}, {len(self._left_keys)} keys, {side})"
+
+
+class HashAggregate(Operator):
+    """GROUP BY via a hash table; output = group keys ++ aggregate results.
+
+    ``agg_specs`` is a list of ``(Aggregate, arg_fn | None)``; a None
+    arg_fn means ``count(*)``.  With no group keys, exactly one output
+    row is produced even over empty input (scalar-aggregate semantics).
+    """
+
+    def __init__(self, child: Operator, group_exprs: Sequence[Callable],
+                 agg_specs):
+        self.child = child
+        self._group_exprs = list(group_exprs)
+        self._agg_specs = list(agg_specs)
+
+    def rows(self, ctx):
+        groups = {}
+        group_exprs = self._group_exprs
+        specs = self._agg_specs
+        for row in self.child.rows(ctx):
+            key = tuple(e(row, ctx) for e in group_exprs)
+            states = groups.get(key)
+            if states is None:
+                states = [agg.create() for agg, _ in specs]
+                groups[key] = states
+            for i, (agg, arg_fn) in enumerate(specs):
+                value = arg_fn(row, ctx) if arg_fn is not None else None
+                states[i] = agg.add(states[i], value)
+        if not groups and not group_exprs:
+            groups[()] = [agg.create() for agg, _ in specs]
+        for key, states in groups.items():
+            results = tuple(
+                agg.result(state)
+                for (agg, _), state in zip(specs, states)
+            )
+            yield key + results
+
+    def _children(self):
+        return [self.child]
+
+    def _describe(self):
+        return (f"HashAggregate({len(self._group_exprs)} keys, "
+                f"{len(self._agg_specs)} aggs)")
+
+
+class Sort(Operator):
+    """ORDER BY: full in-memory sort, NULLS LAST ascending."""
+
+    def __init__(self, child: Operator, key_fns: Sequence[Callable],
+                 descending: Sequence[bool]):
+        self.child = child
+        self._key_fns = list(key_fns)
+        self._descending = list(descending)
+
+    def rows(self, ctx):
+        materialised = list(self.child.rows(ctx))
+        # stable multi-key sort: apply keys right-to-left
+        for key_fn, desc in reversed(list(zip(self._key_fns, self._descending))):
+            materialised.sort(
+                key=lambda row, f=key_fn: sql_sort_key(f(row, ctx)),
+                reverse=desc,
+            )
+        yield from materialised
+
+    def _children(self):
+        return [self.child]
+
+
+class Limit(Operator):
+    """LIMIT/OFFSET."""
+
+    def __init__(self, child: Operator, limit: Optional[int],
+                 offset: Optional[int]):
+        self.child = child
+        self._limit = limit
+        self._offset = offset or 0
+
+    def rows(self, ctx):
+        if self._limit is not None and self._limit <= 0:
+            return
+        produced = 0
+        skipped = 0
+        for row in self.child.rows(ctx):
+            if skipped < self._offset:
+                skipped += 1
+                continue
+            produced += 1
+            yield row
+            if self._limit is not None and produced >= self._limit:
+                return  # stop before pulling another row from the child
+
+    def _children(self):
+        return [self.child]
+
+    def _describe(self):
+        return f"Limit({self._limit}, offset={self._offset})"
+
+
+class Distinct(Operator):
+    """SELECT DISTINCT via a seen-set."""
+
+    def __init__(self, child: Operator):
+        self.child = child
+
+    def rows(self, ctx):
+        seen = set()
+        for row in self.child.rows(ctx):
+            if row not in seen:
+                seen.add(row)
+                yield row
+
+    def _children(self):
+        return [self.child]
+
+
+class Concat(Operator):
+    """UNION ALL: left's rows followed by right's."""
+
+    def __init__(self, left: Operator, right: Operator):
+        self.left = left
+        self.right = right
+
+    def rows(self, ctx):
+        yield from self.left.rows(ctx)
+        yield from self.right.rows(ctx)
+
+    def _children(self):
+        return [self.left, self.right]
+
+
+class Except(Operator):
+    """EXCEPT [ALL]: rows of left not in right.
+
+    Set form removes duplicates; ALL form is bag difference (each right
+    occurrence cancels one left occurrence).
+    """
+
+    def __init__(self, left: Operator, right: Operator, all_rows: bool):
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+
+    def rows(self, ctx):
+        counts = {}
+        for row in self.right.rows(ctx):
+            counts[row] = counts.get(row, 0) + 1
+        if self.all_rows:
+            for row in self.left.rows(ctx):
+                remaining = counts.get(row, 0)
+                if remaining > 0:
+                    counts[row] = remaining - 1
+                else:
+                    yield row
+        else:
+            emitted = set()
+            for row in self.left.rows(ctx):
+                if row not in counts and row not in emitted:
+                    emitted.add(row)
+                    yield row
+
+    def _children(self):
+        return [self.left, self.right]
+
+    def _describe(self):
+        return f"Except(all={self.all_rows})"
+
+
+class Intersect(Operator):
+    """INTERSECT [ALL]: rows present in both inputs."""
+
+    def __init__(self, left: Operator, right: Operator, all_rows: bool):
+        self.left = left
+        self.right = right
+        self.all_rows = all_rows
+
+    def rows(self, ctx):
+        counts = {}
+        for row in self.right.rows(ctx):
+            counts[row] = counts.get(row, 0) + 1
+        if self.all_rows:
+            for row in self.left.rows(ctx):
+                remaining = counts.get(row, 0)
+                if remaining > 0:
+                    counts[row] = remaining - 1
+                    yield row
+        else:
+            emitted = set()
+            for row in self.left.rows(ctx):
+                if row in counts and row not in emitted:
+                    emitted.add(row)
+                    yield row
+
+    def _children(self):
+        return [self.left, self.right]
+
+    def _describe(self):
+        return f"Intersect(all={self.all_rows})"

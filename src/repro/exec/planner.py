@@ -1,0 +1,782 @@
+"""Planner: binds a parsed SELECT against the catalog and builds a
+physical operator tree.
+
+Rule-based optimisations, in the spirit of a compact RDBMS:
+
+- WHERE conjuncts are pushed to the lowest plan node that covers their
+  columns (single-table conjuncts reach the scan; cross-relation
+  equalities become hash-join keys);
+- single-column B+tree indexes are selected for equality and range
+  predicates against constants;
+- equi-joins use :class:`~repro.exec.operators.HashJoin`, everything else
+  nested loops.
+
+The same planner serves snapshot queries and the relational core of
+continuous queries: the streaming compiler passes a ``source_resolver``
+that maps a windowed stream reference to a swappable
+:class:`~repro.exec.operators.RowSource` (the "sequence of relations" of
+the paper's Figure 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.catalog import catalog as cat
+from repro.catalog.schema import Column, Schema
+from repro.errors import BindError, PlanningError
+from repro.exec import operators as ops
+from repro.exec.aggregates import is_aggregate_name, make_aggregate
+from repro.exec.expressions import (
+    PlannedSubquery,
+    RowLayout,
+    compile_expr,
+    default_name,
+    infer_type,
+)
+from repro.sql import ast
+from repro.types.datatypes import DoubleType, IntegerType
+
+
+@dataclass
+class PhysicalPlan:
+    """A runnable plan: root operator plus its output description."""
+
+    root: ops.Operator
+    layout: RowLayout
+
+    @property
+    def column_names(self) -> List[str]:
+        return self.layout.names()
+
+    def output_schema(self) -> Schema:
+        return Schema([
+            Column(name, datatype)
+            for (_alias, name, datatype) in self.layout.entries
+        ])
+
+    def execute(self, ctx: Optional[dict] = None):
+        """Run the plan, yielding result tuples."""
+        return self.root.rows(ctx if ctx is not None else {})
+
+    def explain(self) -> str:
+        return self.root.explain()
+
+
+class PlanContext:
+    """Everything the planner needs besides the AST.
+
+    ``snapshot_fn`` supplies the MVCC snapshot at execution time (for a
+    CQ this is the window-consistent view).  ``source_resolver`` maps a
+    FROM name to a pre-built ``(Operator, RowLayout)`` — the streaming
+    compiler uses it to splice window relations into the plan.
+    """
+
+    def __init__(self, catalog, txn_manager, snapshot_fn: Callable,
+                 own_txid_fn: Optional[Callable] = None,
+                 source_resolver: Optional[Callable] = None):
+        self.catalog = catalog
+        self.txn_manager = txn_manager
+        self.snapshot_fn = snapshot_fn
+        self.own_txid_fn = own_txid_fn
+        self.source_resolver = source_resolver
+
+
+class _Conjunct:
+    """One ANDed WHERE term, tracked until some plan node consumes it."""
+
+    __slots__ = ("expr", "consumed")
+
+    def __init__(self, expr: ast.Expr):
+        self.expr = expr
+        self.consumed = False
+
+
+def split_conjuncts(expr: Optional[ast.Expr]) -> List[ast.Expr]:
+    """Flatten a predicate over AND into its conjuncts."""
+    if expr is None:
+        return []
+    if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def _column_free(expr: ast.Expr) -> bool:
+    """True when the expression references no columns (constant-ish)."""
+    return not any(isinstance(node, (ast.ColumnRef, ast.Star))
+                   for node in ast.walk_expr(expr))
+
+
+def _covered(expr: ast.Expr, layout: RowLayout) -> bool:
+    """True when every column in ``expr`` resolves in ``layout``."""
+    for node in ast.walk_expr(expr):
+        if isinstance(node, ast.ColumnRef):
+            try:
+                layout.resolve(node.table, node.name)
+            except BindError:
+                return False
+        elif isinstance(node, ast.Star):
+            return False
+    return True
+
+
+class Planner:
+    """Plans one SELECT statement into a :class:`PhysicalPlan`."""
+
+    def __init__(self, ctx: PlanContext):
+        self.ctx = ctx
+
+    # -- entry point ----------------------------------------------------------
+
+    def plan_query(self, node) -> PhysicalPlan:
+        """Plan a query expression: a SELECT or a set-operation tree."""
+        if isinstance(node, ast.SetOp):
+            return self._plan_set_op(node)
+        return self.plan_select(node)
+
+    def _plan_set_op(self, node: ast.SetOp) -> PhysicalPlan:
+        left = self.plan_query(node.left)
+        right = self.plan_query(node.right)
+        if len(left.layout) != len(right.layout):
+            raise PlanningError(
+                f"{node.op.upper()} branches have {len(left.layout)} and "
+                f"{len(right.layout)} columns"
+            )
+        if node.op == "union":
+            plan = ops.Concat(left.root, right.root)
+            if not node.all:
+                plan = ops.Distinct(plan)
+        elif node.op == "except":
+            plan = ops.Except(left.root, right.root, node.all)
+        else:
+            plan = ops.Intersect(left.root, right.root, node.all)
+
+        layout = left.layout  # names/types come from the left branch
+        if node.order_by:
+            key_fns, descending = [], []
+            for order in node.order_by:
+                expr = order.expr
+                descending.append(order.descending)
+                if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+                    position = expr.value - 1
+                    if not 0 <= position < len(layout):
+                        raise BindError(
+                            f"ORDER BY position {expr.value} out of range")
+                    key_fns.append(lambda row, ctx, p=position: row[p])
+                else:
+                    key_fns.append(compile_expr(expr, layout))
+            plan = ops.Sort(plan, key_fns, descending)
+        if node.limit is not None or node.offset is not None:
+            plan = ops.Limit(plan, node.limit, node.offset)
+        return PhysicalPlan(plan, layout)
+
+    def plan_select(self, select: ast.Select) -> PhysicalPlan:
+        select = self._bind_subqueries_in_select(select)
+        conjuncts = [_Conjunct(c) for c in split_conjuncts(select.where)]
+
+        if select.from_clause is None:
+            plan, layout = ops.RowSource([()], "dual"), RowLayout([])
+        else:
+            plan, layout = self._plan_from(select.from_clause, conjuncts)
+
+        # conjuncts nobody consumed become a final filter
+        leftovers = [c.expr for c in conjuncts if not c.consumed]
+        if leftovers:
+            predicate = compile_expr(_and_all(leftovers), layout)
+            plan = ops.Filter(plan, predicate)
+
+        return self._plan_projection(select, plan, layout)
+
+    # -- uncorrelated subqueries -------------------------------------------------
+
+    def _bind_subqueries_in_select(self, select: ast.Select) -> ast.Select:
+        """Plan IN/EXISTS/scalar subqueries and splice the plans into the
+        expression trees (correlated subqueries are not supported; a
+        column of the outer query inside one raises BindError there)."""
+        has_any = False
+        for source in [select.where, select.having] + \
+                [i.expr for i in select.items] + \
+                [o.expr for o in select.order_by]:
+            for node in ast.walk_expr(source):
+                if isinstance(node, (ast.InSubquery, ast.Exists,
+                                     ast.ScalarSubquery)):
+                    has_any = True
+        if not has_any:
+            return select
+        bound = ast.Select(
+            items=[ast.SelectItem(self._bind_subqueries(i.expr), i.alias)
+                   for i in select.items],
+            from_clause=select.from_clause,
+            where=self._bind_subqueries(select.where),
+            group_by=list(select.group_by),
+            having=self._bind_subqueries(select.having),
+            order_by=[ast.OrderItem(self._bind_subqueries(o.expr),
+                                    o.descending)
+                      for o in select.order_by],
+            limit=select.limit,
+            offset=select.offset,
+            distinct=select.distinct,
+        )
+        return bound
+
+    def _bind_subqueries(self, expr):
+        if expr is None:
+            return None
+        if isinstance(expr, ast.InSubquery):
+            subplan = self.plan_query(expr.query)
+            if len(subplan.layout) != 1:
+                raise PlanningError("IN subquery must return one column")
+            return PlannedSubquery(subplan, "in", expr.negated,
+                                   operand=self._bind_subqueries(expr.operand))
+        if isinstance(expr, ast.Exists):
+            subplan = self.plan_query(expr.query)
+            return PlannedSubquery(subplan, "exists", expr.negated)
+        if isinstance(expr, ast.ScalarSubquery):
+            subplan = self.plan_query(expr.query)
+            if len(subplan.layout) != 1:
+                raise PlanningError("scalar subquery must return one column")
+            result_type = subplan.layout.types()[0]
+            return PlannedSubquery(subplan, "scalar", result_type=result_type)
+        return _rebuild(expr, self._bind_subqueries)
+
+    # -- FROM clause ------------------------------------------------------------
+
+    def _plan_from(self, node, conjuncts) -> Tuple[ops.Operator, RowLayout]:
+        if isinstance(node, ast.TableRef):
+            return self._plan_table_ref(node, conjuncts)
+        if isinstance(node, ast.SubqueryRef):
+            sub = self.plan_query(node.query)
+            layout = _alias_layout(sub.layout, node.alias)
+            plan = sub.root
+            plan, layout = self._apply_local_conjuncts(plan, layout, conjuncts)
+            return plan, layout
+        if isinstance(node, ast.Join):
+            return self._plan_join(node, conjuncts)
+        raise PlanningError(f"unsupported FROM item {node!r}")
+
+    def _plan_table_ref(self, ref: ast.TableRef,
+                        conjuncts) -> Tuple[ops.Operator, RowLayout]:
+        alias = ref.alias or ref.name
+
+        if self.ctx.source_resolver is not None:
+            resolved = self.ctx.source_resolver(ref)
+            if resolved is not None:
+                plan, layout = resolved
+                layout = _alias_layout(layout, alias)
+                return self._apply_local_conjuncts(plan, layout, conjuncts)
+
+        kind = self.ctx.catalog.relation_kind(ref.name)
+        if kind is None:
+            raise BindError(f"relation {ref.name!r} does not exist")
+        if kind == "system view":
+            virtual = self.ctx.catalog.get_relation(ref.name)
+            layout = RowLayout([
+                (alias, column.name, column.datatype)
+                for column in virtual.schema
+            ])
+            plan = ops.RowSource(virtual.rows, ref.name)
+            return self._apply_local_conjuncts(plan, layout, conjuncts)
+        if kind == cat.VIEW:
+            view = self.ctx.catalog.get_relation(ref.name)
+            sub = self.plan_query(view.query)
+            layout = _alias_layout(sub.layout, alias)
+            return self._apply_local_conjuncts(sub.root, layout, conjuncts)
+        if kind in (cat.STREAM, cat.DERIVED_STREAM):
+            raise PlanningError(
+                f"stream {ref.name!r} used without the streaming runtime; "
+                "queries over streams are continuous queries"
+            )
+        table = self.ctx.catalog.get_relation(ref.name, cat.TABLE)
+        layout = RowLayout([
+            (alias, column.name, column.datatype)
+            for column in table.schema
+        ])
+        plan = self._plan_table_access(table, layout, conjuncts)
+        return self._apply_local_conjuncts(plan, layout, conjuncts)
+
+    def _plan_table_access(self, table, layout: RowLayout,
+                           conjuncts) -> ops.Operator:
+        """Pick an index scan if a conjunct matches, else a SeqScan."""
+        chosen = self._choose_index(table, layout, conjuncts)
+        if chosen is not None:
+            return chosen
+        return ops.SeqScan(table, self.ctx.snapshot_fn,
+                           self.ctx.txn_manager, self.ctx.own_txid_fn)
+
+    def _choose_index(self, table, layout: RowLayout, conjuncts):
+        if not table.indexes():
+            return None
+
+        # gather every "col = constant" and "col <op> constant" conjunct
+        equalities = {}   # column -> (constant_fn, conjunct)
+        for conjunct in conjuncts:
+            if conjunct.consumed:
+                continue
+            match = _match_column_vs_constant(conjunct.expr, layout)
+            if match is None:
+                continue
+            column, op, constant = match
+            if op == "=" and column not in equalities:
+                equalities[column] = (
+                    compile_expr(constant, RowLayout([])), conjunct)
+
+        # composite-equality first: the index whose columns are all
+        # pinned by equality conjuncts (widest index wins)
+        for index in sorted(table.indexes(),
+                            key=lambda i: -len(i.column_names)):
+            columns = [c.lower() for c in index.column_names]
+            if all(c in equalities for c in columns):
+                fns = [equalities[c][0] for c in columns]
+                for c in columns:
+                    equalities[c][1].consumed = True
+                return ops.IndexScan(
+                    table, index, self.ctx.snapshot_fn, self.ctx.txn_manager,
+                    equal_fn=lambda ctx, fns=fns: tuple(
+                        f(None, ctx) for f in fns),
+                    own_txid_fn=self.ctx.own_txid_fn,
+                )
+
+        by_column = {i.column_names[0].lower(): i
+                     for i in table.indexes() if len(i.column_names) == 1}
+        if not by_column:
+            return None
+        # range: collect lower/upper bounds on one indexed column
+        for column, index in by_column.items():
+            low = high = None
+            low_inc = high_inc = True
+            used = []
+            for conjunct in conjuncts:
+                if conjunct.consumed:
+                    continue
+                match = _match_column_vs_constant(conjunct.expr, layout)
+                if match is None or match[0] != column:
+                    continue
+                _col, op, constant = match
+                const_fn = compile_expr(constant, RowLayout([]))
+                if op in (">", ">="):
+                    low, low_inc = const_fn, op == ">="
+                    used.append(conjunct)
+                elif op in ("<", "<="):
+                    high, high_inc = const_fn, op == "<="
+                    used.append(conjunct)
+            if low is None and high is None:
+                continue
+            for conjunct in used:
+                conjunct.consumed = True
+
+            def range_fn(ctx, low=low, high=high,
+                         low_inc=low_inc, high_inc=high_inc):
+                lo = (low(None, ctx),) if low is not None else None
+                hi = (high(None, ctx),) if high is not None else None
+                return lo, hi, low_inc, high_inc
+            return ops.IndexScan(
+                table, index, self.ctx.snapshot_fn, self.ctx.txn_manager,
+                range_fn=range_fn, own_txid_fn=self.ctx.own_txid_fn,
+            )
+        return None
+
+    def _apply_local_conjuncts(self, plan, layout: RowLayout, conjuncts):
+        """Filter with every unconsumed conjunct this layout covers."""
+        applicable = [
+            c for c in conjuncts
+            if not c.consumed and _covered(c.expr, layout)
+        ]
+        if applicable:
+            for c in applicable:
+                c.consumed = True
+            predicate = compile_expr(
+                _and_all([c.expr for c in applicable]), layout)
+            plan = ops.Filter(plan, predicate)
+        return plan, layout
+
+    def _plan_join(self, join: ast.Join,
+                   conjuncts) -> Tuple[ops.Operator, RowLayout]:
+        left_plan, left_layout = self._plan_from(join.left, conjuncts)
+        # WHERE conjuncts must not filter the null-supplying side of a
+        # LEFT join before the join, so give the right side an empty pool
+        right_pool = conjuncts if join.kind != "LEFT" else []
+        right_plan, right_layout = self._plan_from(join.right, right_pool)
+
+        combined = left_layout.concat(right_layout)
+        join_terms = split_conjuncts(join.condition)
+        if join.kind != "LEFT":
+            # INNER/CROSS: WHERE conjuncts spanning both sides join here
+            for conjunct in conjuncts:
+                if conjunct.consumed:
+                    continue
+                if (_covered(conjunct.expr, combined)
+                        and not _covered(conjunct.expr, left_layout)
+                        and not _covered(conjunct.expr, right_layout)):
+                    join_terms.append(conjunct.expr)
+                    conjunct.consumed = True
+
+        left_keys, right_keys, residual = [], [], []
+        for term in join_terms:
+            keys = _match_equi_key(term, left_layout, right_layout)
+            if keys is not None:
+                left_expr, right_expr = keys
+                left_keys.append(compile_expr(left_expr, left_layout))
+                right_keys.append(compile_expr(right_expr, right_layout))
+            else:
+                residual.append(term)
+
+        kind = "LEFT" if join.kind == "LEFT" else "INNER"
+        right_width = len(right_layout)
+        residual_fn = (compile_expr(_and_all(residual), combined)
+                       if residual else None)
+        if left_keys:
+            build_left = self._prefer_left_build(join.left, join.right)
+            plan = ops.HashJoin(left_plan, right_plan, left_keys, right_keys,
+                                kind, right_width, residual_fn, build_left)
+        else:
+            plan = ops.NestedLoopJoin(left_plan, right_plan, residual_fn,
+                                      kind, right_width)
+        return plan, combined
+
+    #: assumed size of a window relation when choosing the build side —
+    #: windows are usually much smaller than archived tables
+    WINDOW_ROW_ESTIMATE = 1_000
+
+    def _prefer_left_build(self, left_node, right_node) -> bool:
+        """Hash the smaller input when both sizes can be estimated."""
+        left = self._estimate_rows(left_node)
+        right = self._estimate_rows(right_node)
+        return left is not None and right is not None and left < right
+
+    def _estimate_rows(self, node):
+        if not isinstance(node, ast.TableRef):
+            return None
+        if self.ctx.source_resolver is not None \
+                and self.ctx.source_resolver(node) is not None:
+            return self.WINDOW_ROW_ESTIMATE
+        kind = self.ctx.catalog.relation_kind(node.name)
+        if kind == cat.TABLE:
+            table = self.ctx.catalog.get_relation(node.name)
+            return table.estimated_rows()
+        return None
+
+    # -- projection / aggregation ------------------------------------------------
+
+    def _plan_projection(self, select: ast.Select, plan, layout: RowLayout
+                         ) -> PhysicalPlan:
+        items = _expand_stars(select.items, layout)
+        has_aggs = (bool(select.group_by)
+                    or any(_contains_aggregate(i.expr) for i in items)
+                    or (select.having is not None
+                        and _contains_aggregate(select.having)))
+
+        if has_aggs:
+            plan, compile_layout, rewritten_items, having_fn, \
+                rewritten_order = self._plan_aggregation(
+                    select, items, plan, layout)
+            if having_fn is not None:
+                plan = ops.Filter(plan, having_fn)
+            compiled = [compile_expr(i.expr, compile_layout)
+                        for i in rewritten_items]
+        else:
+            if select.having is not None:
+                raise PlanningError("HAVING requires GROUP BY or aggregates")
+            compile_layout = layout
+            compiled = [compile_expr(i.expr, compile_layout) for i in items]
+            rewritten_items = items
+            rewritten_order = [o.expr for o in select.order_by]
+
+        output_layout = RowLayout([
+            (None,
+             item.alias or default_name(original.expr),
+             infer_type(item.expr, compile_layout))
+            for item, original in zip(rewritten_items, items)
+        ])
+        return finish_projection(select, items, plan, compiled, output_layout,
+                                 rewritten_order, compile_layout)
+
+    def _plan_aggregation(self, select: ast.Select, items, plan,
+                          layout: RowLayout):
+        group_exprs = list(select.group_by)
+        order_exprs = [o.expr for o in select.order_by]
+        rewritten_items, rewritten_having, rewritten_order, agg_calls = \
+            rewrite_aggregates(group_exprs, items, select.having, order_exprs)
+
+        group_fns = [compile_expr(g, layout) for g in group_exprs]
+        specs = make_agg_specs(agg_calls, layout)
+
+        plan = ops.HashAggregate(plan, group_fns, specs)
+        post_layout = post_agg_layout(group_exprs, agg_calls, layout)
+
+        having_fn = (compile_expr(rewritten_having, post_layout)
+                     if rewritten_having is not None else None)
+        return plan, post_layout, rewritten_items, having_fn, rewritten_order
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+
+def finish_projection(select: ast.Select, items, plan, compiled,
+                      output_layout: RowLayout, rewritten_order,
+                      compile_layout: RowLayout) -> PhysicalPlan:
+    """Build Project / Distinct / Sort / Limit on top of ``plan``.
+
+    ORDER BY keys resolve, in order of preference, against: an output
+    position (``ORDER BY 2``), a select-item expression (``ORDER BY
+    count(*)``), an output column or alias, and finally any expression
+    over the pre-projection input — the last via an *extended projection*
+    (the key is computed alongside the select list, sorted on, then
+    stripped), which is how ``SELECT name ... ORDER BY salary`` works.
+    """
+    key_fns = []
+    descending = []
+    extra_fns = []
+    width = len(items)
+    for order, rexpr in zip(select.order_by, rewritten_order):
+        expr = order.expr
+        descending.append(order.descending)
+        if isinstance(expr, ast.Literal) and isinstance(expr.value, int):
+            position = expr.value - 1
+            if not 0 <= position < width:
+                raise BindError(
+                    f"ORDER BY position {expr.value} out of range")
+            key_fns.append(lambda row, ctx, p=position: row[p])
+            continue
+        matched = None
+        for i, item in enumerate(items):
+            if expr == item.expr or (item.alias is not None
+                                     and expr == ast.ColumnRef(item.alias)):
+                matched = i
+                break
+        if matched is not None:
+            key_fns.append(lambda row, ctx, p=matched: row[p])
+            continue
+        try:
+            key_fns.append(compile_expr(expr, output_layout))
+            continue
+        except BindError:
+            pass
+        position = width + len(extra_fns)
+        extra_fns.append(compile_expr(rexpr, compile_layout))
+        key_fns.append(lambda row, ctx, p=position: row[p])
+
+    if extra_fns and select.distinct:
+        raise PlanningError(
+            "for SELECT DISTINCT, ORDER BY expressions must appear "
+            "in the select list"
+        )
+
+    plan = ops.Project(plan, compiled + extra_fns)
+    if select.distinct:
+        plan = ops.Distinct(plan)
+    if select.order_by:
+        plan = ops.Sort(plan, key_fns, descending)
+    if extra_fns:
+        strip = [
+            (lambda row, ctx, p=i: row[p]) for i in range(width)
+        ]
+        plan = ops.Project(plan, strip)
+    if select.limit is not None or select.offset is not None:
+        plan = ops.Limit(plan, select.limit, select.offset)
+    return PhysicalPlan(plan, output_layout)
+
+
+def rewrite_aggregates(group_exprs, items, having, order_exprs=()):
+    """Rewrite post-aggregation expressions against synthetic columns.
+
+    Subtrees equal to a GROUP BY expression become ``__g<i>`` references;
+    aggregate calls become ``__a<j>`` references (deduplicated by AST
+    equality).  ``order_exprs`` are rewritten too, so ``ORDER BY sum(x)``
+    works even when ``sum(x)`` is not in the select list.  Returns
+    (rewritten_items, rewritten_having, rewritten_order, agg_calls).
+    Raises when a raw column escapes a select item — the standard "must
+    appear in GROUP BY" error.  Shared by the planner and the
+    slice-sharing engine.
+    """
+    agg_calls: List[ast.FunctionCall] = []
+
+    def rewrite(expr: ast.Expr) -> ast.Expr:
+        for i, group in enumerate(group_exprs):
+            if expr == group:
+                return ast.ColumnRef(f"__g{i}")
+        if isinstance(expr, ast.FunctionCall) and is_aggregate_name(expr.name):
+            for j, seen in enumerate(agg_calls):
+                if expr == seen:
+                    return ast.ColumnRef(f"__a{j}")
+            agg_calls.append(expr)
+            return ast.ColumnRef(f"__a{len(agg_calls) - 1}")
+        return _rebuild(expr, rewrite)
+
+    rewritten_items = [
+        ast.SelectItem(rewrite(item.expr), item.alias) for item in items
+    ]
+    rewritten_having = rewrite(having) if having is not None else None
+    rewritten_order = [rewrite(expr) for expr in order_exprs]
+
+    for item in rewritten_items:
+        for node in ast.walk_expr(item.expr):
+            if isinstance(node, ast.ColumnRef) and \
+                    not node.name.startswith("__"):
+                raise PlanningError(
+                    f"column {node.name!r} must appear in GROUP BY "
+                    "or be used in an aggregate"
+                )
+    return rewritten_items, rewritten_having, rewritten_order, agg_calls
+
+
+def make_agg_specs(agg_calls, layout: RowLayout):
+    """Build (Aggregate, arg_fn|None) pairs for collected aggregate calls."""
+    specs = []
+    for call in agg_calls:
+        star = bool(call.args) and isinstance(call.args[0], ast.Star)
+        no_args = not call.args
+        agg = make_aggregate(call.name, call.distinct, star or no_args)
+        if star or no_args:
+            arg_fn = None
+        else:
+            arg_fn = compile_expr(call.args[0], layout)
+        specs.append((agg, arg_fn))
+    return specs
+
+
+def post_agg_layout(group_exprs, agg_calls, layout: RowLayout) -> RowLayout:
+    """The synthetic ``__g.../__a...`` layout produced by aggregation."""
+    entries = []
+    for i, group in enumerate(group_exprs):
+        entries.append((None, f"__g{i}", infer_type(group, layout)))
+    for j, call in enumerate(agg_calls):
+        entries.append((None, f"__a{j}", _agg_result_type(call, layout)))
+    return RowLayout(entries)
+
+
+def _and_all(exprs: List[ast.Expr]) -> ast.Expr:
+    combined = exprs[0]
+    for expr in exprs[1:]:
+        combined = ast.BinaryOp("AND", combined, expr)
+    return combined
+
+
+def _alias_layout(layout: RowLayout, alias: str) -> RowLayout:
+    renamed = RowLayout([])
+    renamed.entries = [(alias.lower(), n, t) for (_a, n, t) in layout.entries]
+    return renamed
+
+
+def _expand_stars(items, layout: RowLayout) -> List[ast.SelectItem]:
+    expanded = []
+    for item in items:
+        if isinstance(item.expr, ast.Star):
+            star = item.expr
+            if star.table is not None:
+                columns = layout.columns_of(star.table)
+                if not columns:
+                    raise BindError(f"unknown alias {star.table!r} for '*'")
+                for _i, name, _t in columns:
+                    expanded.append(ast.SelectItem(
+                        ast.ColumnRef(name, star.table), None))
+            else:
+                for alias, name, _t in layout.entries:
+                    expanded.append(ast.SelectItem(
+                        ast.ColumnRef(name, alias), None))
+        else:
+            expanded.append(item)
+    return expanded
+
+
+def _contains_aggregate(expr: ast.Expr) -> bool:
+    return any(
+        isinstance(node, ast.FunctionCall) and is_aggregate_name(node.name)
+        for node in ast.walk_expr(expr)
+    )
+
+
+def _rebuild(expr: ast.Expr, transform) -> ast.Expr:
+    """Rebuild an expression with ``transform`` applied to children."""
+    if isinstance(expr, ast.BinaryOp):
+        return ast.BinaryOp(expr.op, transform(expr.left), transform(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return ast.UnaryOp(expr.op, transform(expr.operand))
+    if isinstance(expr, ast.IsNull):
+        return ast.IsNull(transform(expr.operand), expr.negated)
+    if isinstance(expr, ast.Like):
+        return ast.Like(transform(expr.operand), transform(expr.pattern),
+                        expr.negated, expr.case_insensitive)
+    if isinstance(expr, ast.InList):
+        return ast.InList(transform(expr.operand),
+                          [transform(i) for i in expr.items], expr.negated)
+    if isinstance(expr, ast.Between):
+        return ast.Between(transform(expr.operand), transform(expr.low),
+                           transform(expr.high), expr.negated)
+    if isinstance(expr, ast.Cast):
+        return ast.Cast(transform(expr.operand), expr.type_name, expr.length)
+    if isinstance(expr, ast.FunctionCall):
+        return ast.FunctionCall(expr.name,
+                                [transform(a) for a in expr.args],
+                                expr.distinct)
+    if isinstance(expr, ast.CaseExpr):
+        return ast.CaseExpr(
+            transform(expr.operand) if expr.operand else None,
+            [(transform(w), transform(t)) for w, t in expr.branches],
+            transform(expr.default) if expr.default else None,
+        )
+    if isinstance(expr, ast.InSubquery):
+        return ast.InSubquery(transform(expr.operand), expr.query,
+                              expr.negated)
+    if isinstance(expr, PlannedSubquery):
+        if expr.operand is None:
+            return expr
+        return PlannedSubquery(expr.plan, expr.kind, expr.negated,
+                               expr.result_type, transform(expr.operand))
+    return expr
+
+
+def _agg_result_type(call: ast.FunctionCall, layout: RowLayout):
+    name = call.name.lower()
+    if name == "count":
+        return IntegerType("bigint")
+    if name in ("sum", "min", "max") and call.args \
+            and not isinstance(call.args[0], ast.Star):
+        try:
+            return infer_type(call.args[0], layout)
+        except BindError:
+            return DoubleType()
+    if name == "string_agg":
+        from repro.types.datatypes import VarcharType
+        return VarcharType(None, "text")
+    return DoubleType()
+
+
+def _match_column_vs_constant(expr: ast.Expr, layout: RowLayout):
+    """Match ``col OP constant`` (either orientation) against ``layout``.
+
+    Returns (column_name_lower, op, constant_expr) or None.  BETWEEN is
+    returned as None here; ranges are assembled from </> conjuncts.
+    """
+    if not isinstance(expr, ast.BinaryOp):
+        return None
+    flip = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "=": "="}
+    if expr.op not in flip:
+        return None
+    left, right, op = expr.left, expr.right, expr.op
+    if isinstance(left, ast.ColumnRef) and _column_free(right):
+        column, constant = left, right
+    elif isinstance(right, ast.ColumnRef) and _column_free(left):
+        column, constant, op = right, left, flip[op]
+    else:
+        return None
+    try:
+        layout.resolve(column.table, column.name)
+    except BindError:
+        return None
+    return column.name.lower(), op, constant
+
+
+def _match_equi_key(term: ast.Expr, left_layout: RowLayout,
+                    right_layout: RowLayout):
+    """Match ``left_expr = right_expr`` split across the two join inputs."""
+    if not (isinstance(term, ast.BinaryOp) and term.op == "="):
+        return None
+    a, b = term.left, term.right
+    if _covered(a, left_layout) and _covered(b, right_layout):
+        return a, b
+    if _covered(b, left_layout) and _covered(a, right_layout):
+        return b, a
+    return None

@@ -1,0 +1,183 @@
+"""Rendering ASTs back to TruSQL text.
+
+Used for debugging, for the CLI's ``\\d`` output, and — most importantly
+— for the property-based parser test: for any AST we can generate,
+``parse(render(ast)) == ast`` must hold.  The renderer parenthesizes
+operators conservatively; redundant parentheses do not change the parsed
+tree.
+"""
+
+from __future__ import annotations
+
+from repro.sql import ast
+
+
+def _quote_string(value: str) -> str:
+    return "'" + value.replace("'", "''") + "'"
+
+
+def render_expr(expr: ast.Expr) -> str:
+    """Render one expression."""
+    if isinstance(expr, ast.Literal):
+        value = expr.value
+        if value is None:
+            return "NULL"
+        if value is True:
+            return "TRUE"
+        if value is False:
+            return "FALSE"
+        if isinstance(value, str):
+            return _quote_string(value)
+        return repr(value)
+    if isinstance(expr, ast.ColumnRef):
+        if expr.table:
+            return f"{expr.table}.{expr.name}"
+        return expr.name
+    if isinstance(expr, ast.Parameter):
+        return "?"
+    if isinstance(expr, ast.Star):
+        return f"{expr.table}.*" if expr.table else "*"
+    if isinstance(expr, ast.BinaryOp):
+        return (f"({render_expr(expr.left)} {expr.op} "
+                f"{render_expr(expr.right)})")
+    if isinstance(expr, ast.UnaryOp):
+        if expr.op == "NOT":
+            return f"(NOT {render_expr(expr.operand)})"
+        return f"({expr.op}{render_expr(expr.operand)})"
+    if isinstance(expr, ast.IsNull):
+        negation = " NOT" if expr.negated else ""
+        return f"({render_expr(expr.operand)} IS{negation} NULL)"
+    if isinstance(expr, ast.Like):
+        keyword = "ILIKE" if expr.case_insensitive else "LIKE"
+        negation = "NOT " if expr.negated else ""
+        return (f"({render_expr(expr.operand)} {negation}{keyword} "
+                f"{render_expr(expr.pattern)})")
+    if isinstance(expr, ast.InList):
+        negation = "NOT " if expr.negated else ""
+        items = ", ".join(render_expr(i) for i in expr.items)
+        return f"({render_expr(expr.operand)} {negation}IN ({items}))"
+    if isinstance(expr, ast.Between):
+        negation = "NOT " if expr.negated else ""
+        return (f"({render_expr(expr.operand)} {negation}BETWEEN "
+                f"{render_expr(expr.low)} AND {render_expr(expr.high)})")
+    if isinstance(expr, ast.Cast):
+        spelled = expr.type_name
+        if expr.length is not None:
+            spelled += f"({expr.length})"
+        return f"CAST({render_expr(expr.operand)} AS {spelled})"
+    if isinstance(expr, ast.FunctionCall):
+        inner = ", ".join(render_expr(a) for a in expr.args)
+        if expr.distinct:
+            inner = f"DISTINCT {inner}"
+        return f"{expr.name}({inner})"
+    if isinstance(expr, ast.CaseExpr):
+        parts = ["CASE"]
+        if expr.operand is not None:
+            parts.append(render_expr(expr.operand))
+        for when, then in expr.branches:
+            parts.append(f"WHEN {render_expr(when)} THEN {render_expr(then)}")
+        if expr.default is not None:
+            parts.append(f"ELSE {render_expr(expr.default)}")
+        parts.append("END")
+        return " ".join(parts)
+    if isinstance(expr, ast.InSubquery):
+        negation = "NOT " if expr.negated else ""
+        return (f"({render_expr(expr.operand)} {negation}IN "
+                f"({render_statement(expr.query)}))")
+    if isinstance(expr, ast.Exists):
+        rendered = f"EXISTS ({render_statement(expr.query)})"
+        return f"(NOT {rendered})" if expr.negated else rendered
+    if isinstance(expr, ast.ScalarSubquery):
+        return f"({render_statement(expr.query)})"
+    raise ValueError(f"cannot render expression {expr!r}")
+
+
+def _render_window(window: ast.WindowClause) -> str:
+    if window.is_window_count():
+        return f"<SLICES {window.slices_windows} WINDOWS>"
+    if window.is_row_based():
+        return (f"<VISIBLE {window.visible_rows} ROWS "
+                f"ADVANCE {window.advance_rows} ROWS>")
+    if window.visible == float("inf"):
+        visible = "UNBOUNDED"
+    else:
+        visible = _quote_string(f"{window.visible} seconds")
+    return (f"<VISIBLE {visible} "
+            f"ADVANCE {_quote_string(f'{window.advance} seconds')}>")
+
+
+def _render_from(node) -> str:
+    if isinstance(node, ast.TableRef):
+        out = node.name
+        if node.window is not None:
+            out += f" {_render_window(node.window)}"
+        if node.alias:
+            out += f" AS {node.alias}"
+        return out
+    if isinstance(node, ast.SubqueryRef):
+        out = f"({render_statement(node.query)})"
+        if node.window is not None:
+            out += f" {_render_window(node.window)}"
+        return f"{out} AS {node.alias}"
+    if isinstance(node, ast.Join):
+        left = _render_from(node.left)
+        right = _render_from(node.right)
+        if node.kind == "CROSS" and node.condition is None:
+            return f"{left} CROSS JOIN {right}"
+        keyword = "LEFT JOIN" if node.kind == "LEFT" else "JOIN"
+        return f"{left} {keyword} {right} ON {render_expr(node.condition)}"
+    raise ValueError(f"cannot render FROM item {node!r}")
+
+
+def _render_tail(node) -> str:
+    parts = []
+    if node.order_by:
+        keys = []
+        for order in node.order_by:
+            key = render_expr(order.expr)
+            if order.descending:
+                key += " DESC"
+            keys.append(key)
+        parts.append("ORDER BY " + ", ".join(keys))
+    if node.limit is not None:
+        parts.append(f"LIMIT {node.limit}")
+    if node.offset is not None:
+        parts.append(f"OFFSET {node.offset}")
+    return " ".join(parts)
+
+
+def render_statement(node) -> str:
+    """Render a SELECT or set-operation tree."""
+    if isinstance(node, ast.SetOp):
+        keyword = node.op.upper() + (" ALL" if node.all else "")
+        out = (f"{render_statement(node.left)} {keyword} "
+               f"{render_statement(node.right)}")
+        tail = _render_tail(node)
+        return f"{out} {tail}" if tail else out
+
+    if not isinstance(node, ast.Select):
+        raise ValueError(f"cannot render statement {node!r}")
+
+    parts = ["SELECT"]
+    if node.distinct:
+        parts.append("DISTINCT")
+    items = []
+    for item in node.items:
+        rendered = render_expr(item.expr)
+        if item.alias:
+            rendered += f" AS {item.alias}"
+        items.append(rendered)
+    parts.append(", ".join(items))
+    if node.from_clause is not None:
+        parts.append("FROM " + _render_from(node.from_clause))
+    if node.where is not None:
+        parts.append("WHERE " + render_expr(node.where))
+    if node.group_by:
+        parts.append("GROUP BY "
+                     + ", ".join(render_expr(g) for g in node.group_by))
+    if node.having is not None:
+        parts.append("HAVING " + render_expr(node.having))
+    tail = _render_tail(node)
+    if tail:
+        parts.append(tail)
+    return " ".join(parts)

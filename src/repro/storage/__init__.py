@@ -1,0 +1,29 @@
+"""Storage engine: pages, heaps, buffer pool, B+tree, WAL, simulated disk.
+
+All page traffic is routed through the :class:`~repro.storage.buffer.BufferPool`
+against a :class:`~repro.storage.disk.SimulatedDisk`, which is the cost model
+used by the benchmarks: store-first-query-later plans pay for the pages they
+write and re-read, continuous plans mostly do not (Section 2.2's "Jellybean
+Processing" argument).
+"""
+
+from repro.storage.disk import DiskStats, SimulatedDisk
+from repro.storage.page import PAGE_SIZE, Page, RowVersion, row_bytes
+from repro.storage.buffer import BufferPool
+from repro.storage.heap import HeapFile
+from repro.storage.btree import BPlusTree
+from repro.storage.wal import LogRecord, WriteAheadLog
+
+__all__ = [
+    "SimulatedDisk",
+    "DiskStats",
+    "PAGE_SIZE",
+    "Page",
+    "RowVersion",
+    "row_bytes",
+    "BufferPool",
+    "HeapFile",
+    "BPlusTree",
+    "WriteAheadLog",
+    "LogRecord",
+]

@@ -1,0 +1,255 @@
+"""A B+tree secondary index over (key tuple) → row ids.
+
+Keys are tuples of SQL values ordered with NULLS LAST (via
+:func:`repro.types.values.sql_sort_key`).  Duplicate keys are supported —
+each leaf entry is a bucket of rids.  Node accesses are routed through the
+buffer pool so indexed plans are charged honest (simulated) I/O, which is
+what experiment E7/A2 measures (Section 3.3: "indexes can be defined over
+[active tables] to further improve query performance").
+
+Deletion is lazy (no rebalancing): entries are removed from buckets and
+empty buckets from leaves, but underfull nodes are tolerated.  This keeps
+the structure correct under churn without the rebalance state machine.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Iterator, List, Optional, Tuple
+
+from repro.types.values import sql_sort_key
+
+#: maximum keys per node before a split
+DEFAULT_ORDER = 64
+
+
+def make_key(values) -> tuple:
+    """Wrap raw SQL values into a totally-ordered key tuple."""
+    return tuple(sql_sort_key(v) for v in values)
+
+
+class _Node:
+    __slots__ = ("page_no", "keys", "is_leaf")
+
+    def __init__(self, page_no: int, is_leaf: bool):
+        self.page_no = page_no
+        self.keys: List[tuple] = []
+        self.is_leaf = is_leaf
+
+
+class _Leaf(_Node):
+    __slots__ = ("buckets", "next_leaf")
+
+    def __init__(self, page_no: int):
+        super().__init__(page_no, True)
+        self.buckets: List[list] = []
+        self.next_leaf: Optional[int] = None
+
+
+class _Internal(_Node):
+    __slots__ = ("children",)
+
+    def __init__(self, page_no: int):
+        super().__init__(page_no, False)
+        self.children: List[int] = []
+
+
+class BPlusTree:
+    """The index object registered in the catalog."""
+
+    def __init__(self, name: str, table_name: str, column_names,
+                 pool=None, file_id: int = -1, unique: bool = False,
+                 order: int = DEFAULT_ORDER):
+        self.name = name
+        self.table_name = table_name
+        self.column_names = list(column_names)
+        self.unique = unique
+        self.order = order
+        self.file_id = file_id
+        self._pool = pool
+        self._nodes = {}
+        self._next_page = 0
+        root = self._new_leaf()
+        self._root_no = root.page_no
+        self.entry_count = 0
+
+    # -- buffer-pool plumbing -------------------------------------------------
+    # The tree masquerades as a heap file: the pool calls .page(n) on a miss.
+
+    def page(self, page_no: int):
+        return self._nodes[page_no]
+
+    def _touch(self, page_no: int) -> _Node:
+        """Fetch a node, charging the buffer pool when one is attached."""
+        if self._pool is not None:
+            return self._pool.fetch(self, page_no)
+        return self._nodes[page_no]
+
+    def _dirty(self, page_no: int) -> None:
+        if self._pool is not None:
+            self._pool.mark_dirty(self, page_no)
+
+    def _register(self, node: _Node) -> None:
+        self._nodes[node.page_no] = node
+        if self._pool is not None:
+            self._pool.fetch_new(self, node)
+
+    def _new_leaf(self) -> _Leaf:
+        node = _Leaf(self._next_page)
+        self._next_page += 1
+        self._register(node)
+        return node
+
+    def _new_internal(self) -> _Internal:
+        node = _Internal(self._next_page)
+        self._next_page += 1
+        self._register(node)
+        return node
+
+    # -- search ---------------------------------------------------------------
+
+    def _descend(self, key: tuple) -> Tuple[_Leaf, list]:
+        """Walk to the leaf for ``key``; returns (leaf, path of internals)."""
+        path = []
+        node = self._touch(self._root_no)
+        while not node.is_leaf:
+            path.append(node)
+            i = bisect.bisect_right(node.keys, key)
+            node = self._touch(node.children[i])
+        return node, path
+
+    def search(self, values) -> list:
+        """All rids whose key equals ``values`` (empty list if none)."""
+        key = make_key(values)
+        leaf, _path = self._descend(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            return list(leaf.buckets[i])
+        return []
+
+    def range_scan(self, low=None, high=None, low_inclusive: bool = True,
+                   high_inclusive: bool = True) -> Iterator[tuple]:
+        """Yield rids with low <= key <= high (bounds optional).
+
+        ``low``/``high`` are raw value tuples; None means unbounded.
+        """
+        if low is not None:
+            key = make_key(low)
+            leaf, _path = self._descend(key)
+            if low_inclusive:
+                i = bisect.bisect_left(leaf.keys, key)
+            else:
+                i = bisect.bisect_right(leaf.keys, key)
+        else:
+            leaf = self._leftmost_leaf()
+            i = 0
+        high_key = make_key(high) if high is not None else None
+        while leaf is not None:
+            while i < len(leaf.keys):
+                key = leaf.keys[i]
+                if high_key is not None:
+                    if high_inclusive:
+                        if high_key < key:
+                            return
+                    elif not (key < high_key):
+                        return
+                for rid in leaf.buckets[i]:
+                    yield rid
+                i += 1
+            if leaf.next_leaf is None:
+                return
+            leaf = self._touch(leaf.next_leaf)
+            i = 0
+
+    def _leftmost_leaf(self) -> _Leaf:
+        node = self._touch(self._root_no)
+        while not node.is_leaf:
+            node = self._touch(node.children[0])
+        return node
+
+    def items(self) -> Iterator[tuple]:
+        """Yield every rid in key order."""
+        yield from self.range_scan()
+
+    # -- insert ---------------------------------------------------------------
+
+    def insert(self, values, rid) -> None:
+        """Add ``rid`` under key ``values`` (duplicates append to bucket)."""
+        key = make_key(values)
+        leaf, path = self._descend(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i < len(leaf.keys) and leaf.keys[i] == key:
+            leaf.buckets[i].append(rid)
+        else:
+            leaf.keys.insert(i, key)
+            leaf.buckets.insert(i, [rid])
+        self.entry_count += 1
+        self._dirty(leaf.page_no)
+        if len(leaf.keys) > self.order:
+            self._split_leaf(leaf, path)
+
+    def _split_leaf(self, leaf: _Leaf, path: list) -> None:
+        mid = len(leaf.keys) // 2
+        sibling = self._new_leaf()
+        sibling.keys = leaf.keys[mid:]
+        sibling.buckets = leaf.buckets[mid:]
+        sibling.next_leaf = leaf.next_leaf
+        leaf.keys = leaf.keys[:mid]
+        leaf.buckets = leaf.buckets[:mid]
+        leaf.next_leaf = sibling.page_no
+        self._dirty(leaf.page_no)
+        self._dirty(sibling.page_no)
+        self._insert_into_parent(leaf, sibling.keys[0], sibling, path)
+
+    def _split_internal(self, node: _Internal, path: list) -> None:
+        mid = len(node.keys) // 2
+        push_key = node.keys[mid]
+        sibling = self._new_internal()
+        sibling.keys = node.keys[mid + 1:]
+        sibling.children = node.children[mid + 1:]
+        node.keys = node.keys[:mid]
+        node.children = node.children[:mid + 1]
+        self._dirty(node.page_no)
+        self._dirty(sibling.page_no)
+        self._insert_into_parent(node, push_key, sibling, path)
+
+    def _insert_into_parent(self, left: _Node, key: tuple, right: _Node,
+                            path: list) -> None:
+        if not path:
+            root = self._new_internal()
+            root.keys = [key]
+            root.children = [left.page_no, right.page_no]
+            self._root_no = root.page_no
+            self._dirty(root.page_no)
+            return
+        parent = path[-1]
+        i = bisect.bisect_right(parent.keys, key)
+        parent.keys.insert(i, key)
+        parent.children.insert(i + 1, right.page_no)
+        self._dirty(parent.page_no)
+        if len(parent.keys) > self.order:
+            self._split_internal(parent, path[:-1])
+
+    # -- delete ---------------------------------------------------------------
+
+    def delete(self, values, rid) -> bool:
+        """Remove one (key, rid) entry; returns True when found."""
+        key = make_key(values)
+        leaf, _path = self._descend(key)
+        i = bisect.bisect_left(leaf.keys, key)
+        if i >= len(leaf.keys) or leaf.keys[i] != key:
+            return False
+        bucket = leaf.buckets[i]
+        try:
+            bucket.remove(rid)
+        except ValueError:
+            return False
+        if not bucket:
+            leaf.keys.pop(i)
+            leaf.buckets.pop(i)
+        self.entry_count -= 1
+        self._dirty(leaf.page_no)
+        return True
+
+    def __len__(self):
+        return self.entry_count

@@ -1,0 +1,101 @@
+"""The simulated disk: I/O counters and a latency cost model.
+
+The paper's performance claims are architectural — store-first-query-later
+pays to write data to disk and read it back; continuous analytics does not
+(Sections 1.3, 2.2, 4).  We reproduce the *shape* of those claims on a
+laptop by charging every page read/write against a configurable cost model
+(seek time + transfer time, with sequential-access detection) and reporting
+simulated seconds alongside wall-clock time.
+
+Defaults model a single 2009-era enterprise disk: 8 ms seek, 100 MB/s
+sequential transfer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class DiskStats:
+    """A snapshot of I/O counters (subtractable for interval accounting)."""
+
+    pages_read: int = 0
+    pages_written: int = 0
+    seeks: int = 0
+    sequential_reads: int = 0
+    sequential_writes: int = 0
+
+    def __sub__(self, other: "DiskStats") -> "DiskStats":
+        return DiskStats(
+            self.pages_read - other.pages_read,
+            self.pages_written - other.pages_written,
+            self.seeks - other.seeks,
+            self.sequential_reads - other.sequential_reads,
+            self.sequential_writes - other.sequential_writes,
+        )
+
+
+@dataclass
+class SimulatedDisk:
+    """Counts page I/O and converts it to simulated elapsed seconds.
+
+    ``seek_time`` is charged whenever an access does not continue the
+    previous access's (file, page+1) sequence; ``transfer_time`` is charged
+    for every page moved.
+    """
+
+    page_size: int = 8192
+    seek_time: float = 0.008
+    transfer_rate: float = 100 * 1024 * 1024  # bytes/second, sequential
+    stats: DiskStats = field(default_factory=DiskStats)
+
+    def __post_init__(self):
+        self._last_access = None  # (file_id, page_no) of last transfer
+
+    @property
+    def transfer_time(self) -> float:
+        """Seconds to move one page at the sequential rate."""
+        return self.page_size / self.transfer_rate
+
+    def _account(self, file_id: int, page_no: int) -> bool:
+        """Record one access; returns True when it was sequential."""
+        sequential = self._last_access == (file_id, page_no - 1)
+        if not sequential:
+            self.stats.seeks += 1
+        self._last_access = (file_id, page_no)
+        return sequential
+
+    def read_page(self, file_id: int, page_no: int) -> None:
+        """Charge one page read."""
+        if self._account(file_id, page_no):
+            self.stats.sequential_reads += 1
+        self.stats.pages_read += 1
+
+    def write_page(self, file_id: int, page_no: int) -> None:
+        """Charge one page write."""
+        if self._account(file_id, page_no):
+            self.stats.sequential_writes += 1
+        self.stats.pages_written += 1
+
+    def elapsed_seconds(self, stats: DiskStats = None) -> float:
+        """Simulated seconds for ``stats`` (default: all activity so far)."""
+        if stats is None:
+            stats = self.stats
+        transfers = stats.pages_read + stats.pages_written
+        return stats.seeks * self.seek_time + transfers * self.transfer_time
+
+    def snapshot(self) -> DiskStats:
+        """Copy of the current counters, for interval measurement."""
+        return DiskStats(
+            self.stats.pages_read,
+            self.stats.pages_written,
+            self.stats.seeks,
+            self.stats.sequential_reads,
+            self.stats.sequential_writes,
+        )
+
+    def reset(self) -> None:
+        """Zero all counters (used between benchmark trials)."""
+        self.stats = DiskStats()
+        self._last_access = None

@@ -1,0 +1,85 @@
+"""Heap files: unordered row storage addressed by (page_no, slot) rids."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Tuple
+
+from repro.storage.buffer import BufferPool
+from repro.storage.page import Page, RowVersion, row_bytes
+
+Rid = Tuple[int, int]
+
+
+class HeapFile:
+    """An append-friendly file of slotted pages.
+
+    All access goes through a :class:`BufferPool` so the simulated disk
+    sees every page touch.  The file keeps the authoritative page list
+    (the "disk image"); the pool only decides what a touch costs.
+    """
+
+    def __init__(self, file_id: int):
+        self.file_id = file_id
+        self._pages = []
+        self.row_count = 0  # live slots, maintained on insert/remove
+
+    # -- low-level access (used by the buffer pool) -------------------------
+
+    def page(self, page_no: int) -> Page:
+        return self._pages[page_no]
+
+    @property
+    def page_count(self) -> int:
+        return len(self._pages)
+
+    # -- public operations ---------------------------------------------------
+
+    def insert(self, pool: BufferPool, version: RowVersion) -> Rid:
+        """Insert a row version, returning its rid."""
+        nbytes = row_bytes(version.values)
+        if self._pages:
+            last_no = len(self._pages) - 1
+            page = pool.fetch(self, last_no)
+            if page.has_room(nbytes):
+                slot = page.insert(version)
+                pool.mark_dirty(self, last_no)
+                self.row_count += 1
+                return (last_no, slot)
+        page = Page(len(self._pages))
+        self._pages.append(page)
+        pool.fetch_new(self, page)
+        slot = page.insert(version)
+        self.row_count += 1
+        return (page.page_no, slot)
+
+    def read(self, pool: BufferPool, rid: Rid) -> Optional[RowVersion]:
+        """Fetch one row version by rid (None if tombstoned)."""
+        page_no, slot = rid
+        page = pool.fetch(self, page_no)
+        return page.get(slot)
+
+    def mark_updated(self, pool: BufferPool, rid: Rid) -> None:
+        """Charge the write-back for an in-place header update (xmax)."""
+        pool.mark_dirty(self, rid[0])
+
+    def remove(self, pool: BufferPool, rid: Rid) -> None:
+        """Physically remove a version (vacuum / rollback cleanup)."""
+        page_no, slot = rid
+        page = pool.fetch(self, page_no)
+        if page.get(slot) is not None:
+            page.remove(slot)
+            self.row_count -= 1
+            pool.mark_dirty(self, page_no)
+
+    def scan(self, pool: BufferPool) -> Iterator[Tuple[Rid, RowVersion]]:
+        """Full scan in page order, yielding (rid, version)."""
+        for page_no in range(len(self._pages)):
+            page = pool.fetch(self, page_no)
+            for slot, version in page.live_versions():
+                yield (page_no, slot), version
+
+    def truncate(self, pool: BufferPool) -> None:
+        """Drop all pages (REPLACE-mode channels, DROP TABLE)."""
+        pool.drop_file(self.file_id)
+        self._pages = []
+        self.row_count = 0

@@ -1,0 +1,401 @@
+"""Continuous queries: the generic per-window execution path.
+
+A CQ is "a query [that] produces a stream ... and runs until explicitly
+terminated" (Section 3.1).  This module implements the paper's RSTREAM
+semantics directly: a window operator turns the stream into a sequence of
+relations, and the ordinary relational plan — built by the same planner
+that serves snapshot queries — is executed once per relation, with the
+``cq_close`` timestamp supplied through the execution context.
+
+Table reads inside the plan go through a
+:class:`~repro.txn.window_consistency.WindowConsistentView`, refreshed at
+each window boundary (Section 4's window consistency).
+
+Window-less stream references are allowed for pure row-wise transforms
+(filter/project), which run per-tuple without buffering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.catalog import catalog as cat
+from repro.errors import PlanningError, WindowError
+from repro.exec import operators as ops
+from repro.exec.expressions import RowLayout
+from repro.exec.planner import PlanContext, Planner
+from repro.sql import ast
+from repro.streaming.streams import BaseStream, DerivedStream, StreamConsumer
+from repro.streaming.windows import WindowSpec
+from repro.txn.window_consistency import WindowConsistentView
+
+
+@dataclass
+class CQStats:
+    """Per-CQ counters used by the benchmarks."""
+
+    tuples_in: int = 0
+    windows_evaluated: int = 0
+    rows_scanned: int = 0    # rows fed into per-window plan executions
+    rows_out: int = 0
+    last_close: Optional[float] = None
+
+
+def inline_streaming_views(node, catalog):
+    """Replace references to streaming views with their defining query.
+
+    "a query that defines a Streaming View is only instantiated when the
+    view is itself used in another query" (Section 3.2) — inlining at CQ
+    compile time is exactly that lazy instantiation.  A window clause on
+    the view reference is pushed onto the view's (window-less) stream
+    reference, so ``FROM filtered_view <VISIBLE '1 minute'>`` works.  The
+    view query is deep-copied: the catalog's stored AST is never mutated.
+    """
+    import copy
+
+    if isinstance(node, ast.TableRef):
+        if catalog.relation_kind(node.name) == cat.VIEW:
+            view = catalog.get_relation(node.name)
+            if getattr(view, "references_streams", False):
+                if not isinstance(view.query, ast.Select):
+                    raise PlanningError(
+                        f"streaming view {node.name!r} is a set operation; "
+                        "set operations over streams are not supported"
+                    )
+                query = copy.deepcopy(view.query)
+                query.from_clause = inline_streaming_views(
+                    query.from_clause, catalog)
+                if node.window is not None:
+                    inner = find_stream_refs(query.from_clause, catalog)
+                    if len(inner) == 1 and inner[0].window is None:
+                        inner[0].window = node.window
+                    else:
+                        raise PlanningError(
+                            f"cannot apply a window to view {node.name!r}: "
+                            "its stream is already windowed"
+                        )
+                return ast.SubqueryRef(query, node.alias or node.name)
+        return node
+    if isinstance(node, ast.SubqueryRef):
+        if isinstance(node.query, ast.Select) \
+                and node.query.from_clause is not None:
+            node.query.from_clause = inline_streaming_views(
+                node.query.from_clause, catalog)
+        return node
+    if isinstance(node, ast.Join):
+        node.left = inline_streaming_views(node.left, catalog)
+        node.right = inline_streaming_views(node.right, catalog)
+        return node
+    return node
+
+
+def find_stream_refs(node, catalog) -> List[ast.TableRef]:
+    """All TableRefs in a FROM tree (recursing into subqueries) that name
+    a stream or derived stream."""
+    if node is None:
+        return []
+    if isinstance(node, ast.TableRef):
+        kind = catalog.relation_kind(node.name)
+        if kind in (cat.STREAM, cat.DERIVED_STREAM):
+            return [node]
+        return []
+    if isinstance(node, ast.SubqueryRef):
+        if not isinstance(node.query, ast.Select):
+            return []
+        return find_stream_refs(node.query.from_clause, catalog)
+    if isinstance(node, ast.Join):
+        return (find_stream_refs(node.left, catalog)
+                + find_stream_refs(node.right, catalog))
+    return []
+
+
+def stream_layout(stream) -> RowLayout:
+    """RowLayout of a stream's schema (alias applied later by planner)."""
+    return RowLayout([
+        (None, column.name, column.datatype)
+        for column in stream.schema
+    ])
+
+
+class _StreamPort(StreamConsumer):
+    """Forwards one stream's events to its window operator and tells the
+    owning two-stream CQ when that stream has flushed."""
+
+    def __init__(self, cq: "ContinuousQuery", index: int, window_op):
+        self._cq = cq
+        self._index = index
+        self._op = window_op
+
+    def on_tuple(self, row, event_time):
+        self._op.on_tuple(row, event_time)
+
+    def on_heartbeat(self, event_time):
+        self._op.on_heartbeat(event_time)
+
+    def on_flush(self):
+        self._op.on_flush()
+        self._cq._port_flushed(self._index)
+
+
+class ContinuousQuery(StreamConsumer):
+    """One running CQ: window operator(s) + relational plan + sinks.
+
+    Supports one windowed stream (the paper's examples), a window-less
+    row transform, or — as an extension — a *two-stream windowed join*:
+    both streams carry time windows with the same ADVANCE, and at each
+    common boundary the plan runs over the pair of window relations.
+    """
+
+    def __init__(self, name: str, select: ast.Select, catalog, txn_manager,
+                 emit_empty: bool = True, params=None):
+        self.name = name
+        self.select = select
+        self._catalog = catalog
+        self._txn_manager = txn_manager
+        self.params = params  # bound '?' values, fixed for the CQ's life
+        self.stats = CQStats()
+        self.view = WindowConsistentView(txn_manager)
+        self._sinks = []
+        self._running = True
+
+        select.from_clause = inline_streaming_views(
+            select.from_clause, catalog)
+        refs = find_stream_refs(select.from_clause, catalog)
+        if not refs:
+            raise PlanningError(
+                f"query for CQ {name!r} references no stream")
+        if len(refs) > 2:
+            raise PlanningError(
+                "continuous queries over more than two streams are not "
+                "supported; stage one side through a derived stream"
+            )
+        self._stream_refs = refs
+        self._stream_ref = refs[0]
+        self.streams = [catalog.get_relation(r.name) for r in refs]
+        self.stream = self.streams[0]
+        self._batches = [[] for _ in refs]
+
+        self._plan = self._build_plan()
+        self.output_names = self._plan.column_names
+        self.output_schema = self._plan.output_schema()
+
+        if len(refs) == 2:
+            self._init_two_stream(emit_empty)
+        elif self._stream_ref.window is None:
+            self._window_spec = None
+            self._window_op = None
+            self._ports = None
+            self._check_transform_shape()
+        else:
+            self._window_spec = WindowSpec.from_clause(self._stream_ref.window)
+            self._window_op = self._window_spec.make_operator(
+                self._on_window, emit_empty)
+            self._ports = None
+
+    def _init_two_stream(self, emit_empty: bool) -> None:
+        specs = []
+        for ref in self._stream_refs:
+            if ref.window is None:
+                raise PlanningError(
+                    "both streams of a stream-stream join need a window")
+            spec = WindowSpec.from_clause(ref.window)
+            if spec.kind != "time":
+                raise PlanningError(
+                    "stream-stream joins require time windows")
+            specs.append(spec)
+        if abs(specs[0].advance - specs[1].advance) > 1e-9:
+            raise PlanningError(
+                "stream-stream joins require equal ADVANCE on both windows "
+                f"(got {specs[0].advance} and {specs[1].advance})"
+            )
+        self._window_spec = specs[0]
+        self._window_specs = specs
+        self._advance = specs[0].advance
+        self._window_op = None
+        self._pending = [{}, {}]        # boundary number -> (rows, open, close)
+        self._flushed = [False, False]
+        ops_pair = [
+            spec.make_operator(
+                (lambda rows, o, c, i=i: self._on_joint(i, rows, o, c)),
+                emit_empty=True)
+            for i, spec in enumerate(specs)
+        ]
+        self._ports = [_StreamPort(self, i, op)
+                       for i, op in enumerate(ops_pair)]
+
+    # -- plumbing -----------------------------------------------------------
+
+    @property
+    def window_spec(self) -> Optional[WindowSpec]:
+        return self._window_spec
+
+    def is_join(self) -> bool:
+        return len(self._stream_refs) == 2
+
+    def attach(self) -> None:
+        """Subscribe to the source stream(s) and start running."""
+        if self._ports is not None:
+            for stream, port in zip(self.streams, self._ports):
+                stream.subscribe(port)
+            return
+        target = self._window_op if self._window_op is not None else self
+        self.stream.subscribe(target)
+
+    def stop(self) -> None:
+        """Terminate the CQ (paper: CQs run "until explicitly terminated")."""
+        if self._ports is not None:
+            for stream, port in zip(self.streams, self._ports):
+                stream.unsubscribe(port)
+        else:
+            target = self._window_op if self._window_op is not None else self
+            self.stream.unsubscribe(target)
+        self._running = False
+
+    def add_sink(self, sink) -> None:
+        """``sink(rows, open_time, close_time)`` called per window."""
+        self._sinks.append(sink)
+
+    def _build_plan(self):
+        holder = self
+
+        def resolver(ref: ast.TableRef):
+            for i, stream_ref in enumerate(holder._stream_refs):
+                if ref is stream_ref:
+                    source = ops.RowSource(
+                        (lambda i=i: holder._batches[i]), stream_ref.name)
+                    return source, stream_layout(holder.streams[i])
+            return None
+
+        ctx = PlanContext(
+            self._catalog,
+            self._txn_manager,
+            snapshot_fn=lambda: self.view.snapshot,
+            source_resolver=resolver,
+        )
+        return Planner(ctx).plan_select(self.select)
+
+    def _check_transform_shape(self):
+        from repro.exec.planner import _contains_aggregate
+
+        select = self.select
+        simple = (isinstance(select.from_clause, ast.TableRef)
+                  and not select.group_by
+                  and select.having is None
+                  and not select.order_by
+                  and select.limit is None
+                  and not select.distinct
+                  and not any(_contains_aggregate(item.expr)
+                              for item in select.items
+                              if not isinstance(item.expr, ast.Star)))
+        if not simple:
+            raise WindowError(
+                f"stream {self.stream.name!r} is referenced without a "
+                "window; only row-wise transforms may omit the window clause"
+            )
+
+    # -- execution ------------------------------------------------------------
+
+    def _make_ctx(self, open_time: float, close_time: float) -> dict:
+        ctx = {"cq_close": close_time, "cq_open": open_time}
+        if self.params is not None:
+            ctx["params"] = self.params
+        return ctx
+
+
+    def _on_window(self, rows, open_time: float, close_time: float) -> None:
+        """Window closed: refresh the snapshot and run the plan."""
+        if not self._running:
+            return
+        self.view.refresh()
+        self._batches[0] = rows
+        ctx = self._make_ctx(open_time, close_time)
+        out = list(self._plan.execute(ctx))
+        self._batches[0] = []
+        self.stats.windows_evaluated += 1
+        self.stats.rows_scanned += len(rows)
+        self.stats.rows_out += len(out)
+        self.stats.last_close = close_time
+        for sink in self._sinks:
+            sink(out, open_time, close_time)
+
+    # -- two-stream join mode ------------------------------------------------------
+
+    def _on_joint(self, index: int, rows, open_time: float,
+                  close_time: float) -> None:
+        """One stream's window closed; evaluate when both sides have the
+        relation for this boundary."""
+        if not self._running:
+            return
+        key = round(close_time / self._advance)
+        self._pending[index][key] = (list(rows), open_time, close_time)
+        if key in self._pending[1 - index]:
+            self._evaluate_pair(key)
+
+    def _evaluate_pair(self, key: int) -> None:
+        left = self._pending[0].pop(key)
+        right = self._pending[1].pop(key)
+        # boundaries the other side never produced (before its first
+        # event) can no longer match: discard them
+        for side in self._pending:
+            for stale in [k for k in side if k < key]:
+                del side[stale]
+        self.view.refresh()
+        self._batches[0] = left[0]
+        self._batches[1] = right[0]
+        close_time = max(left[2], right[2])
+        open_time = min(left[1], right[1])
+        ctx = self._make_ctx(open_time, close_time)
+        out = list(self._plan.execute(ctx))
+        self._batches[0] = []
+        self._batches[1] = []
+        self.stats.windows_evaluated += 1
+        self.stats.rows_scanned += len(left[0]) + len(right[0])
+        self.stats.rows_out += len(out)
+        self.stats.last_close = close_time
+        for sink in self._sinks:
+            sink(out, open_time, close_time)
+
+    def _port_flushed(self, index: int) -> None:
+        """A source stream flushed; once both have, drain unmatched
+        boundaries by pairing them with the other side's empty relation."""
+        self._flushed[index] = True
+        if not all(self._flushed):
+            return
+        leftovers = sorted(set(self._pending[0]) | set(self._pending[1]))
+        for key in leftovers:
+            close = key * self._advance
+            for i, spec in enumerate(self._window_specs):
+                if key not in self._pending[i]:
+                    self._pending[i][key] = ([], close - spec.visible, close)
+            self._evaluate_pair(key)
+        self._flushed = [False, False]
+
+    # -- transform (window-less) mode -------------------------------------------
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        if not self._running:
+            return
+        self.stats.tuples_in += 1
+        self.view.refresh()
+        self._batches[0] = [row]
+        ctx = self._make_ctx(event_time, event_time)
+        out = list(self._plan.execute(ctx))
+        self._batches[0] = []
+        self.stats.rows_scanned += 1
+        if out:
+            self.stats.windows_evaluated += 1
+            self.stats.rows_out += len(out)
+            self.stats.last_close = event_time
+            for sink in self._sinks:
+                sink(out, event_time, event_time)
+
+    def on_heartbeat(self, event_time: float) -> None:
+        pass
+
+    def on_flush(self) -> None:
+        pass
+
+    def explain(self) -> str:
+        """The per-window relational plan, for inspection."""
+        return self._plan.explain()

@@ -1,0 +1,180 @@
+"""StreamingRuntime: owns all live streaming objects of a database.
+
+Creates base streams, derived streams (always-on CQs, Example 3),
+ad-hoc CQs (returned to the client as subscriptions), and channels
+(Example 4).  When slice sharing is enabled, eligible aggregate CQs are
+routed onto a :class:`~repro.streaming.shared.SharedSliceAggregator`
+instead of the generic per-window path.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.catalog import catalog as cat
+from repro.catalog.schema import Schema
+from repro.errors import StreamingError, UnknownObjectError
+from repro.sql import ast
+from repro.streaming.channels import Channel
+from repro.streaming.cq import ContinuousQuery
+from repro.streaming.shared import (
+    SharedContinuousQuery,
+    build_aggregator,
+    sharing_signature,
+)
+from repro.streaming.streams import BaseStream, DerivedStream
+
+
+class StreamingRuntime:
+    """The always-on half of a stream-relational database."""
+
+    def __init__(self, catalog, txn_manager, share_slices: bool = False,
+                 emit_empty_windows: bool = True,
+                 default_retention: Optional[float] = None,
+                 disorder_policy: str = "raise",
+                 default_slack: float = 0.0):
+        self.catalog = catalog
+        self.txn_manager = txn_manager
+        self.share_slices = share_slices
+        self.emit_empty_windows = emit_empty_windows
+        self.default_retention = default_retention
+        self.disorder_policy = disorder_policy
+        self.default_slack = default_slack
+        self._cqs: Dict[str, object] = {}
+        self._aggregators: Dict[str, list] = {}
+        self._derived_order: List[DerivedStream] = []
+        self._counter = 0
+
+    # -- stream objects ---------------------------------------------------------
+
+    def create_base_stream(self, name: str, schema: Schema,
+                           retention: Optional[float] = None,
+                           slack: Optional[float] = None) -> BaseStream:
+        stream = BaseStream(
+            name, schema,
+            disorder_policy=self.disorder_policy,
+            retention=retention if retention is not None
+            else self.default_retention,
+            slack=slack if slack is not None else self.default_slack,
+        )
+        self.catalog.add_relation(name, cat.STREAM, stream)
+        return stream
+
+    def create_derived_stream(self, name: str, select: ast.Select,
+                              text: str = "") -> DerivedStream:
+        """CREATE STREAM name AS SELECT ... — instantiated immediately
+        and runs until dropped ("always on", Section 3.2)."""
+        cq = self._make_cq(select, name=f"derived:{name}")
+        derived = DerivedStream(name, cq.output_schema, text)
+        derived.cq = cq
+        cq.add_sink(derived.publish)
+        cq.attach()
+        self.catalog.add_relation(name, cat.DERIVED_STREAM, derived)
+        self._cqs[cq.name] = cq
+        self._derived_order.append(derived)
+        return derived
+
+    def drop_stream(self, name: str) -> None:
+        kind = self.catalog.relation_kind(name)
+        obj = self.catalog.drop_relation(name)
+        if kind == cat.DERIVED_STREAM:
+            if obj.cq is not None:
+                obj.cq.stop()
+                self._cqs.pop(obj.cq.name, None)
+            if obj in self._derived_order:
+                self._derived_order.remove(obj)
+
+    # -- continuous queries --------------------------------------------------------
+
+    def create_cq(self, select: ast.Select, name: Optional[str] = None,
+                  params=None):
+        """Instantiate and attach a CQ; returns the CQ object."""
+        cq = self._make_cq(select, name, params)
+        cq.attach()
+        self._cqs[cq.name] = cq
+        return cq
+
+    def _make_cq(self, select: ast.Select, name: Optional[str] = None,
+                 params=None):
+        if name is None:
+            self._counter += 1
+            name = f"cq_{self._counter}"
+        # parameterized CQs take the generic path (the shared aggregator
+        # compiles expressions once for all consumers, without params)
+        if self.share_slices and params is None:
+            analysis = sharing_signature(select, self.catalog)
+            if analysis is not None:
+                return self._make_shared_cq(name, select, analysis)
+        return ContinuousQuery(name, select, self.catalog, self.txn_manager,
+                               self.emit_empty_windows, params=params)
+
+    def _make_shared_cq(self, name, select, analysis):
+        stream = self.catalog.get_relation(analysis.stream_name)
+        candidates = self._aggregators.setdefault(analysis.signature, [])
+        aggregator = None
+        for candidate in candidates:
+            if candidate.compatible(analysis.window.visible,
+                                    analysis.window.advance):
+                aggregator = candidate
+                break
+        if aggregator is None:
+            aggregator = build_aggregator(analysis, stream)
+            stream.subscribe(aggregator)
+            candidates.append(aggregator)
+        return SharedContinuousQuery(name, analysis, aggregator, stream, select)
+
+    def stop_cq(self, cq) -> None:
+        cq.stop()
+        self._cqs.pop(cq.name, None)
+
+    def cqs(self):
+        return dict(self._cqs)
+
+    def aggregators(self):
+        """All live shared aggregators (for the E4/A1 benches)."""
+        out = []
+        for group in self._aggregators.values():
+            out.extend(group)
+        return out
+
+    # -- channels -----------------------------------------------------------------
+
+    def create_channel(self, name: str, source_name: str, table,
+                       mode: str) -> Channel:
+        kind = self.catalog.relation_kind(source_name)
+        if kind not in (cat.STREAM, cat.DERIVED_STREAM):
+            raise UnknownObjectError(
+                f"channel source {source_name!r} is not a stream")
+        source = self.catalog.get_relation(source_name)
+        channel = Channel(name, source, table, self.txn_manager, mode)
+        channel.attach()
+        self.catalog.add_channel(name, channel)
+        return channel
+
+    def drop_channel(self, name: str) -> None:
+        channel = self.catalog.drop_channel(name)
+        channel.detach()
+
+    # -- time control ----------------------------------------------------------------
+
+    def heartbeat_all(self, event_time: float) -> None:
+        """Advance every base stream's clock (punctuation broadcast)."""
+        for _name, stream in self.catalog.relations(cat.STREAM):
+            stream.advance_to(event_time)
+
+    def flush_all(self) -> None:
+        """End-of-input: emit every pending window, upstream first."""
+        for _name, stream in self.catalog.relations(cat.STREAM):
+            stream.flush()
+        for derived in self._derived_order:
+            derived.flush()
+
+    def get_stream(self, name: str) -> BaseStream:
+        kind = self.catalog.relation_kind(name)
+        if kind == cat.STREAM:
+            return self.catalog.get_relation(name)
+        if kind == cat.DERIVED_STREAM:
+            raise StreamingError(
+                f"{name!r} is a derived stream; data cannot be inserted into it"
+            )
+        raise UnknownObjectError(f"stream {name!r} does not exist")

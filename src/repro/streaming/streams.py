@@ -1,0 +1,262 @@
+"""Streams: ordered, unbounded relations (the paper's Section 3.1).
+
+A :class:`BaseStream` is a raw ingest point created by ``CREATE STREAM``
+(Example 1): rows are coerced against its schema, ordered by the CQTIME
+column, and pushed to subscribers (window operators, transforms,
+channels).  A :class:`DerivedStream` re-publishes the output of an
+always-on continuous query (Example 3) to its own subscribers, window by
+window.
+
+Streams optionally retain a replayable tail (``retention`` seconds); the
+recovery strategies in :mod:`repro.streaming.recovery` use it the way a
+production system would re-read a message broker after a crash.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Optional
+
+from repro.catalog.schema import Schema
+from repro.errors import OutOfOrderError, StreamingError
+
+RAISE = "raise"
+DROP = "drop"
+
+
+class StreamConsumer:
+    """Subscriber protocol.  Subclasses override what they need."""
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        """One stream tuple arrived."""
+
+    def on_heartbeat(self, event_time: float) -> None:
+        """Time advanced to ``event_time`` with no tuple (punctuation)."""
+
+    def on_flush(self) -> None:
+        """The stream ended; emit any pending windows."""
+
+
+class BaseStream:
+    """A raw stream: schema, CQTIME ordering, subscribers, retention.
+
+    ``slack`` enables bounded out-of-order ingest (the paper assumes
+    perfectly ordered streams; real feeds are not): tuples are held in a
+    reorder buffer and released in timestamp order once the raw clock has
+    advanced ``slack`` seconds past them.  Consumers always see a
+    non-decreasing sequence; tuples later than the slack bound fall back
+    to the disorder policy (raise or drop).
+    """
+
+    def __init__(self, name: str, schema: Schema,
+                 disorder_policy: str = RAISE,
+                 retention: Optional[float] = None,
+                 slack: float = 0.0):
+        self.name = name
+        self.schema = schema
+        cqtime = schema.cqtime_index()
+        if cqtime is None:
+            raise StreamingError(
+                f"stream {name!r} has no CQTIME column"
+            )
+        self.cqtime_index = cqtime
+        self.cqtime_mode = schema.columns[cqtime].cqtime or "user"
+        self.disorder_policy = disorder_policy
+        self.retention = retention
+        self.slack = float(slack)
+        self.watermark = float("-inf")   # delivered (post-reorder) clock
+        self.raw_watermark = float("-inf")  # max event time ever seen
+        self.tuples_in = 0
+        self.tuples_dropped = 0
+        self.tuples_reordered = 0
+        self._consumers = []
+        self._pending = []  # reorder buffer: heap of (time, seq, row)
+        self._seq = 0
+        self._tail = deque()  # (event_time, row) kept for replay
+
+    # -- subscription ---------------------------------------------------------
+
+    def subscribe(self, consumer: StreamConsumer) -> None:
+        self._consumers.append(consumer)
+
+    def unsubscribe(self, consumer: StreamConsumer) -> None:
+        if consumer in self._consumers:
+            self._consumers.remove(consumer)
+
+    @property
+    def consumers(self):
+        return list(self._consumers)
+
+    # -- ingest ---------------------------------------------------------------
+
+    def insert(self, values, at: Optional[float] = None) -> bool:
+        """Ingest one row.
+
+        For a USER-time stream the event time is the CQTIME column of the
+        row itself; for a SYSTEM-time stream it is ``at`` (the arrival
+        clock), stamped into the row.  Returns False when a late tuple is
+        dropped under the ``drop`` policy.
+        """
+        row = list(self.schema.coerce_row(values))
+        if self.cqtime_mode == "system":
+            arrival = at if at is not None else max(self.watermark, 0.0)
+            row[self.cqtime_index] = float(arrival)
+        event_time = row[self.cqtime_index]
+        if event_time is None:
+            raise StreamingError(
+                f"stream {self.name!r}: CQTIME value is NULL"
+            )
+        if event_time < self.watermark:
+            if self.disorder_policy == DROP:
+                self.tuples_dropped += 1
+                return False
+            raise OutOfOrderError(
+                f"stream {self.name!r}: event time {event_time} is before "
+                f"watermark {self.watermark}"
+            )
+        final = tuple(row)
+        if self.slack > 0:
+            if event_time < self.raw_watermark:
+                self.tuples_reordered += 1
+            self.raw_watermark = max(self.raw_watermark, event_time)
+            heapq.heappush(self._pending, (event_time, self._seq, final))
+            self._seq += 1
+            self.tuples_in += 1
+            self._release(self.raw_watermark - self.slack)
+            return True
+        self.watermark = max(self.watermark, event_time)
+        self.raw_watermark = self.watermark
+        self.tuples_in += 1
+        self._deliver(final, event_time)
+        return True
+
+    def _deliver(self, row: tuple, event_time: float) -> None:
+        self._retain(event_time, row)
+        for consumer in self._consumers:
+            consumer.on_tuple(row, event_time)
+
+    def _release(self, threshold: float) -> None:
+        """Deliver buffered tuples with event time <= ``threshold``,
+        in timestamp order (the delivered watermark trails by slack)."""
+        while self._pending and self._pending[0][0] <= threshold:
+            event_time, _seq, row = heapq.heappop(self._pending)
+            self.watermark = max(self.watermark, event_time)
+            self._deliver(row, event_time)
+
+    def insert_many(self, rows, at: Optional[float] = None) -> int:
+        """Ingest a batch; returns how many were accepted."""
+        accepted = 0
+        for row in rows:
+            if self.insert(row, at):
+                accepted += 1
+        return accepted
+
+    def advance_to(self, event_time: float) -> None:
+        """Heartbeat: assert no tuple before ``event_time`` will arrive.
+
+        With slack, the heartbeat first drains the reorder buffer up to
+        ``event_time - slack`` and consumers see that (delayed) clock.
+        """
+        if self.slack > 0:
+            self.raw_watermark = max(self.raw_watermark, event_time)
+            threshold = event_time - self.slack
+            self._release(threshold)
+            if threshold <= self.watermark:
+                return
+            self.watermark = threshold
+            for consumer in self._consumers:
+                consumer.on_heartbeat(threshold)
+            return
+        if event_time < self.watermark:
+            return
+        self.watermark = event_time
+        self.raw_watermark = max(self.raw_watermark, event_time)
+        for consumer in self._consumers:
+            consumer.on_heartbeat(event_time)
+
+    def flush(self) -> None:
+        """End-of-stream: force pending windows out (tests, benches)."""
+        self._release(float("inf"))
+        for consumer in self._consumers:
+            consumer.on_flush()
+
+    # -- replay tail ------------------------------------------------------------
+
+    def _retain(self, event_time: float, row: tuple) -> None:
+        if self.retention is None:
+            return
+        self._tail.append((event_time, row))
+        horizon = self.watermark - self.retention
+        while self._tail and self._tail[0][0] < horizon:
+            self._tail.popleft()
+
+    def replay_since(self, event_time: float):
+        """Yield retained (time, row) pairs with time >= ``event_time``."""
+        if self.retention is None:
+            raise StreamingError(
+                f"stream {self.name!r} has no retention configured"
+            )
+        for when, row in self._tail:
+            if when >= event_time:
+                yield when, row
+
+    def replay_horizon(self) -> float:
+        """Earliest replayable event time (inf when nothing retained)."""
+        if self._tail:
+            return self._tail[0][0]
+        return float("inf")
+
+    def __repr__(self):
+        return f"BaseStream({self.name}, watermark={self.watermark})"
+
+
+class DerivedStream:
+    """The output of an always-on CQ, re-published window by window.
+
+    Consumers that implement ``on_batch(rows, open_time, close_time)``
+    receive whole window results (what a channel wants); others get the
+    rows flattened through ``on_tuple`` with the window-close timestamp
+    as event time.
+    """
+
+    def __init__(self, name: str, schema: Schema, query_text: str = ""):
+        self.name = name
+        self.schema = schema
+        self.query_text = query_text
+        self.cq = None  # set by the runtime when the CQ is instantiated
+        self.batches_out = 0
+        self.tuples_out = 0
+        self._consumers = []
+
+    def subscribe(self, consumer) -> None:
+        self._consumers.append(consumer)
+
+    def unsubscribe(self, consumer) -> None:
+        if consumer in self._consumers:
+            self._consumers.remove(consumer)
+
+    @property
+    def consumers(self):
+        return list(self._consumers)
+
+    def publish(self, rows, open_time: float, close_time: float) -> None:
+        """Called by the owning CQ at each window close."""
+        self.batches_out += 1
+        self.tuples_out += len(rows)
+        for consumer in self._consumers:
+            on_batch = getattr(consumer, "on_batch", None)
+            if on_batch is not None:
+                on_batch(rows, open_time, close_time)
+            else:
+                for row in rows:
+                    consumer.on_tuple(row, close_time)
+                # let time-based consumers advance past empty windows
+                consumer.on_heartbeat(close_time)
+
+    def flush(self) -> None:
+        for consumer in self._consumers:
+            consumer.on_flush()
+
+    def __repr__(self):
+        return f"DerivedStream({self.name})"

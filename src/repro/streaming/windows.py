@@ -1,0 +1,227 @@
+"""Window operators: they turn a stream into a sequence of relations.
+
+This is the paper's Figure 1 made executable.  A window clause
+``<VISIBLE '5 minutes' ADVANCE '1 minute'>`` yields, every minute, the
+relation of tuples from the trailing five minutes; the CQ runtime then
+applies an ordinary relational plan to each relation (RSTREAM semantics,
+Section 3.1).
+
+Boundary convention: windows close at event times that are multiples of
+ADVANCE (aligned to the epoch); the window closing at ``T`` covers
+``[T - VISIBLE, T)``.  A tuple with event time exactly ``T`` proves the
+window closed and belongs to the next one.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Optional
+
+from repro.errors import WindowError
+from repro.sql import ast
+from repro.streaming.streams import StreamConsumer
+
+Sink = Callable[[list, float, float], None]  # (rows, open_time, close_time)
+
+
+class WindowSpec:
+    """Normalised window parameters, built from a parsed window clause."""
+
+    def __init__(self, kind: str, visible=None, advance=None, count=None):
+        self.kind = kind            # 'time' | 'rows' | 'windows'
+        self.visible = visible      # seconds or row count
+        self.advance = advance
+        self.count = count          # for '<slices k windows>'
+
+    @classmethod
+    def from_clause(cls, clause: ast.WindowClause) -> "WindowSpec":
+        if clause.is_window_count():
+            return cls("windows", count=clause.slices_windows)
+        if clause.is_row_based():
+            return cls("rows", visible=clause.visible_rows,
+                       advance=clause.advance_rows)
+        if clause.visible <= 0 or clause.advance <= 0:
+            raise WindowError("window extents must be positive")
+        if math.isinf(clause.advance):
+            raise WindowError("ADVANCE must be finite")
+        return cls("time", visible=float(clause.visible),
+                   advance=float(clause.advance))
+
+    def make_operator(self, sink: Sink, emit_empty: bool = True):
+        if self.kind == "time":
+            return TimeWindowOperator(self.visible, self.advance, sink,
+                                      emit_empty)
+        if self.kind == "rows":
+            return RowWindowOperator(self.visible, self.advance, sink)
+        return WindowCountOperator(self.count, sink)
+
+    def __repr__(self):
+        if self.kind == "windows":
+            return f"WindowSpec(slices {self.count} windows)"
+        return f"WindowSpec({self.kind}, visible={self.visible}, advance={self.advance})"
+
+
+class TimeWindowOperator(StreamConsumer):
+    """Sliding/tumbling time window with eviction.
+
+    State is a buffer of (event_time, row) plus the next close boundary;
+    after a close at ``T``, rows older than ``T + advance - visible`` can
+    never be visible again and are evicted.
+    """
+
+    def __init__(self, visible: float, advance: float, sink: Sink,
+                 emit_empty: bool = True):
+        if visible <= 0 or advance <= 0:
+            raise WindowError("window extents must be positive")
+        self.visible = float(visible)
+        self.advance = float(advance)
+        self.sink = sink
+        self.emit_empty = emit_empty
+        self._buffer = deque()            # (event_time, row)
+        self._base: Optional[float] = None
+        self._boundary_index = 0          # next close = base + index*advance
+        self.tuples_in = 0
+        self.windows_closed = 0
+        self.rows_emitted = 0
+        self._flushed = False
+
+    # -- boundary arithmetic ----------------------------------------------------
+
+    def _next_boundary(self) -> Optional[float]:
+        if self._base is None:
+            return None
+        return self._base + self._boundary_index * self.advance
+
+    def _start_at(self, event_time: float) -> None:
+        # first close boundary: the next multiple of ``advance`` strictly
+        # after the first event
+        self._base = math.floor(event_time / self.advance) * self.advance
+        self._boundary_index = 1
+
+    # -- consumer protocol --------------------------------------------------------
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        if self._base is None:
+            self._start_at(event_time)
+        self._close_through(event_time)
+        self._buffer.append((event_time, row))
+        self.tuples_in += 1
+
+    def on_heartbeat(self, event_time: float) -> None:
+        if self._base is None:
+            return
+        self._close_through(event_time)
+
+    def on_flush(self) -> None:
+        if self._flushed:
+            return
+        self._flushed = True
+        if math.isinf(self.visible):
+            # cumulative window: one final emission covers everything
+            if self._buffer:
+                self._close(self._next_boundary())
+                self._buffer.clear()
+            return
+        # emit every remaining window that still sees a buffered row
+        while self._buffer:
+            self._close(self._next_boundary())
+
+    def _close_through(self, event_time: float) -> None:
+        # a tuple at exactly the boundary proves the window complete
+        while True:
+            boundary = self._next_boundary()
+            if boundary is None or boundary > event_time:
+                return
+            self._close(boundary)
+
+    def _close(self, boundary: float) -> None:
+        open_time = boundary - self.visible
+        visible_rows = [
+            row for when, row in self._buffer
+            if open_time <= when < boundary
+        ]
+        self._boundary_index += 1
+        # evict rows no future window can see
+        horizon = self._next_boundary() - self.visible
+        while self._buffer and self._buffer[0][0] < horizon:
+            self._buffer.popleft()
+        self.windows_closed += 1
+        self.rows_emitted += len(visible_rows)
+        if visible_rows or self.emit_empty:
+            self.sink(visible_rows, open_time, boundary)
+
+    @property
+    def buffered(self) -> int:
+        return len(self._buffer)
+
+
+class RowWindowOperator(StreamConsumer):
+    """Row-count window: every ``advance`` arrivals, the last ``visible``
+    rows form the window.  Close time is the latest row's event time."""
+
+    def __init__(self, visible_rows: int, advance_rows: int, sink: Sink):
+        if visible_rows <= 0 or advance_rows <= 0:
+            raise WindowError("row window extents must be positive")
+        self.visible_rows = int(visible_rows)
+        self.advance_rows = int(advance_rows)
+        self.sink = sink
+        self._buffer = deque(maxlen=self.visible_rows)
+        self._since_emit = 0
+        self._last_time = None
+        self._first_time = None
+        self.tuples_in = 0
+        self.windows_closed = 0
+        self._flushed = False
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        self._buffer.append((event_time, row))
+        self.tuples_in += 1
+        self._since_emit += 1
+        self._last_time = event_time
+        if self._first_time is None:
+            self._first_time = event_time
+        if self._since_emit >= self.advance_rows:
+            self._emit()
+
+    def on_flush(self) -> None:
+        if self._flushed:
+            return
+        self._flushed = True
+        if self._since_emit > 0 and self._buffer:
+            self._emit()
+
+    def _emit(self) -> None:
+        rows = [row for _when, row in self._buffer]
+        open_time = self._buffer[0][0]
+        self.windows_closed += 1
+        self._since_emit = 0
+        self.sink(rows, open_time, self._last_time)
+
+
+class WindowCountOperator(StreamConsumer):
+    """``<slices k windows>`` over a *derived* stream (paper, Example 5):
+    each upstream window-result is one slice; every new slice emits the
+    concatenation of the last ``k`` of them."""
+
+    def __init__(self, count: int, sink: Sink):
+        if count <= 0:
+            raise WindowError("slices count must be positive")
+        self.count = int(count)
+        self.sink = sink
+        self._batches = deque(maxlen=self.count)
+        self.windows_closed = 0
+
+    def on_batch(self, rows, open_time: float, close_time: float) -> None:
+        self._batches.append((list(rows), open_time, close_time))
+        combined = []
+        for batch_rows, _open, _close in self._batches:
+            combined.extend(batch_rows)
+        window_open = self._batches[0][1]
+        self.windows_closed += 1
+        self.sink(combined, window_open, close_time)
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        # a raw stream feeding a window-count operator: treat each tuple
+        # as a single-row batch
+        self.on_batch([row], event_time, event_time)

@@ -1,0 +1,14 @@
+"""Transactions: MVCC snapshots, the transaction manager, and the
+paper's *window consistency* extension (Section 4) under which a CQ sees
+table updates only at window boundaries.
+"""
+
+from repro.txn.mvcc import Snapshot, Transaction, TransactionManager
+from repro.txn.window_consistency import WindowConsistentView
+
+__all__ = [
+    "Snapshot",
+    "Transaction",
+    "TransactionManager",
+    "WindowConsistentView",
+]

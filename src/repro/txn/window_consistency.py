@@ -1,0 +1,34 @@
+"""Window consistency: the paper's continuous-isolation semantics.
+
+Section 4: "a notion of window consistency ... ensures that updates to
+tables are visible only on window boundaries".  A long-running CQ holds a
+:class:`WindowConsistentView`; every table access inside the CQ reads
+through the view's current snapshot, and the streaming runtime calls
+:meth:`WindowConsistentView.refresh` exactly when a window closes.  Table
+commits that land mid-window therefore become visible together, at the
+next boundary — never halfway through producing one window's output.
+"""
+
+from __future__ import annotations
+
+from repro.txn.mvcc import Snapshot, TransactionManager
+
+
+class WindowConsistentView:
+    """A snapshot holder refreshed only at window boundaries."""
+
+    def __init__(self, manager: TransactionManager):
+        self._manager = manager
+        self._snapshot = manager.take_snapshot()
+        self.refresh_count = 0
+
+    @property
+    def snapshot(self) -> Snapshot:
+        """The snapshot CQ table-reads must use right now."""
+        return self._snapshot
+
+    def refresh(self) -> Snapshot:
+        """Advance to a fresh snapshot (call on window close only)."""
+        self._snapshot = self._manager.take_snapshot()
+        self.refresh_count += 1
+        return self._snapshot

@@ -1,0 +1,51 @@
+"""SQL type system: data types, value coercion, timestamps and intervals.
+
+Values are represented as plain Python objects (``int``, ``float``, ``str``,
+``bool``, ``None``); TIMESTAMP values are epoch seconds as ``float`` and
+INTERVAL values are second counts as ``float``.  The classes in
+:mod:`repro.types.datatypes` describe the declared SQL types and perform
+coercion/validation; :mod:`repro.types.temporal` parses timestamp and
+interval literals.
+"""
+
+from repro.types.datatypes import (
+    BooleanType,
+    DataType,
+    DoubleType,
+    IntegerType,
+    IntervalType,
+    TimestampType,
+    VarcharType,
+    type_from_name,
+)
+from repro.types.temporal import (
+    format_timestamp,
+    parse_interval,
+    parse_timestamp,
+)
+from repro.types.values import (
+    NULL,
+    sql_compare,
+    sql_equal,
+    sql_like,
+    sql_sort_key,
+)
+
+__all__ = [
+    "DataType",
+    "BooleanType",
+    "IntegerType",
+    "DoubleType",
+    "VarcharType",
+    "TimestampType",
+    "IntervalType",
+    "type_from_name",
+    "parse_interval",
+    "parse_timestamp",
+    "format_timestamp",
+    "NULL",
+    "sql_compare",
+    "sql_equal",
+    "sql_like",
+    "sql_sort_key",
+]

@@ -1,0 +1,168 @@
+"""Parsing and formatting of TIMESTAMP and INTERVAL literals.
+
+Internally a timestamp is a ``float`` of epoch seconds (UTC) and an
+interval is a ``float`` of seconds.  This keeps window arithmetic —
+the heart of the streaming engine — to plain float math.
+"""
+
+from __future__ import annotations
+
+import datetime as _dt
+import re
+
+from repro.errors import TypeError_
+
+#: seconds per unit, keyed by the singular unit name
+_UNIT_SECONDS = {
+    "microsecond": 1e-6,
+    "millisecond": 1e-3,
+    "second": 1.0,
+    "minute": 60.0,
+    "hour": 3600.0,
+    "day": 86400.0,
+    "week": 7 * 86400.0,
+    "month": 30 * 86400.0,
+    "year": 365 * 86400.0,
+}
+
+#: common abbreviations accepted in interval literals
+_UNIT_ALIASES = {
+    "us": "microsecond",
+    "usec": "microsecond",
+    "ms": "millisecond",
+    "msec": "millisecond",
+    "s": "second",
+    "sec": "second",
+    "secs": "second",
+    "m": "minute",
+    "min": "minute",
+    "mins": "minute",
+    "h": "hour",
+    "hr": "hour",
+    "hrs": "hour",
+    "d": "day",
+    "w": "week",
+    "mon": "month",
+    "mons": "month",
+    "y": "year",
+    "yr": "year",
+    "yrs": "year",
+}
+
+_INTERVAL_PART = re.compile(
+    r"\s*([+-]?\d+(?:\.\d+)?)\s*([a-zA-Z]+)\s*"
+)
+
+_CLOCK_INTERVAL = re.compile(
+    r"^\s*([+-]?)(\d+):(\d{1,2})(?::(\d{1,2}(?:\.\d+)?))?\s*$"
+)
+
+
+def parse_interval(text) -> float:
+    """Parse an interval literal into seconds.
+
+    Accepts PostgreSQL-style literals such as ``'5 minutes'``,
+    ``'1 week'``, ``'1 hour 30 minutes'``, clock syntax ``'01:30:00'``
+    and bare numbers (seconds).  Numeric input passes straight through.
+
+    >>> parse_interval('5 minutes')
+    300.0
+    >>> parse_interval('1 hour 30 minutes')
+    5400.0
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    if not isinstance(text, str):
+        raise TypeError_(f"cannot parse interval from {text!r}")
+
+    stripped = text.strip()
+    if not stripped:
+        raise TypeError_("empty interval literal")
+
+    clock = _CLOCK_INTERVAL.match(stripped)
+    if clock:
+        sign = -1.0 if clock.group(1) == "-" else 1.0
+        hours = float(clock.group(2))
+        minutes = float(clock.group(3))
+        seconds = float(clock.group(4) or 0.0)
+        return sign * (hours * 3600.0 + minutes * 60.0 + seconds)
+
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+
+    total = 0.0
+    pos = 0
+    matched_any = False
+    while pos < len(stripped):
+        match = _INTERVAL_PART.match(stripped, pos)
+        if not match:
+            raise TypeError_(f"invalid interval literal: {text!r}")
+        quantity = float(match.group(1))
+        unit = match.group(2).lower()
+        unit = _UNIT_ALIASES.get(unit, unit)
+        if unit.endswith("s") and unit not in _UNIT_SECONDS:
+            unit = unit[:-1]
+        if unit not in _UNIT_SECONDS:
+            raise TypeError_(f"unknown interval unit {match.group(2)!r}")
+        total += quantity * _UNIT_SECONDS[unit]
+        matched_any = True
+        pos = match.end()
+    if not matched_any:
+        raise TypeError_(f"invalid interval literal: {text!r}")
+    return total
+
+
+_TS_FORMATS = (
+    "%Y-%m-%d %H:%M:%S.%f",
+    "%Y-%m-%d %H:%M:%S",
+    "%Y-%m-%dT%H:%M:%S.%f",
+    "%Y-%m-%dT%H:%M:%S",
+    "%Y-%m-%d %H:%M",
+    "%Y-%m-%d",
+)
+
+
+def parse_timestamp(text) -> float:
+    """Parse a timestamp literal into epoch seconds (UTC).
+
+    Accepts ISO-style date/time strings and raw epoch numbers.
+
+    >>> parse_timestamp('1970-01-01 00:01:00')
+    60.0
+    """
+    if isinstance(text, (int, float)) and not isinstance(text, bool):
+        return float(text)
+    if isinstance(text, _dt.datetime):
+        if text.tzinfo is None:
+            text = text.replace(tzinfo=_dt.timezone.utc)
+        return text.timestamp()
+    if not isinstance(text, str):
+        raise TypeError_(f"cannot parse timestamp from {text!r}")
+
+    stripped = text.strip()
+    try:
+        return float(stripped)
+    except ValueError:
+        pass
+    for fmt in _TS_FORMATS:
+        try:
+            parsed = _dt.datetime.strptime(stripped, fmt)
+        except ValueError:
+            continue
+        parsed = parsed.replace(tzinfo=_dt.timezone.utc)
+        return parsed.timestamp()
+    raise TypeError_(f"invalid timestamp literal: {text!r}")
+
+
+def format_timestamp(epoch: float) -> str:
+    """Render epoch seconds as an ISO string (UTC, microsecond precision).
+
+    >>> format_timestamp(60.0)
+    '1970-01-01 00:01:00'
+    """
+    moment = _dt.datetime.fromtimestamp(epoch, tz=_dt.timezone.utc)
+    if moment.microsecond:
+        return moment.strftime("%Y-%m-%d %H:%M:%S.%f")
+    return moment.strftime("%Y-%m-%d %H:%M:%S")

@@ -1,0 +1,140 @@
+"""Runtime value semantics: SQL three-valued comparisons, sorting, LIKE.
+
+SQL NULL is represented by Python ``None``.  Comparisons involving NULL
+return ``None`` (unknown); the executor treats unknown as false in WHERE
+clauses, per the standard.
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.errors import TypeError_
+
+#: canonical NULL value (an alias for readability in engine code)
+NULL = None
+
+
+def _comparable(left, right):
+    """Normalise a pair of values so Python comparison is meaningful."""
+    if isinstance(left, bool) or isinstance(right, bool):
+        if isinstance(left, bool) and isinstance(right, bool):
+            return int(left), int(right)
+        # bool vs number compares numerically, bool vs string is an error
+        if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+            return float(left), float(right)
+        raise TypeError_(f"cannot compare {left!r} with {right!r}")
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return left, right
+    if isinstance(left, str) and isinstance(right, str):
+        return left, right
+    raise TypeError_(f"cannot compare {left!r} with {right!r}")
+
+
+def sql_compare(left, right):
+    """Three-valued comparison: -1/0/1, or ``None`` if either side is NULL.
+
+    >>> sql_compare(1, 2)
+    -1
+    >>> sql_compare('b', 'b')
+    0
+    >>> sql_compare(None, 1) is None
+    True
+    """
+    if left is None or right is None:
+        return None
+    lhs, rhs = _comparable(left, right)
+    if lhs < rhs:
+        return -1
+    if lhs > rhs:
+        return 1
+    return 0
+
+
+def sql_equal(left, right):
+    """Three-valued equality (``None`` when either side is NULL)."""
+    comparison = sql_compare(left, right)
+    if comparison is None:
+        return None
+    return comparison == 0
+
+
+class _SortKey:
+    """Wrapper making heterogeneous rows orderable with NULLS LAST."""
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        self.value = value
+
+    def _rank(self):
+        # NULLs sort after every non-null value (ascending), matching
+        # PostgreSQL's default NULLS LAST behaviour.
+        value = self.value
+        if value is None:
+            return 2, 0
+        if isinstance(value, bool):
+            return 0, float(value)
+        if isinstance(value, (int, float)):
+            return 0, float(value)
+        return 1, value
+
+    def __lt__(self, other):
+        srank, sval = self._rank()
+        orank, oval = other._rank()
+        if srank != orank:
+            return srank < orank
+        return sval < oval
+
+    def __eq__(self, other):
+        return self._rank() == other._rank()
+
+
+def sql_sort_key(value) -> _SortKey:
+    """Key function for sorting SQL values (numbers < strings < NULL)."""
+    return _SortKey(value)
+
+
+_LIKE_CACHE: dict = {}
+
+
+def _like_regex(pattern: str) -> re.Pattern:
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        out = []
+        i = 0
+        while i < len(pattern):
+            ch = pattern[i]
+            if ch == "\\" and i + 1 < len(pattern):
+                out.append(re.escape(pattern[i + 1]))
+                i += 2
+                continue
+            if ch == "%":
+                out.append(".*")
+            elif ch == "_":
+                out.append(".")
+            else:
+                out.append(re.escape(ch))
+            i += 1
+        compiled = re.compile("^" + "".join(out) + "$", re.DOTALL)
+        if len(_LIKE_CACHE) > 4096:
+            _LIKE_CACHE.clear()
+        _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def sql_like(value, pattern, case_insensitive: bool = False):
+    """SQL LIKE / ILIKE; three-valued (NULL input gives NULL).
+
+    >>> sql_like('hello', 'he%')
+    True
+    >>> sql_like('hello', 'H_llo', case_insensitive=True)
+    True
+    """
+    if value is None or pattern is None:
+        return None
+    if not isinstance(value, str) or not isinstance(pattern, str):
+        raise TypeError_("LIKE requires string operands")
+    if case_insensitive:
+        return _like_regex(pattern.lower()).match(value.lower()) is not None
+    return _like_regex(pattern).match(value) is not None

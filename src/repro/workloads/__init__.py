@@ -1,0 +1,23 @@
+"""Synthetic workload generators standing in for production feeds.
+
+The paper's motivating workloads are network-effect clickstreams and
+security event feeds: additive, time-ordered, Zipf-skewed keys, known
+queries.  These generators reproduce those properties deterministically
+(seeded) so every experiment is repeatable.
+"""
+
+from repro.workloads.generators import (
+    ArrivalProcess,
+    ZipfGenerator,
+    growth_series,
+)
+from repro.workloads.clickstream import ClickstreamGenerator
+from repro.workloads.security import SecurityEventGenerator
+
+__all__ = [
+    "ZipfGenerator",
+    "ArrivalProcess",
+    "growth_series",
+    "ClickstreamGenerator",
+    "SecurityEventGenerator",
+]

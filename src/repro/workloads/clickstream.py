@@ -1,0 +1,53 @@
+"""Clickstream generator: the paper's url_stream workload (Example 1).
+
+Produces ``(url, atime, client_ip)`` tuples — Zipf-popular URLs, a pool
+of client IPs, and a configurable arrival process — matching the schema
+of the paper's ``url_stream``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, List, Tuple
+
+from repro.workloads.generators import ArrivalProcess, ZipfGenerator
+
+ClickEvent = Tuple[str, float, str]  # (url, atime, client_ip)
+
+#: DDL for the stream these events feed (verbatim from the paper)
+URL_STREAM_DDL = """
+CREATE STREAM url_stream (
+    url varchar(1024),
+    atime timestamp CQTIME USER,
+    client_ip varchar(50)
+)
+"""
+
+
+class ClickstreamGenerator:
+    """Deterministic stream of page-view events."""
+
+    def __init__(self, n_urls: int = 1000, n_clients: int = 500,
+                 zipf_s: float = 1.1, rate_per_second: float = 100.0,
+                 start_time: float = 0.0, arrival_kind: str = "uniform",
+                 seed: int = 42):
+        self.n_urls = n_urls
+        self._urls = ZipfGenerator(n_urls, zipf_s, seed)
+        self._arrivals = ArrivalProcess(rate_per_second, start_time,
+                                        arrival_kind, seed + 1)
+        self._rng = random.Random(seed + 2)
+        self.n_clients = n_clients
+
+    def url_name(self, index: int) -> str:
+        return f"/page/{index:05d}"
+
+    def events(self, count: int) -> Iterator[ClickEvent]:
+        """Yield ``count`` events in non-decreasing time order."""
+        for _ in range(count):
+            url = self.url_name(self._urls.draw())
+            atime = self._arrivals.next_time()
+            client = f"10.0.{self._rng.randrange(256)}.{self._rng.randrange(256)}"
+            yield (url, atime, client)
+
+    def batch(self, count: int) -> List[ClickEvent]:
+        return list(self.events(count))

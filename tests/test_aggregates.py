@@ -1,0 +1,185 @@
+"""Tests for aggregate functions — especially the merge property that
+slice sharing depends on: splitting the input anywhere and merging the
+partial states must equal aggregating the whole input at once."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import BindError
+from repro.exec.aggregates import is_aggregate_name, make_aggregate
+
+
+def run(agg, values):
+    state = agg.create()
+    for value in values:
+        state = agg.add(state, value)
+    return agg.result(state)
+
+
+def run_split(agg, values, split):
+    left = agg.create()
+    for value in values[:split]:
+        left = agg.add(left, value)
+    right = agg.create()
+    for value in values[split:]:
+        right = agg.add(right, value)
+    return agg.result(agg.merge(left, right))
+
+
+class TestBasics:
+    def test_count_star(self):
+        agg = make_aggregate("count", star=True)
+        assert run(agg, [1, None, 3]) == 3
+
+    def test_count_skips_nulls(self):
+        agg = make_aggregate("count")
+        assert run(agg, [1, None, 3]) == 2
+
+    def test_count_distinct(self):
+        agg = make_aggregate("count", distinct=True)
+        assert run(agg, [1, 1, 2, None, 2]) == 2
+
+    def test_sum(self):
+        assert run(make_aggregate("sum"), [1, 2, 3]) == 6
+
+    def test_sum_empty_is_null(self):
+        assert run(make_aggregate("sum"), []) is None
+
+    def test_sum_ignores_nulls(self):
+        assert run(make_aggregate("sum"), [None, 5, None]) == 5
+
+    def test_avg(self):
+        assert run(make_aggregate("avg"), [2, 4, 6]) == 4.0
+
+    def test_avg_empty_is_null(self):
+        assert run(make_aggregate("avg"), []) is None
+
+    def test_min_max(self):
+        assert run(make_aggregate("min"), [3, 1, 2]) == 1
+        assert run(make_aggregate("max"), [3, 1, 2]) == 3
+
+    def test_min_strings(self):
+        assert run(make_aggregate("min"), ["b", "a", "c"]) == "a"
+
+    def test_stddev(self):
+        result = run(make_aggregate("stddev"), [2, 4, 4, 4, 5, 5, 7, 9])
+        assert result == pytest.approx(2.138089935299395)
+
+    def test_stddev_pop(self):
+        result = run(make_aggregate("stddev_pop"), [2, 4, 4, 4, 5, 5, 7, 9])
+        assert result == pytest.approx(2.0)
+
+    def test_variance_single_value_null(self):
+        assert run(make_aggregate("variance"), [5]) is None
+
+    def test_bool_and_or(self):
+        assert run(make_aggregate("bool_and"), [True, True]) is True
+        assert run(make_aggregate("bool_and"), [True, False]) is False
+        assert run(make_aggregate("bool_or"), [False, True]) is True
+        assert run(make_aggregate("bool_or"), [False, False]) is False
+
+    def test_string_agg(self):
+        assert run(make_aggregate("string_agg"), ["a", "b"]) == "a,b"
+        assert run(make_aggregate("string_agg"), []) is None
+
+    def test_unknown_aggregate(self):
+        with pytest.raises(BindError):
+            make_aggregate("mode")
+
+    def test_median(self):
+        assert run(make_aggregate("median"), [1, 9, 5]) == 5
+        assert run(make_aggregate("median"), [1, 9, 5, 3]) == 4.0
+        assert run(make_aggregate("median"), []) is None
+        assert run(make_aggregate("median"), [None, 7]) == 7
+
+    def test_distinct_only_for_count(self):
+        with pytest.raises(BindError):
+            make_aggregate("sum", distinct=True)
+
+    def test_is_aggregate_name(self):
+        assert is_aggregate_name("COUNT")
+        assert is_aggregate_name("sum")
+        assert not is_aggregate_name("lower")
+
+
+NAMES = ["count", "sum", "avg", "min", "max", "stddev", "variance"]
+
+values_strategy = st.lists(
+    st.one_of(st.none(), st.integers(min_value=-1000, max_value=1000)),
+    max_size=40,
+)
+
+
+class TestMergeEquivalence:
+    """merge(partial(a), partial(b)) == whole(a + b) — the slice-sharing
+    correctness property (paper refs [4, 12])."""
+
+    @given(values_strategy, st.integers(min_value=0, max_value=40))
+    def test_numeric_aggregates(self, values, split):
+        split = min(split, len(values))
+        for name in NAMES:
+            agg = make_aggregate(name)
+            whole = run(agg, values)
+            merged = run_split(agg, values, split)
+            if whole is None or merged is None:
+                assert whole == merged, name
+            else:
+                assert math.isclose(whole, merged, rel_tol=1e-9,
+                                    abs_tol=1e-9), name
+
+    @given(values_strategy, st.integers(min_value=0, max_value=40))
+    def test_count_star(self, values, split):
+        split = min(split, len(values))
+        agg = make_aggregate("count", star=True)
+        assert run(agg, values) == run_split(agg, values, split)
+
+    @given(st.lists(st.one_of(st.none(),
+                              st.integers(min_value=0, max_value=20)),
+                    max_size=40),
+           st.integers(min_value=0, max_value=40))
+    def test_count_distinct(self, values, split):
+        split = min(split, len(values))
+        agg = make_aggregate("count", distinct=True)
+        assert run(agg, values) == run_split(agg, values, split)
+
+    @given(st.lists(st.booleans(), max_size=20),
+           st.integers(min_value=0, max_value=20))
+    def test_bools(self, values, split):
+        split = min(split, len(values))
+        for name in ("bool_and", "bool_or"):
+            agg = make_aggregate(name)
+            assert run(agg, values) == run_split(agg, values, split), name
+
+    @given(values_strategy)
+    def test_merge_with_empty_is_identity(self, values):
+        for name in NAMES:
+            agg = make_aggregate(name)
+            state = agg.create()
+            for value in values:
+                state = agg.add(state, value)
+            merged = agg.merge(state, agg.create())
+            whole, with_empty = agg.result(state), agg.result(merged)
+            if whole is None or with_empty is None:
+                assert whole == with_empty, name
+            else:
+                assert math.isclose(whole, with_empty, rel_tol=1e-9,
+                                    abs_tol=1e-9), name
+
+    @given(values_strategy, st.integers(min_value=0, max_value=40))
+    def test_merge_does_not_mutate_inputs(self, values, split):
+        """Sharing merges the same slice states many times; merge must
+        be pure."""
+        split = min(split, len(values))
+        for name in NAMES + ["string_agg"]:
+            agg = make_aggregate(name)
+            left = agg.create()
+            for value in values[:split]:
+                left = agg.add(left, value)
+            right = agg.create()
+            for value in values[split:]:
+                right = agg.add(right, value)
+            first = agg.result(agg.merge(left, right))
+            second = agg.result(agg.merge(left, right))  # merge again
+            assert first == second, name

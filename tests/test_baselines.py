@@ -1,0 +1,187 @@
+"""Tests for the three baseline architectures."""
+
+import pytest
+
+from repro import Database
+from repro.baselines import (
+    BatchRefreshMV,
+    BatchWarehouse,
+    MiniMapReduce,
+    rollup_job,
+)
+from repro.baselines.mapreduce import MapReduceJob
+
+
+class TestBatchWarehouse:
+    def make(self, rows=200):
+        wh = BatchWarehouse(buffer_pages=16)
+        wh.create_raw_table(
+            "CREATE TABLE raw (k varchar(20), v integer, ts timestamp)")
+        wh.ingest("raw", [(f"k{i % 5}", i, float(i)) for i in range(rows)])
+        return wh
+
+    def test_ingest_counts_and_charges_writes(self):
+        wh = self.make()
+        assert wh.rows_loaded == 200
+        assert wh.load_cost.io.pages_written > 0
+        assert wh.load_cost.sim_seconds > 0
+
+    def test_report_correctness(self):
+        wh = self.make()
+        result, _cost = wh.report(
+            "SELECT k, count(*) FROM raw GROUP BY k ORDER BY k")
+        assert result.rows[0] == ("k0", 40)
+
+    def test_cold_report_charges_reads(self):
+        wh = self.make()
+        _result, cost = wh.report("SELECT count(*) FROM raw", cold_cache=True)
+        assert cost.io.pages_read > 0
+
+    def test_warm_report_cheaper(self):
+        wh = BatchWarehouse(buffer_pages=4096)
+        wh.create_raw_table(
+            "CREATE TABLE raw (k varchar(20), v integer, ts timestamp)")
+        wh.ingest("raw", [(f"k{i}", i, float(i)) for i in range(100)])
+        _r1, cold = wh.report("SELECT count(*) FROM raw", cold_cache=True)
+        _r2, warm = wh.report("SELECT count(*) FROM raw", cold_cache=False)
+        assert warm.io.pages_read < cold.io.pages_read
+
+    def test_report_cost_scales_with_data(self):
+        small = self.make(rows=200)
+        large = self.make(rows=2000)
+        _r, cost_small = small.report("SELECT count(*) FROM raw")
+        _r, cost_large = large.report("SELECT count(*) FROM raw")
+        assert cost_large.io.pages_read > cost_small.io.pages_read * 3
+
+    def test_report_suite_accumulates(self):
+        wh = self.make()
+        total = wh.report_suite(["SELECT count(*) FROM raw"] * 3)
+        assert total.io.pages_read > 0
+        _r, one = wh.report("SELECT count(*) FROM raw")
+        assert total.sim_seconds > one.sim_seconds * 2
+
+
+class TestBatchRefreshMV:
+    def make_db(self, rows=60):
+        db = Database()
+        db.execute("CREATE TABLE base (k varchar(10), v integer, "
+                   "ts timestamp)")
+        db.insert_table(
+            "base", [(f"k{i % 3}", 1, float(i)) for i in range(rows)])
+        return db
+
+    def test_full_refresh(self):
+        db = self.make_db()
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("count", None), ("sum", "v")], "ts", "full")
+        mv.refresh(up_to_time=60.0)
+        assert sorted(mv.query()) == [
+            ("k0", 20, 20), ("k1", 20, 20), ("k2", 20, 20)]
+
+    def test_incremental_refresh_matches_full(self):
+        db_full = self.make_db()
+        db_inc = self.make_db()
+        full = BatchRefreshMV(db_full, "mv", "base", ["k"],
+                              [("count", None)], "ts", "full")
+        inc = BatchRefreshMV(db_inc, "mv", "base", ["k"],
+                             [("count", None)], "ts", "incremental")
+        for t in (20.0, 40.0, 60.0):
+            full.refresh(up_to_time=t)
+            inc.refresh(up_to_time=t)
+        assert sorted(full.query()) == sorted(inc.query())
+
+    def test_incremental_processes_only_delta(self):
+        db = self.make_db()
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("count", None)], "ts", "incremental")
+        first = mv.refresh(up_to_time=30.0)
+        second = mv.refresh(up_to_time=60.0)
+        assert first.rows_processed == 30
+        assert second.rows_processed == 30
+
+    def test_full_reprocesses_everything(self):
+        db = self.make_db()
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("count", None)], "ts", "full")
+        mv.refresh(up_to_time=30.0)
+        second = mv.refresh(up_to_time=60.0)
+        assert second.rows_processed == 60
+
+    def test_staleness(self):
+        db = self.make_db()
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("count", None)], "ts", "full")
+        assert mv.staleness(100.0) == float("inf")
+        mv.refresh(up_to_time=60.0)
+        assert mv.staleness(100.0) == 40.0
+
+    def test_min_max_merge(self):
+        db = Database()
+        db.execute("CREATE TABLE base (k varchar(10), v integer, ts timestamp)")
+        db.insert_table("base", [("a", 5, 1.0), ("a", 9, 2.0)])
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("min", "v"), ("max", "v")], "ts", "incremental")
+        mv.refresh(up_to_time=1.5)
+        db.insert_table("base", [("a", 1, 3.0)])
+        mv.refresh(up_to_time=10.0)
+        assert mv.query() == [("a", 1, 9)]
+
+    def test_refresh_cost_accounted(self):
+        db = self.make_db(rows=500)
+        mv = BatchRefreshMV(db, "mv", "base", ["k"],
+                            [("count", None)], "ts", "full")
+        cost = mv.refresh(up_to_time=1000.0)
+        assert cost.sim_seconds > 0
+        assert mv.refresh_count == 1
+
+
+class TestMiniMapReduce:
+    def test_rollup_correct(self):
+        mr = MiniMapReduce()
+        result = mr.run(rollup_job(lambda r: r[0]),
+                        [("a", 1), ("b", 2), ("a", 3)])
+        assert sorted(result.rows) == [("a", 2), ("b", 1)]
+
+    def test_sum_rollup(self):
+        mr = MiniMapReduce()
+        result = mr.run(rollup_job(lambda r: r[0], lambda r: r[1]),
+                        [("a", 1), ("b", 2), ("a", 3)])
+        assert sorted(result.rows) == [("a", 4), ("b", 2)]
+
+    def test_charges_all_phases(self):
+        mr = MiniMapReduce()
+        rows = [(f"key{i % 10}", i) for i in range(5000)]
+        result = mr.run(rollup_job(lambda r: r[0]), rows)
+        assert result.bytes_read > 0
+        assert result.bytes_shuffled > 0
+        assert result.bytes_written > 0
+        assert result.io.pages_read > 0
+        assert result.io.pages_written > 0
+
+    def test_combiner_shrinks_shuffle(self):
+        rows = [(f"key{i % 3}", 1) for i in range(10000)]
+        with_combiner = MiniMapReduce().run(rollup_job(lambda r: r[0]), rows)
+        job = rollup_job(lambda r: r[0])
+        no_combiner = MiniMapReduce().run(
+            MapReduceJob(job.mapper, job.reducer, None), rows)
+        assert with_combiner.bytes_shuffled < no_combiner.bytes_shuffled / 100
+        assert sorted(with_combiner.rows) == sorted(no_combiner.rows)
+
+    def test_custom_job(self):
+        def mapper(row):
+            for word in row[0].split():
+                yield word, 1
+
+        def reducer(key, values):
+            yield (key, sum(values))
+
+        mr = MiniMapReduce()
+        result = mr.run(MapReduceJob(mapper, reducer),
+                        [("the quick the",), ("quick",)])
+        assert sorted(result.rows) == [("quick", 2), ("the", 2)]
+
+    def test_partition_count_does_not_change_result(self):
+        rows = [(f"k{i % 7}", 1) for i in range(100)]
+        a = MiniMapReduce(num_partitions=1).run(rollup_job(lambda r: r[0]), rows)
+        b = MiniMapReduce(num_partitions=8).run(rollup_job(lambda r: r[0]), rows)
+        assert sorted(a.rows) == sorted(b.rows)

@@ -1,0 +1,88 @@
+"""Tests for the benchmark harness utilities (metrics + reporting)."""
+
+import os
+
+import pytest
+
+from repro import Database
+from repro.bench.harness import format_table, format_value, write_report
+from repro.bench.metrics import Measurement, measure
+
+
+class TestMeasure:
+    def test_interval_io(self):
+        db = Database(buffer_pages=8)
+        db.execute("CREATE TABLE t (a varchar(2000))")
+        with measure(db, "load") as m:
+            db.insert_table("t", [("x" * 1500,)] * 50)
+            db.storage.pool.flush()
+        assert m.label == "load"
+        assert m.pages_written > 0
+        assert m.wall_seconds > 0
+        assert m.sim_seconds == pytest.approx(
+            db.disk.elapsed_seconds(m.io))
+
+    def test_nothing_happened(self):
+        db = Database()
+        with measure(db) as m:
+            pass
+        assert m.pages_read == 0
+        assert m.sim_seconds == 0.0
+
+    def test_measurement_repr(self):
+        m = Measurement("x")
+        assert "x" in repr(m)
+
+
+class TestFormatting:
+    def test_format_value(self):
+        assert format_value(None) == "-"
+        assert format_value(1234567) == "1,234,567"
+        assert format_value(0.5) == "0.500"
+        assert format_value(1.5e-7) == "1.500e-07"
+        assert format_value(2.3e9) == "2.300e+09"
+        assert format_value("text") == "text"
+
+    def test_format_table_alignment(self):
+        text = format_table(["name", "n"], [["a", 1], ["bb", 22]],
+                            title="T")
+        lines = text.split("\n")
+        assert lines[0] == "T"
+        widths = {len(line) for line in lines[2:]}
+        assert len(widths) == 1  # all rows equal width
+
+    def test_write_report(self, tmp_path, monkeypatch):
+        import repro.bench.harness as harness
+        monkeypatch.setattr(harness, "RESULTS_DIR", str(tmp_path))
+        path = write_report("TEST_ID", "hello")
+        assert os.path.exists(path)
+        with open(path) as f:
+            assert f.read().strip() == "hello"
+
+
+class TestDatabaseClose:
+    def test_close_stops_everything(self):
+        db = Database()
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        db.execute_script("""
+            CREATE STREAM agg AS SELECT count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'>;
+            CREATE TABLE arch (c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM agg INTO arch APPEND;
+        """)
+        sub = db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        db.close()
+        db.insert_stream("s", [(1, 5.0)])
+        db.advance_streams(60.0)
+        assert sub.poll() == []
+        assert db.table_rows("arch") == []
+        # snapshot queries still work after close
+        assert db.query("SELECT count(*) FROM arch").scalar() == 0
+
+    def test_context_manager(self):
+        with Database() as db:
+            db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            sub = db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        db.insert_stream("s", [(1, 5.0)])
+        db.advance_streams(60.0)
+        assert sub.poll() == []

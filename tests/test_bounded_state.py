@@ -1,0 +1,113 @@
+"""Soak/invariant tests: runtime state must stay bounded under load.
+
+A continuous system that leaks window-buffer or slice state dies in
+production; these tests drive moderate volumes and assert the in-memory
+structures stay at their theoretical bounds.
+"""
+
+import pytest
+
+from repro import Database
+
+
+class TestWindowBufferBounds:
+    def test_sliding_window_buffer_bounded(self):
+        db = Database()
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT count(*) FROM s <VISIBLE '5 minutes' ADVANCE '1 minute'>")
+        op = sub.cq._window_op
+        rate = 20  # per minute
+        for minute in range(60):
+            db.insert_stream("s", [
+                (i, minute * 60.0 + i * (60.0 / rate)) for i in range(rate)])
+            # buffer may never exceed one VISIBLE of rows plus in-flight
+            assert op.buffered <= 5 * rate + rate
+        assert sub.stats.windows_evaluated >= 59
+
+    def test_slack_buffer_drains(self):
+        db = Database(stream_slack=30.0)
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        stream = db.get_stream("s")
+        for i in range(5000):
+            stream.insert((i, float(i)))
+            assert len(stream._pending) <= 32  # ~slack x 1 event/second
+        assert stream.watermark >= 4969.0
+
+    def test_retention_tail_bounded(self):
+        db = Database(stream_retention=60.0)
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        stream = db.get_stream("s")
+        for i in range(5000):
+            stream.insert((i, float(i)))
+        assert len(stream._tail) <= 62
+
+
+class TestSharedSliceBounds:
+    def test_slice_store_bounded_by_max_window(self):
+        db = Database(share_slices=True)
+        db.execute("CREATE STREAM s (k varchar(5), ts timestamp CQTIME USER)")
+        for minutes in (1, 5, 10):
+            db.subscribe(
+                f"SELECT k, count(*) FROM s <VISIBLE '{minutes} minutes' "
+                "ADVANCE '1 minute'> GROUP BY k")
+        aggregator = db.runtime.aggregators()[0]
+        for minute in range(120):
+            db.insert_stream(
+                "s", [("a", minute * 60.0 + i) for i in range(10)])
+            db.advance_streams((minute + 1) * 60.0)
+            # at most max-visible-slices slices retained
+            assert len(aggregator._slices) <= 10
+
+    def test_consumer_detach_shrinks_retention(self):
+        db = Database(share_slices=True)
+        db.execute("CREATE STREAM s (k varchar(5), ts timestamp CQTIME USER)")
+        wide = db.subscribe(
+            "SELECT k, count(*) FROM s <VISIBLE '30 minutes' "
+            "ADVANCE '1 minute'> GROUP BY k")
+        db.subscribe(
+            "SELECT k, count(*) FROM s <VISIBLE '2 minutes' "
+            "ADVANCE '1 minute'> GROUP BY k")
+        aggregator = db.runtime.aggregators()[0]
+        assert aggregator._max_visible_slices() == 30
+        wide.close()
+        assert aggregator._max_visible_slices() == 2
+
+
+class TestTwoStreamPendingBounds:
+    def test_pending_pairs_drained(self):
+        db = Database()
+        db.execute("CREATE STREAM a (v integer, ts timestamp CQTIME USER)")
+        db.execute("CREATE STREAM b (v integer, ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT count(*) FROM a <VISIBLE '1 minute'> x, "
+            "b <VISIBLE '1 minute'> y WHERE x.v = y.v")
+        cq = sub.cq
+        for minute in range(100):
+            t = minute * 60.0 + 1.0
+            db.insert_stream("a", [(minute, t)])
+            db.insert_stream("b", [(minute, t + 0.5)])
+            db.advance_streams((minute + 1) * 60.0)
+            assert len(cq._pending[0]) <= 1
+            assert len(cq._pending[1]) <= 1
+        assert cq.stats.windows_evaluated == 100
+
+
+class TestVersionChurnBounded:
+    def test_vacuumed_replace_table_stays_small(self):
+        db = Database()
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        db.execute_script("""
+            CREATE STREAM latest AS SELECT count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'>;
+            CREATE TABLE board (c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM latest INTO board REPLACE;
+        """)
+        table = db.get_table("board")
+        for minute in range(200):
+            db.insert_stream("s", [(1, minute * 60.0 + 1)])
+            db.advance_streams((minute + 1) * 60.0)
+            if minute % 10 == 9:
+                db.vacuum("board")
+                assert table.heap.row_count <= 11
+        assert len(db.table_rows("board")) == 1

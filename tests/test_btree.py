@@ -1,0 +1,180 @@
+"""Tests for the B+tree index, including a model-based hypothesis check."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.storage.btree import BPlusTree
+from repro.storage.buffer import BufferPool
+from repro.storage.disk import SimulatedDisk
+
+
+def make_tree(order=4):
+    return BPlusTree("idx", "t", ["k"], order=order)
+
+
+class TestBasics:
+    def test_insert_search(self):
+        tree = make_tree()
+        tree.insert(("a",), (0, 0))
+        assert tree.search(("a",)) == [(0, 0)]
+
+    def test_missing_key(self):
+        assert make_tree().search(("zz",)) == []
+
+    def test_duplicates_bucket(self):
+        tree = make_tree()
+        tree.insert((1,), (0, 0))
+        tree.insert((1,), (0, 1))
+        assert sorted(tree.search((1,))) == [(0, 0), (0, 1)]
+
+    def test_len_counts_entries(self):
+        tree = make_tree()
+        for i in range(10):
+            tree.insert((i,), (0, i))
+        assert len(tree) == 10
+
+    def test_delete(self):
+        tree = make_tree()
+        tree.insert((1,), (0, 0))
+        tree.insert((1,), (0, 1))
+        assert tree.delete((1,), (0, 0))
+        assert tree.search((1,)) == [(0, 1)]
+        assert len(tree) == 1
+
+    def test_delete_missing_returns_false(self):
+        tree = make_tree()
+        tree.insert((1,), (0, 0))
+        assert not tree.delete((2,), (0, 0))
+        assert not tree.delete((1,), (9, 9))
+
+    def test_splits_preserve_search(self):
+        tree = make_tree(order=4)
+        for i in range(200):
+            tree.insert((i,), (0, i))
+        for i in range(200):
+            assert tree.search((i,)) == [(0, i)]
+
+    def test_items_in_key_order(self):
+        tree = make_tree(order=4)
+        keys = list(range(100))
+        random.Random(1).shuffle(keys)
+        for k in keys:
+            tree.insert((k,), (0, k))
+        assert [rid[1] for rid in tree.items()] == list(range(100))
+
+    def test_string_keys(self):
+        tree = make_tree()
+        for word in ["delta", "alpha", "charlie", "bravo"]:
+            tree.insert((word,), (0, word))
+        assert [r[1] for r in tree.items()] == [
+            "alpha", "bravo", "charlie", "delta"]
+
+    def test_composite_keys(self):
+        tree = BPlusTree("idx", "t", ["a", "b"], order=4)
+        tree.insert((1, "x"), (0, 0))
+        tree.insert((1, "y"), (0, 1))
+        assert tree.search((1, "x")) == [(0, 0)]
+
+    def test_null_keys_sort_last(self):
+        tree = make_tree()
+        tree.insert((None,), (0, 0))
+        tree.insert((1,), (0, 1))
+        assert [r[1] for r in tree.items()] == [1, 0]
+
+
+class TestRangeScan:
+    def setup_method(self):
+        self.tree = make_tree(order=4)
+        for i in range(0, 100, 2):  # even numbers
+            self.tree.insert((i,), (0, i))
+
+    def scan(self, lo, hi, li=True, hi_inc=True):
+        lo_t = (lo,) if lo is not None else None
+        hi_t = (hi,) if hi is not None else None
+        return [r[1] for r in self.tree.range_scan(lo_t, hi_t, li, hi_inc)]
+
+    def test_inclusive_range(self):
+        assert self.scan(10, 20) == [10, 12, 14, 16, 18, 20]
+
+    def test_exclusive_bounds(self):
+        assert self.scan(10, 20, li=False, hi_inc=False) == [12, 14, 16, 18]
+
+    def test_open_low(self):
+        assert self.scan(None, 6) == [0, 2, 4, 6]
+
+    def test_open_high(self):
+        assert self.scan(94, None) == [94, 96, 98]
+
+    def test_unbounded(self):
+        assert len(self.scan(None, None)) == 50
+
+    def test_bounds_not_present(self):
+        assert self.scan(11, 15) == [12, 14]
+
+    def test_empty_range(self):
+        assert self.scan(21, 21) == []
+
+
+class TestBufferPoolCharging:
+    def test_lookups_charge_io(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity_pages=128)
+        tree = BPlusTree("idx", "t", ["k"], pool=pool, file_id=7, order=8)
+        for i in range(500):
+            tree.insert((i,), (0, i))
+        pool.clear()
+        before = disk.snapshot()
+        tree.search((250,))
+        delta = disk.snapshot() - before
+        # a cold point lookup reads root-to-leaf, far fewer than all nodes
+        assert 1 <= delta.pages_read <= 6
+
+    def test_warm_lookups_free(self):
+        disk = SimulatedDisk()
+        pool = BufferPool(disk, capacity_pages=128)
+        tree = BPlusTree("idx", "t", ["k"], pool=pool, file_id=7, order=8)
+        for i in range(100):
+            tree.insert((i,), (0, i))
+        tree.search((50,))
+        before = disk.snapshot()
+        tree.search((50,))
+        assert (disk.snapshot() - before).pages_read == 0
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["insert", "delete"]),
+              st.integers(min_value=0, max_value=30)),
+    max_size=200,
+))
+def test_model_based_against_dict(operations):
+    """The tree must agree with a dict-of-lists model under random ops."""
+    tree = make_tree(order=4)
+    model = {}
+    counter = 0
+    for op, key in operations:
+        if op == "insert":
+            rid = (0, counter)
+            counter += 1
+            tree.insert((key,), rid)
+            model.setdefault(key, []).append(rid)
+        else:
+            rids = model.get(key)
+            if rids:
+                rid = rids.pop(0)
+                assert tree.delete((key,), rid)
+                if not rids:
+                    del model[key]
+            else:
+                assert not tree.delete((key,), (9, 9))
+    for key, rids in model.items():
+        assert sorted(tree.search((key,))) == sorted(rids)
+    expected = sorted(
+        (key, rid) for key, rids in model.items() for rid in rids)
+    actual = []
+    for rid in tree.items():
+        actual.append(rid)
+    assert len(actual) == len(expected)
+    assert len(tree) == len(expected)

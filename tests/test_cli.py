@@ -1,0 +1,103 @@
+"""Tests for the interactive TruSQL shell."""
+
+import io
+
+import pytest
+
+from repro.cli import Shell
+
+
+def run_script(lines):
+    out = io.StringIO()
+    shell = Shell(out=out)
+    shell.run(iter(lines))
+    return out.getvalue(), shell
+
+
+class TestShell:
+    def test_ddl_and_query(self):
+        output, _shell = run_script([
+            "CREATE TABLE t (a integer);",
+            "INSERT INTO t VALUES (1), (2);",
+            "SELECT sum(a) FROM t;",
+        ])
+        assert "OK (rowcount=0)" in output
+        assert "OK (rowcount=2)" in output
+        assert "3" in output
+
+    def test_multiline_statement(self):
+        output, _shell = run_script([
+            "CREATE TABLE t (a integer);",
+            "SELECT a",
+            "FROM t",
+            "WHERE a > 0;",
+        ])
+        assert "(0 rows)" in output
+
+    def test_error_reported_not_raised(self):
+        output, _shell = run_script(["SELECT * FROM missing;"])
+        assert "ERROR" in output
+        assert "missing" in output
+
+    def test_cq_becomes_named_subscription(self):
+        output, shell = run_script([
+            "CREATE STREAM s (v integer, ts timestamp CQTIME USER);",
+            "SELECT count(*) FROM s <VISIBLE '1 minute'>;",
+        ])
+        assert "sub1" in output
+        assert "sub1" in shell.subscriptions
+
+    def test_advance_prints_windows(self):
+        output, _shell = run_script([
+            "CREATE STREAM s (v integer, ts timestamp CQTIME USER);",
+            "SELECT count(*) c FROM s <VISIBLE '1 minute'>;",
+            "INSERT INTO s VALUES (7, 5.0);",
+            "\\advance 60",
+        ])
+        assert "window [0, 60)" in output
+
+    def test_flush_prints_windows(self):
+        output, _shell = run_script([
+            "CREATE STREAM s (v integer, ts timestamp CQTIME USER);",
+            "SELECT count(*) c FROM s <VISIBLE '1 minute'>;",
+            "INSERT INTO s VALUES (7, 5.0);",
+            "\\flush",
+        ])
+        assert "flushed" in output
+        assert "window" in output
+
+    def test_describe(self):
+        output, _shell = run_script([
+            "CREATE TABLE t (a integer);",
+            "CREATE STREAM s (v integer, ts timestamp CQTIME USER);",
+            "\\d",
+        ])
+        assert "t " in output and "table" in output
+        assert "s " in output and "stream" in output
+
+    def test_timing_toggle(self):
+        output, _shell = run_script([
+            "\\timing",
+            "SELECT 1;",
+        ])
+        assert "timing on" in output
+        assert "ms wall" in output
+
+    def test_quit_stops_processing(self):
+        output, _shell = run_script([
+            "\\q",
+            "SELECT 1;",
+        ])
+        assert "?column?" not in output
+
+    def test_unknown_command(self):
+        output, _shell = run_script(["\\frobnicate"])
+        assert "unknown command" in output
+
+    def test_help(self):
+        output, _shell = run_script(["\\help"])
+        assert "\\poll" in output
+
+    def test_statement_without_trailing_semicolon_runs_at_eof(self):
+        output, _shell = run_script(["SELECT 40 + 2"])
+        assert "42" in output

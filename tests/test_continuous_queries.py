@@ -1,0 +1,284 @@
+"""End-to-end continuous queries through the Database facade."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanningError, WindowError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE STREAM clicks (url varchar(100), "
+        "ts timestamp CQTIME USER, ip varchar(20))")
+    return database
+
+
+def feed(db, events):
+    db.insert_stream("clicks", events)
+
+
+class TestBasicCQ:
+    def test_select_on_stream_returns_subscription(self, db):
+        from repro.core.results import Subscription
+        sub = db.execute("SELECT url, count(*) FROM clicks "
+                         "<VISIBLE '1 minute'> GROUP BY url")
+        assert isinstance(sub, Subscription)
+
+    def test_subscribe_rejects_snapshot(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        with pytest.raises(PlanningError):
+            db.subscribe("SELECT * FROM t")
+
+    def test_query_rejects_cq(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT * FROM clicks <VISIBLE '1 minute'>")
+
+    def test_tumbling_count(self, db):
+        sub = db.subscribe(
+            "SELECT count(*) FROM clicks <VISIBLE '1 minute'>")
+        feed(db, [("/a", 10.0, "x"), ("/b", 20.0, "x")])
+        db.advance_streams(60.0)
+        feed(db, [("/c", 70.0, "x")])
+        db.advance_streams(120.0)
+        windows = sub.poll()
+        assert [(w.close_time, w.rows) for w in windows] == [
+            (60.0, [(2,)]), (120.0, [(1,)])]
+
+    def test_group_by_top_k(self, db):
+        sub = db.subscribe(
+            "SELECT url, count(*) c FROM clicks <VISIBLE '1 minute'> "
+            "GROUP BY url ORDER BY c DESC LIMIT 2")
+        feed(db, [("/a", 1.0, "x")] * 3 + [("/b", 2.0, "x")] * 2
+             + [("/c", 3.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [("/a", 3), ("/b", 2)]
+
+    def test_sliding_window_overlap(self, db):
+        sub = db.subscribe(
+            "SELECT count(*) FROM clicks <VISIBLE '2 minutes' "
+            "ADVANCE '1 minute'>")
+        feed(db, [("/a", 30.0, "x")])
+        db.advance_streams(180.0)
+        counts = [w.rows[0][0] for w in sub.poll()]
+        # the row is visible in the windows closing at 60 and 120
+        assert counts == [1, 1, 0]
+
+    def test_where_filter(self, db):
+        sub = db.subscribe(
+            "SELECT count(*) FROM clicks <VISIBLE '1 minute'> "
+            "WHERE url LIKE '/a%'")
+        feed(db, [("/a1", 1.0, "x"), ("/b", 2.0, "x"), ("/a2", 3.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(2,)]
+
+    def test_cq_close_column(self, db):
+        sub = db.subscribe(
+            "SELECT count(*), cq_close(*) FROM clicks <VISIBLE '1 minute'>")
+        feed(db, [("/a", 5.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(1, 60.0)]
+
+    def test_row_window_cq(self, db):
+        sub = db.subscribe(
+            "SELECT count(*) FROM clicks <VISIBLE 3 ROWS ADVANCE 3 ROWS>")
+        feed(db, [("/a", float(i), "x") for i in range(6)])
+        assert sub.rows() == [(3,), (3,)]
+
+    def test_close_stops_updates(self, db):
+        sub = db.subscribe("SELECT count(*) FROM clicks <VISIBLE '1 minute'>")
+        feed(db, [("/a", 5.0, "x")])
+        db.advance_streams(60.0)
+        sub.close()
+        feed(db, [("/b", 70.0, "x")])
+        db.advance_streams(120.0)
+        assert [w.close_time for w in sub.poll()] == [60.0]
+
+    def test_latest(self, db):
+        sub = db.subscribe("SELECT count(*) FROM clicks <VISIBLE '1 minute'>")
+        feed(db, [("/a", 5.0, "x")])
+        db.advance_streams(180.0)
+        latest = sub.latest()
+        assert latest.close_time == 180.0
+        assert sub.poll() == []  # drained
+
+    def test_flush_streams_forces_final_window(self, db):
+        sub = db.subscribe("SELECT count(*) FROM clicks <VISIBLE '1 minute'>")
+        feed(db, [("/a", 5.0, "x")])
+        db.flush_streams()
+        assert sub.rows() == [(1,)]
+
+    def test_avg_and_expressions(self, db):
+        db.execute("CREATE STREAM nums (v double, ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT avg(v) * 2, max(v) - min(v) FROM nums <VISIBLE '1 minute'>")
+        db.insert_stream("nums", [(1.0, 1.0), (2.0, 2.0), (3.0, 3.0)])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(4.0, 2.0)]
+
+
+class TestTransformMode:
+    def test_windowless_filter(self, db):
+        sub = db.subscribe("SELECT url, ts FROM clicks WHERE url = '/hot'")
+        feed(db, [("/cold", 1.0, "x"), ("/hot", 2.0, "x"),
+                  ("/hot", 3.0, "x")])
+        rows = sub.rows()
+        assert rows == [("/hot", 2.0), ("/hot", 3.0)]
+
+    def test_windowless_projection(self, db):
+        sub = db.subscribe("SELECT upper(url) FROM clicks")
+        feed(db, [("/a", 1.0, "x")])
+        assert sub.rows() == [("/A",)]
+
+    def test_windowless_aggregate_rejected(self, db):
+        with pytest.raises((WindowError, PlanningError)):
+            db.subscribe("SELECT count(*) FROM clicks")
+
+    def test_windowless_order_rejected(self, db):
+        with pytest.raises(WindowError):
+            db.subscribe("SELECT url FROM clicks ORDER BY url")
+
+
+class TestStreamTableJoin:
+    def test_enrichment_join(self, db):
+        db.execute("CREATE TABLE pages (url varchar(100), owner varchar(20))")
+        db.insert_table("pages", [("/a", "ann"), ("/b", "bob")])
+        sub = db.subscribe(
+            "SELECT p.owner, count(*) FROM clicks <VISIBLE '1 minute'> c, "
+            "pages p WHERE c.url = p.url GROUP BY p.owner ORDER BY p.owner")
+        feed(db, [("/a", 1.0, "x"), ("/a", 2.0, "x"), ("/b", 3.0, "x"),
+                  ("/unknown", 4.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [("ann", 2), ("bob", 1)]
+
+    def test_join_sees_window_consistent_snapshot(self, db):
+        db.execute("CREATE TABLE dims (url varchar(100), w integer)")
+        db.insert_table("dims", [("/a", 1)])
+        sub = db.subscribe(
+            "SELECT d.w, count(*) FROM clicks <VISIBLE '1 minute'> c, dims d "
+            "WHERE c.url = d.url GROUP BY d.w")
+        feed(db, [("/a", 10.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(1, 1)]
+        # update the dimension mid-window...
+        db.execute("UPDATE dims SET w = 99 WHERE url = '/a'")
+        feed(db, [("/a", 70.0, "x")])
+        db.advance_streams(120.0)
+        # ...the *next* window boundary refreshes and sees it
+        assert sub.rows() == [(99, 1)]
+
+    def test_three_streams_rejected(self, db):
+        db.execute("CREATE STREAM o1 (v integer, ts timestamp CQTIME USER)")
+        db.execute("CREATE STREAM o2 (v integer, ts timestamp CQTIME USER)")
+        with pytest.raises(PlanningError):
+            db.subscribe(
+                "SELECT count(*) FROM clicks <VISIBLE '1 minute'> a, "
+                "o1 <VISIBLE '1 minute'> b, o2 <VISIBLE '1 minute'> c "
+                "WHERE a.ts = b.ts AND b.ts = c.ts")
+
+
+class TestDerivedStreamsAndViews:
+    def test_derived_stream_always_on(self, db):
+        db.execute("CREATE STREAM per_minute AS SELECT url, count(*) c, "
+                   "cq_close(*) FROM clicks <VISIBLE '1 minute'> GROUP BY url")
+        # events flow before anyone subscribes downstream: it still runs
+        feed(db, [("/a", 1.0, "x")])
+        db.advance_streams(60.0)
+        derived = db.catalog.get_relation("per_minute")
+        assert derived.batches_out == 1
+
+    def test_cq_over_derived_stream(self, db):
+        db.execute("CREATE STREAM per_minute AS SELECT url, count(*) c, "
+                   "cq_close(*) ts FROM clicks <VISIBLE '1 minute'> GROUP BY url")
+        sub = db.subscribe(
+            "SELECT sum(c) FROM per_minute <slices 1 windows>")
+        feed(db, [("/a", 1.0, "x"), ("/b", 2.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(2,)]
+
+    def test_insert_into_derived_rejected(self, db):
+        from repro.errors import StreamingError
+        db.execute("CREATE STREAM d AS SELECT count(*), cq_close(*) "
+                   "FROM clicks <VISIBLE '1 minute'>")
+        with pytest.raises(StreamingError):
+            db.insert_stream("d", [(1, 1.0)])
+
+    def test_streaming_view_lazy(self, db):
+        db.execute("CREATE VIEW hot AS SELECT url, ts, ip FROM clicks "
+                   "WHERE url LIKE '/hot%'")
+        # the view alone runs nothing; a CQ over it instantiates it
+        sub = db.subscribe(
+            "SELECT url, count(*) FROM hot <VISIBLE '1 minute'> GROUP BY url")
+        feed(db, [("/hot1", 1.0, "x"), ("/cold", 2.0, "x")])
+        db.advance_streams(60.0)
+        assert sub.rows() == [("/hot1", 1)]
+
+    def test_drop_derived_stream_stops_cq(self, db):
+        db.execute("CREATE STREAM d AS SELECT count(*), cq_close(*) "
+                   "FROM clicks <VISIBLE '1 minute'>")
+        derived = db.catalog.get_relation("d")
+        db.execute("DROP STREAM d")
+        feed(db, [("/a", 1.0, "x")])
+        db.advance_streams(60.0)
+        assert derived.batches_out == 0
+
+
+class TestChannelsAndActiveTables:
+    def setup_pipeline(self, db, mode="APPEND"):
+        db.execute("CREATE STREAM agg AS SELECT url, count(*) scnt, "
+                   "cq_close(*) FROM clicks <VISIBLE '1 minute'> GROUP BY url")
+        db.execute("CREATE TABLE archive (url varchar(100), scnt integer, "
+                   "stime timestamp)")
+        db.execute(f"CREATE CHANNEL ch FROM agg INTO archive {mode}")
+
+    def test_append_channel(self, db):
+        self.setup_pipeline(db)
+        feed(db, [("/a", 1.0, "x"), ("/a", 2.0, "x")])
+        db.advance_streams(60.0)
+        feed(db, [("/a", 70.0, "x")])
+        db.advance_streams(120.0)
+        assert db.table_rows("archive") == [
+            ("/a", 2, 60.0), ("/a", 1, 120.0)]
+
+    def test_replace_channel(self, db):
+        self.setup_pipeline(db, mode="REPLACE")
+        feed(db, [("/a", 1.0, "x"), ("/a", 2.0, "x")])
+        db.advance_streams(60.0)
+        feed(db, [("/b", 70.0, "x")])
+        db.advance_streams(120.0)
+        assert db.table_rows("archive") == [("/b", 1, 120.0)]
+
+    def test_active_table_is_queryable_sql_table(self, db):
+        self.setup_pipeline(db)
+        feed(db, [("/a", 1.0, "x"), ("/b", 2.0, "x")])
+        db.advance_streams(60.0)
+        result = db.query(
+            "SELECT url, sum(scnt) FROM archive GROUP BY url ORDER BY url")
+        assert result.rows == [("/a", 1), ("/b", 1)]
+
+    def test_active_table_can_be_indexed(self, db):
+        self.setup_pipeline(db)
+        db.execute("CREATE INDEX arch_url ON archive (url)")
+        feed(db, [("/a", 1.0, "x")])
+        db.advance_streams(60.0)
+        plan = db.explain("SELECT scnt FROM archive WHERE url = '/a'")
+        assert "IndexScan" in plan
+        assert db.query("SELECT scnt FROM archive WHERE url = '/a'").rows \
+            == [(1,)]
+
+    def test_channel_arity_mismatch_rejected(self, db):
+        from repro.errors import ConstraintError
+        db.execute("CREATE STREAM agg AS SELECT count(*), cq_close(*) "
+                   "FROM clicks <VISIBLE '1 minute'>")
+        db.execute("CREATE TABLE bad (a integer)")
+        with pytest.raises(ConstraintError):
+            db.execute("CREATE CHANNEL ch FROM agg INTO bad APPEND")
+
+    def test_channel_stats(self, db):
+        self.setup_pipeline(db)
+        feed(db, [("/a", 1.0, "x")])
+        db.advance_streams(120.0)
+        channel = db.catalog.get_channel("ch")
+        assert channel.stats.batches == 2   # one window had data, one empty
+        assert channel.stats.rows_written == 1

@@ -1,0 +1,125 @@
+"""End-to-end property test: the whole CQ pipeline against a naive oracle.
+
+Hypothesis generates random event streams and window extents; the oracle
+computes every window's grouped counts by brute force (scan all events
+per boundary).  The engine — window operator, planner, executor, and the
+shared-slice path — must agree exactly.
+"""
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+
+KEYS = ["a", "b", "c"]
+
+events_strategy = st.lists(
+    st.tuples(st.sampled_from(KEYS),
+              st.integers(min_value=0, max_value=600)),
+    min_size=1, max_size=80,
+).map(lambda evs: sorted(evs, key=lambda e: e[1]))
+
+extents_strategy = st.sampled_from([
+    (60.0, 60.0), (120.0, 60.0), (300.0, 60.0), (90.0, 30.0), (30.0, 30.0),
+])
+
+
+def oracle(events, visible, advance, end_time):
+    """All (close, {key: count}) windows per RSTREAM semantics."""
+    first = events[0][1]
+    base = math.floor(first / advance) * advance
+    out = []
+    k = 1
+    while base + k * advance <= end_time:
+        close = base + k * advance
+        counts = {}
+        for key, t in events:
+            if close - visible <= t < close:
+                counts[key] = counts.get(key, 0) + 1
+        out.append((close, counts))
+        k += 1
+    return out
+
+
+def run_engine(events, visible, advance, end_time, share):
+    db = Database(share_slices=share)
+    db.execute("CREATE STREAM s (k varchar(5), ts timestamp CQTIME USER)")
+    sub = db.subscribe(
+        f"SELECT k, count(*) FROM s <VISIBLE {visible} ADVANCE {advance}> "
+        "GROUP BY k")
+    db.insert_stream("s", [(key, float(t)) for key, t in events])
+    db.advance_streams(end_time)
+    return [(w.close_time, dict(w.rows)) for w in sub.poll()]
+
+
+@settings(max_examples=50, deadline=None)
+@given(events_strategy, extents_strategy)
+def test_generic_path_matches_oracle(events, extents):
+    visible, advance = extents
+    end_time = float(events[-1][1]) + visible + advance
+    expected = oracle(events, visible, advance, end_time)
+    actual = run_engine(events, visible, advance, end_time, share=False)
+    assert actual == expected
+
+
+@settings(max_examples=50, deadline=None)
+@given(events_strategy, extents_strategy)
+def test_shared_path_matches_oracle(events, extents):
+    visible, advance = extents
+    end_time = float(events[-1][1]) + visible + advance
+    expected = oracle(events, visible, advance, end_time)
+    actual = run_engine(events, visible, advance, end_time, share=True)
+    assert actual == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(events_strategy, extents_strategy)
+def test_channel_archive_matches_oracle_totals(events, extents):
+    """The archived active table must contain exactly the oracle's
+    non-empty window rows."""
+    visible, advance = extents
+    end_time = float(events[-1][1]) + visible + advance
+    db = Database()
+    db.execute("CREATE STREAM s (k varchar(5), ts timestamp CQTIME USER)")
+    db.execute_script(f"""
+        CREATE STREAM rollup AS SELECT k, count(*) c, cq_close(*)
+            FROM s <VISIBLE {visible} ADVANCE {advance}> GROUP BY k;
+        CREATE TABLE arch (k varchar(5), c bigint, stime timestamp);
+        CREATE CHANNEL ch FROM rollup INTO arch APPEND;
+    """)
+    db.insert_stream("s", [(key, float(t)) for key, t in events])
+    db.advance_streams(end_time)
+    expected = sorted(
+        (key, count, close)
+        for close, counts in oracle(events, visible, advance, end_time)
+        for key, count in counts.items()
+    )
+    assert sorted(db.table_rows("arch")) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    st.lists(st.tuples(st.sampled_from(KEYS),
+                       st.integers(min_value=0, max_value=300)),
+             min_size=1, max_size=40),
+    st.integers(min_value=1, max_value=120),
+)
+def test_slack_stream_matches_sorted_ingest(jittered, slack):
+    """Any jittered arrival order + enough slack == sorted arrival."""
+    ordered = sorted(jittered, key=lambda e: e[1])
+    end_time = float(max(t for _k, t in jittered)) + 120.0
+
+    def run(rows, use_slack):
+        db = Database(stream_slack=float(use_slack))
+        db.execute("CREATE STREAM s (k varchar(5), ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT k, count(*) FROM s <VISIBLE 60 ADVANCE 60> GROUP BY k")
+        db.insert_stream("s", [(k, float(t)) for k, t in rows])
+        # the visible clock trails the raw clock by the slack: heartbeat
+        # far enough that both runs' delivered clocks reach end_time
+        db.get_stream("s").advance_to(end_time + use_slack)
+        db.flush_streams()
+        return [(w.close_time, dict(w.rows)) for w in sub.poll()]
+
+    assert run(jittered, 400) == run(ordered, 0)

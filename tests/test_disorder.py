@@ -1,0 +1,132 @@
+"""Tests for bounded out-of-order ingest (reorder slack)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import Database
+from repro.catalog.schema import Column, Schema
+from repro.errors import OutOfOrderError
+from repro.streaming.streams import BaseStream
+from repro.types.datatypes import IntegerType, TimestampType
+
+
+def schema():
+    return Schema([Column("v", IntegerType()),
+                   Column("ts", TimestampType(), cqtime="user")])
+
+
+class Recorder:
+    def __init__(self):
+        self.delivered = []
+        self.heartbeats = []
+
+    def on_tuple(self, row, event_time):
+        self.delivered.append(event_time)
+
+    def on_heartbeat(self, event_time):
+        self.heartbeats.append(event_time)
+
+    def on_flush(self):
+        pass
+
+
+class TestSlackReordering:
+    def make(self, slack=10.0, policy="raise"):
+        stream = BaseStream("s", schema(), disorder_policy=policy,
+                            slack=slack)
+        sink = Recorder()
+        stream.subscribe(sink)
+        return stream, sink
+
+    def test_in_order_within_slack_delivered_sorted(self):
+        stream, sink = self.make(slack=10.0)
+        for t in (5.0, 3.0, 8.0, 6.0, 20.0):
+            stream.insert((1, t))
+        # raw clock is 20, threshold 10: 3,5,6,8 released in order
+        assert sink.delivered == [3.0, 5.0, 6.0, 8.0]
+
+    def test_flush_releases_everything(self):
+        stream, sink = self.make(slack=10.0)
+        for t in (5.0, 3.0):
+            stream.insert((1, t))
+        stream.flush()
+        assert sink.delivered == [3.0, 5.0]
+
+    def test_heartbeat_releases_and_delays(self):
+        stream, sink = self.make(slack=10.0)
+        stream.insert((1, 5.0))
+        stream.advance_to(30.0)
+        assert sink.delivered == [5.0]
+        assert sink.heartbeats == [20.0]  # consumers see now - slack
+
+    def test_late_beyond_slack_raises(self):
+        stream, _sink = self.make(slack=10.0)
+        stream.insert((1, 100.0))  # releases nothing yet (threshold 90)
+        stream.insert((1, 95.0))   # within slack: fine
+        stream.insert((1, 120.0))  # threshold 110: releases 95,100
+        with pytest.raises(OutOfOrderError):
+            stream.insert((1, 99.0))  # older than delivered watermark
+
+    def test_late_beyond_slack_dropped_under_drop_policy(self):
+        stream, sink = self.make(slack=10.0, policy="drop")
+        stream.insert((1, 100.0))
+        stream.insert((1, 120.0))
+        assert stream.insert((1, 50.0)) is False
+        assert stream.tuples_dropped == 1
+
+    def test_reordered_counter(self):
+        stream, _sink = self.make(slack=10.0)
+        stream.insert((1, 5.0))
+        stream.insert((1, 3.0))
+        assert stream.tuples_reordered == 1
+
+    def test_zero_slack_keeps_strict_behaviour(self):
+        stream, _sink = self.make(slack=0.0)
+        stream.insert((1, 5.0))
+        with pytest.raises(OutOfOrderError):
+            stream.insert((1, 4.0))
+
+    def test_retention_tail_is_in_delivered_order(self):
+        stream = BaseStream("s", schema(), slack=10.0, retention=1000.0)
+        for t in (5.0, 3.0, 30.0):
+            stream.insert((1, t))
+        stream.flush()
+        times = [when for when, _row in stream.replay_since(0.0)]
+        assert times == sorted(times)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=100), min_size=1,
+                    max_size=50))
+    def test_delivery_is_always_sorted(self, jittered):
+        stream, sink = self.make(slack=200.0, policy="drop")
+        for t in jittered:
+            stream.insert((1, float(t)))
+        stream.flush()
+        assert sink.delivered == sorted(sink.delivered)
+        assert len(sink.delivered) == len(jittered)
+
+
+class TestSlackWithWindows:
+    def test_cq_over_jittered_stream_matches_ordered_run(self):
+        """A windowed CQ over a slack stream must produce exactly what it
+        produces when the same events arrive pre-sorted."""
+        events = [(i, float(t)) for i, t in enumerate(
+            [12, 5, 48, 33, 61, 55, 70, 68, 90, 88, 130, 122])]
+
+        def run(rows, slack):
+            db = Database(stream_slack=slack)
+            db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            sub = db.subscribe(
+                "SELECT count(*), cq_close(*) FROM s <VISIBLE '1 minute'>")
+            db.insert_stream("s", rows)
+            db.flush_streams()
+            return [(w.close_time, w.rows) for w in sub.poll()]
+
+        jittered = run(events, slack=30.0)
+        ordered = run(sorted(events, key=lambda e: e[1]), slack=0.0)
+        assert jittered == ordered
+
+    def test_database_slack_option(self):
+        db = Database(stream_slack=15.0)
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        assert db.get_stream("s").slack == 15.0

@@ -1,0 +1,184 @@
+"""Tests for INSERT/UPDATE/DELETE and explicit transactions via SQL."""
+
+import pytest
+
+from repro import Database
+from repro.errors import (
+    ConstraintError,
+    DuplicateObjectError,
+    ExecutionError,
+    TransactionError,
+    UnknownObjectError,
+)
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b varchar(20))")
+    return database
+
+
+class TestInsert:
+    def test_insert_values(self, db):
+        result = db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        assert result.rowcount == 2
+        assert len(db.query("SELECT * FROM t")) == 2
+
+    def test_insert_with_columns(self, db):
+        db.execute("INSERT INTO t (b, a) VALUES ('z', 9)")
+        assert db.query("SELECT a, b FROM t").rows == [(9, "z")]
+
+    def test_insert_partial_columns_defaults_null(self, db):
+        db.execute("INSERT INTO t (a) VALUES (5)")
+        assert db.query("SELECT a, b FROM t").rows == [(5, None)]
+
+    def test_insert_expression_values(self, db):
+        db.execute("INSERT INTO t VALUES (2 + 3, lower('ABC'))")
+        assert db.query("SELECT * FROM t").rows == [(5, "abc")]
+
+    def test_insert_select(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y')")
+        db.execute("CREATE TABLE u (a integer, b varchar(20))")
+        db.execute("INSERT INTO u SELECT a * 10, b FROM t")
+        assert sorted(db.query("SELECT a FROM u").rows) == [(10,), (20,)]
+
+    def test_insert_coerces_types(self, db):
+        db.execute("INSERT INTO t VALUES ('7', 42)")
+        assert db.query("SELECT * FROM t").rows == [(7, "42")]
+
+    def test_insert_arity_mismatch(self, db):
+        with pytest.raises(ConstraintError):
+            db.execute("INSERT INTO t VALUES (1)")
+
+    def test_insert_varchar_overflow(self, db):
+        with pytest.raises(ConstraintError):
+            db.execute(f"INSERT INTO t VALUES (1, '{'x' * 50}')")
+
+    def test_insert_unknown_table(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.execute("INSERT INTO missing VALUES (1)")
+
+
+class TestUpdateDelete:
+    @pytest.fixture(autouse=True)
+    def _fill(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'a'), (2, 'b'), (3, 'c')")
+
+    def test_update_with_where(self, db):
+        result = db.execute("UPDATE t SET b = 'z' WHERE a = 2")
+        assert result.rowcount == 1
+        assert db.query("SELECT b FROM t WHERE a = 2").scalar() == "z"
+
+    def test_update_expression_uses_old_values(self, db):
+        db.execute("UPDATE t SET a = a + 10")
+        assert sorted(db.query("SELECT a FROM t").rows) == [(11,), (12,), (13,)]
+
+    def test_update_multiple_assignments(self, db):
+        db.execute("UPDATE t SET a = a * 2, b = b || '!' WHERE a = 1")
+        assert db.query("SELECT a, b FROM t WHERE a = 2 AND b = 'a!'").rows
+
+    def test_delete_with_where(self, db):
+        result = db.execute("DELETE FROM t WHERE a < 3")
+        assert result.rowcount == 2
+        assert db.query("SELECT a FROM t").rows == [(3,)]
+
+    def test_delete_all(self, db):
+        assert db.execute("DELETE FROM t").rowcount == 3
+        assert len(db.query("SELECT * FROM t")) == 0
+
+    def test_update_maintains_index(self, db):
+        db.execute("CREATE INDEX t_a ON t (a)")
+        db.execute("UPDATE t SET a = 100 WHERE a = 1")
+        assert db.query("SELECT b FROM t WHERE a = 100").rows == [("a",)]
+        assert db.query("SELECT b FROM t WHERE a = 1").rows == []
+
+
+class TestTransactions:
+    def test_commit_makes_visible(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("COMMIT")
+        assert len(db.query("SELECT * FROM t")) == 1
+
+    def test_rollback_discards(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("ROLLBACK")
+        assert len(db.query("SELECT * FROM t")) == 0
+
+    def test_own_writes_visible_in_txn(self, db):
+        db.execute("BEGIN")
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        assert len(db.query("SELECT * FROM t")) == 1
+        db.execute("COMMIT")
+
+    def test_rollback_of_update(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("BEGIN")
+        db.execute("UPDATE t SET b = 'y' WHERE a = 1")
+        db.execute("ROLLBACK")
+        assert db.query("SELECT b FROM t").rows == [("x",)]
+
+    def test_rollback_of_delete(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'x')")
+        db.execute("BEGIN")
+        db.execute("DELETE FROM t")
+        db.execute("ROLLBACK")
+        assert len(db.query("SELECT * FROM t")) == 1
+
+    def test_nested_begin_rejected(self, db):
+        db.execute("BEGIN")
+        with pytest.raises(TransactionError):
+            db.execute("BEGIN")
+        db.execute("ROLLBACK")
+
+    def test_commit_without_begin_rejected(self, db):
+        with pytest.raises(TransactionError):
+            db.execute("COMMIT")
+
+    def test_failed_autocommit_statement_rolls_back(self, db):
+        db.execute("INSERT INTO t VALUES (1, 'ok')")
+        with pytest.raises(ConstraintError):
+            # second row violates the varchar(20) bound mid-statement
+            db.execute(f"INSERT INTO t VALUES (2, 'fine'), (3, '{'x' * 99}')")
+        # the failed statement must leave no partial rows
+        assert sorted(db.query("SELECT a FROM t").rows) == [(1,)]
+
+
+class TestDDLErrors:
+    def test_duplicate_table(self, db):
+        with pytest.raises(DuplicateObjectError):
+            db.execute("CREATE TABLE t (x integer)")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS t (x integer)")  # no error
+
+    def test_drop_table(self, db):
+        from repro.errors import BindError
+        db.execute("DROP TABLE t")
+        with pytest.raises(BindError):
+            db.query("SELECT * FROM t")
+
+    def test_drop_missing_table(self, db):
+        with pytest.raises(UnknownObjectError):
+            db.execute("DROP TABLE nope")
+
+    def test_drop_if_exists(self, db):
+        db.execute("DROP TABLE IF EXISTS nope")  # no error
+
+    def test_drop_index(self, db):
+        db.execute("CREATE INDEX t_a ON t (a)")
+        db.execute("DROP INDEX t_a")
+        assert "SeqScan" in db.explain("SELECT * FROM t WHERE a = 1")
+
+    def test_drop_table_with_channel_rejected(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        db.execute("CREATE STREAM d AS SELECT count(*), cq_close(*) "
+                   "FROM s <VISIBLE '1 minute'>")
+        db.execute("CREATE TABLE arch (c bigint, ts timestamp)")
+        db.execute("CREATE CHANNEL ch FROM d INTO arch APPEND")
+        with pytest.raises(ExecutionError):
+            db.execute("DROP TABLE arch")
+        db.execute("DROP CHANNEL ch")
+        db.execute("DROP TABLE arch")

@@ -1,0 +1,262 @@
+"""Tests for the expression compiler (via SELECT-without-FROM and layouts)."""
+
+import pytest
+
+from repro.errors import BindError, ExecutionError
+from repro.exec.expressions import RowLayout, compile_expr, infer_type
+from repro.sql import parse_statement
+from repro.types.datatypes import (
+    DoubleType,
+    IntegerType,
+    IntervalType,
+    TimestampType,
+    VarcharType,
+)
+
+
+def eval_const(text, ctx=None):
+    expr = parse_statement(f"SELECT {text}").items[0].expr
+    fn = compile_expr(expr, RowLayout([]))
+    return fn(None, ctx if ctx is not None else {})
+
+
+LAYOUT = RowLayout([
+    ("t", "a", IntegerType()),
+    ("t", "b", VarcharType(None)),
+    ("t", "c", DoubleType()),
+])
+
+
+def eval_row(text, row, ctx=None):
+    expr = parse_statement(f"SELECT {text}").items[0].expr
+    fn = compile_expr(expr, LAYOUT)
+    return fn(row, ctx if ctx is not None else {})
+
+
+class TestArithmetic:
+    def test_basics(self):
+        assert eval_const("1 + 2 * 3") == 7
+        assert eval_const("10 - 4") == 6
+        assert eval_const("7 / 2") == 3.5
+        assert eval_const("7 % 3") == 1
+
+    def test_negative(self):
+        assert eval_const("-5 + 3") == -2
+
+    def test_null_propagation(self):
+        assert eval_const("1 + NULL") is None
+        assert eval_const("NULL * 2") is None
+
+    def test_division_by_zero(self):
+        with pytest.raises(ExecutionError):
+            eval_const("1 / 0")
+
+    def test_string_concat(self):
+        assert eval_const("'foo' || 'bar'") == "foobar"
+        assert eval_const("'a' || NULL") is None
+
+
+class TestComparisons:
+    def test_basic(self):
+        assert eval_const("1 < 2") is True
+        assert eval_const("2 <= 2") is True
+        assert eval_const("3 > 4") is False
+        assert eval_const("1 = 1") is True
+        assert eval_const("1 <> 1") is False
+
+    def test_null_comparisons_are_unknown(self):
+        assert eval_const("NULL = NULL") is None
+        assert eval_const("1 > NULL") is None
+
+    def test_string_comparison(self):
+        assert eval_const("'abc' < 'abd'") is True
+
+
+class TestLogic:
+    def test_and_or(self):
+        assert eval_const("TRUE AND FALSE") is False
+        assert eval_const("TRUE OR FALSE") is True
+
+    def test_three_valued(self):
+        assert eval_const("TRUE AND NULL") is None
+        assert eval_const("FALSE AND NULL") is False
+        assert eval_const("TRUE OR NULL") is True
+        assert eval_const("FALSE OR NULL") is None
+
+    def test_not(self):
+        assert eval_const("NOT TRUE") is False
+        assert eval_const("NOT NULL") is None
+
+
+class TestPredicates:
+    def test_is_null(self):
+        assert eval_const("NULL IS NULL") is True
+        assert eval_const("1 IS NULL") is False
+        assert eval_const("1 IS NOT NULL") is True
+
+    def test_like(self):
+        assert eval_const("'hello' LIKE 'he%'") is True
+        assert eval_const("'hello' NOT LIKE 'he%'") is False
+        assert eval_const("'HELLO' ILIKE 'he%'") is True
+
+    def test_in_list(self):
+        assert eval_const("2 IN (1, 2, 3)") is True
+        assert eval_const("5 IN (1, 2, 3)") is False
+        assert eval_const("5 NOT IN (1, 2)") is True
+
+    def test_in_with_null_semantics(self):
+        assert eval_const("5 IN (1, NULL)") is None
+        assert eval_const("1 IN (1, NULL)") is True
+        assert eval_const("NULL IN (1)") is None
+
+    def test_between(self):
+        assert eval_const("5 BETWEEN 1 AND 10") is True
+        assert eval_const("0 BETWEEN 1 AND 10") is False
+        assert eval_const("0 NOT BETWEEN 1 AND 10") is True
+
+
+class TestCasts:
+    def test_cast_to_int(self):
+        assert eval_const("'42'::int") == 42
+
+    def test_cast_interval(self):
+        assert eval_const("'1 week'::interval") == 7 * 86400.0
+
+    def test_cast_timestamp(self):
+        assert eval_const("'1970-01-01 00:01:00'::timestamp") == 60.0
+
+    def test_timestamp_minus_interval(self):
+        assert eval_const(
+            "'1970-01-08'::timestamp - '1 week'::interval") == 0.0
+
+    def test_cast_function_form(self):
+        assert eval_const("CAST('3.5' AS double)") == 3.5
+
+
+class TestCase:
+    def test_searched(self):
+        assert eval_const(
+            "CASE WHEN 1 > 2 THEN 'a' WHEN 2 > 1 THEN 'b' ELSE 'c' END") == "b"
+
+    def test_else(self):
+        assert eval_const("CASE WHEN FALSE THEN 1 ELSE 2 END") == 2
+
+    def test_no_match_no_else_is_null(self):
+        assert eval_const("CASE WHEN FALSE THEN 1 END") is None
+
+    def test_simple_form(self):
+        assert eval_const("CASE 2 WHEN 1 THEN 'one' WHEN 2 THEN 'two' END") == "two"
+
+
+class TestScalarFunctions:
+    def test_strings(self):
+        assert eval_const("lower('ABC')") == "abc"
+        assert eval_const("upper('abc')") == "ABC"
+        assert eval_const("length('hello')") == 5
+        assert eval_const("substr('hello', 2, 3)") == "ell"
+
+    def test_math(self):
+        assert eval_const("abs(-4)") == 4
+        assert eval_const("round(3.456, 2)") == 3.46
+        assert eval_const("floor(3.7)") == 3
+        assert eval_const("ceil(3.2)") == 4
+        assert eval_const("sqrt(16)") == 4.0
+
+    def test_null_guard(self):
+        assert eval_const("lower(NULL)") is None
+        assert eval_const("abs(NULL)") is None
+
+    def test_coalesce(self):
+        assert eval_const("coalesce(NULL, NULL, 3)") == 3
+        assert eval_const("coalesce(NULL, NULL)") is None
+
+    def test_nullif(self):
+        assert eval_const("nullif(1, 1)") is None
+        assert eval_const("nullif(1, 2)") == 1
+
+    def test_greatest_least(self):
+        assert eval_const("greatest(1, 5, 3)") == 5
+        assert eval_const("least(1, 5, 3)") == 1
+
+    def test_date_trunc(self):
+        assert eval_const("date_trunc('minute', 125)") == 120.0
+        assert eval_const("date_trunc('hour', 7300)") == 7200.0
+
+    def test_unknown_function(self):
+        with pytest.raises(BindError):
+            eval_const("frobnicate(1)")
+
+
+class TestContextFunctions:
+    def test_cq_close_from_context(self):
+        assert eval_const("cq_close(*)", ctx={"cq_close": 60.0}) == 60.0
+
+    def test_cq_close_outside_cq_raises(self):
+        with pytest.raises(ExecutionError):
+            eval_const("cq_close(*)", ctx={})
+
+
+class TestColumnResolution:
+    def test_qualified(self):
+        assert eval_row("t.a + 1", (5, "x", 0.5)) == 6
+
+    def test_unqualified(self):
+        assert eval_row("b || '!'", (5, "x", 0.5)) == "x!"
+
+    def test_missing_column(self):
+        with pytest.raises(BindError):
+            eval_row("zzz", (5, "x", 0.5))
+
+    def test_missing_alias(self):
+        with pytest.raises(BindError):
+            eval_row("u.a", (5, "x", 0.5))
+
+    def test_ambiguous(self):
+        layout = RowLayout([
+            ("x", "a", IntegerType()), ("y", "a", IntegerType())])
+        expr = parse_statement("SELECT a").items[0].expr
+        with pytest.raises(BindError):
+            compile_expr(expr, layout)
+
+    def test_ambiguous_resolved_by_qualifier(self):
+        layout = RowLayout([
+            ("x", "a", IntegerType()), ("y", "a", IntegerType())])
+        expr = parse_statement("SELECT y.a").items[0].expr
+        fn = compile_expr(expr, layout)
+        assert fn((1, 2), {}) == 2
+
+
+class TestTypeInference:
+    def infer(self, text, layout=None):
+        expr = parse_statement(f"SELECT {text}").items[0].expr
+        return infer_type(expr, layout if layout is not None else LAYOUT)
+
+    def test_literals(self):
+        assert isinstance(self.infer("1"), IntegerType)
+        assert isinstance(self.infer("1.5"), DoubleType)
+        assert isinstance(self.infer("'x'"), VarcharType)
+
+    def test_column(self):
+        assert isinstance(self.infer("a"), IntegerType)
+
+    def test_int_arithmetic_stays_int(self):
+        assert isinstance(self.infer("a + 1"), IntegerType)
+
+    def test_division_is_double(self):
+        assert isinstance(self.infer("a / 2"), DoubleType)
+
+    def test_cast(self):
+        assert isinstance(self.infer("a::timestamp"), TimestampType)
+
+    def test_timestamp_minus_timestamp_is_interval(self):
+        layout = RowLayout([
+            (None, "t1", TimestampType()), (None, "t2", TimestampType())])
+        assert isinstance(self.infer("t1 - t2", layout), IntervalType)
+
+    def test_timestamp_minus_interval_is_timestamp(self):
+        layout = RowLayout([
+            (None, "t1", TimestampType()), (None, "d", IntervalType())])
+        assert isinstance(self.infer("t1 - d", layout), TimestampType)
+
+    def test_cq_close_is_timestamp(self):
+        assert isinstance(self.infer("cq_close(*)"), TimestampType)

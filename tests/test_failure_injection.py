@@ -1,0 +1,154 @@
+"""Failure-injection tests: the engine must stay consistent when sinks,
+channels, or user expressions blow up mid-stream."""
+
+import pytest
+
+from repro import Database
+from repro.errors import ConstraintError, ExecutionError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE STREAM s (k varchar(10), v integer, "
+                     "ts timestamp CQTIME USER)")
+    return database
+
+
+class TestChannelFailures:
+    def test_constraint_violation_aborts_whole_window(self, db):
+        # the archive's varchar(3) is narrower than some stream values
+        db.execute_script("""
+            CREATE STREAM agg AS SELECT k, count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'> GROUP BY k;
+            CREATE TABLE arch (k varchar(3), c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM agg INTO arch APPEND;
+        """)
+        db.insert_stream("s", [("ok", 1, 5.0), ("toolong", 1, 6.0)])
+        with pytest.raises(ConstraintError):
+            db.advance_streams(60.0)
+        # atomicity: the short key must not be half-archived
+        assert db.table_rows("arch") == []
+        channel = db.catalog.get_channel("ch")
+        assert channel.stats.rows_written == 0
+
+    def test_pipeline_recovers_after_failed_window(self, db):
+        db.execute_script("""
+            CREATE STREAM agg AS SELECT k, count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'> GROUP BY k;
+            CREATE TABLE arch (k varchar(3), c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM agg INTO arch APPEND;
+        """)
+        db.insert_stream("s", [("toolong", 1, 5.0)])
+        with pytest.raises(ConstraintError):
+            db.advance_streams(60.0)
+        # subsequent well-formed windows still archive
+        db.insert_stream("s", [("ok", 1, 65.0)])
+        db.advance_streams(120.0)
+        assert ("ok", 1, 120.0) in db.table_rows("arch")
+
+
+class TestExpressionFailures:
+    def test_division_by_zero_in_cq(self, db):
+        sub = db.subscribe(
+            "SELECT sum(v) / count(*) FROM s <VISIBLE '1 minute'>")
+        db.insert_stream("s", [("a", 10, 5.0)])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(10.0,)]
+
+    def test_division_by_zero_in_snapshot(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        db.insert_table("t", [(0,)])
+        with pytest.raises(ExecutionError):
+            db.query("SELECT 1 / a FROM t")
+
+    def test_failed_statement_does_not_poison_session(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        db.insert_table("t", [(0,)])
+        with pytest.raises(ExecutionError):
+            db.query("SELECT 1 / a FROM t")
+        assert db.query("SELECT count(*) FROM t").scalar() == 1
+
+    def test_runtime_error_in_transform_propagates_to_inserter(self, db):
+        db.subscribe("SELECT 10 / v FROM s WHERE v < 10")
+        with pytest.raises(ExecutionError):
+            db.insert_stream("s", [("a", 0, 5.0)])
+        # stream state remains usable
+        assert db.insert_stream("s", [("a", 2, 6.0)]) == 1
+
+
+class TestSubscriptionLifecycle:
+    def test_closed_subscription_detaches_cleanly(self, db):
+        sub = db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        sub.close()
+        sub.close()  # idempotent
+        db.insert_stream("s", [("a", 1, 5.0)])
+        db.advance_streams(60.0)
+        assert sub.poll() == []
+
+    def test_context_manager_closes(self, db):
+        with db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>") as sub:
+            pass
+        assert sub.closed
+
+    def test_one_failing_subscriber_does_not_corrupt_stream_counts(self, db):
+        good = db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        stream = db.get_stream("s")
+
+        class Bomb:
+            def on_tuple(self, row, t):
+                raise RuntimeError("boom")
+
+            def on_heartbeat(self, t):
+                pass
+
+            def on_flush(self):
+                pass
+        stream.subscribe(Bomb())
+        with pytest.raises(RuntimeError):
+            db.insert_stream("s", [("a", 1, 5.0)])
+        stream.unsubscribe(stream.consumers[-1])
+        db.insert_stream("s", [("a", 1, 6.0)])
+        db.advance_streams(60.0)
+        # the good CQ saw both tuples (first delivery preceded the bomb)
+        assert good.rows() == [(2,)]
+
+
+class TestDeepPipelines:
+    def test_three_stage_derived_chain(self, db):
+        """derived stream of a derived stream of a derived stream."""
+        db.execute("CREATE STREAM stage1 AS SELECT k, count(*) c, "
+                   "cq_close(*) ts FROM s <VISIBLE '1 minute'> GROUP BY k")
+        db.execute("CREATE STREAM stage2 AS SELECT sum(c) total, "
+                   "cq_close(*) ts FROM stage1 <slices 1 windows>")
+        db.execute("CREATE STREAM stage3 AS SELECT total * 2, cq_close(*) "
+                   "FROM stage2 <slices 1 windows>")
+        sub = db.subscribe("SELECT * FROM stage3 <slices 1 windows>")
+        db.insert_stream("s", [("a", 1, 5.0), ("b", 1, 6.0), ("a", 1, 7.0)])
+        db.advance_streams(60.0)
+        rows = sub.rows()
+        assert rows == [(6, 60.0)]
+
+    def test_two_channels_one_derived_stream(self, db):
+        db.execute_script("""
+            CREATE STREAM agg AS SELECT k, count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'> GROUP BY k;
+            CREATE TABLE history (k varchar(10), c bigint, ts timestamp);
+            CREATE TABLE latest (k varchar(10), c bigint, ts timestamp);
+            CREATE CHANNEL h_ch FROM agg INTO history APPEND;
+            CREATE CHANNEL l_ch FROM agg INTO latest REPLACE;
+        """)
+        db.insert_stream("s", [("a", 1, 5.0)])
+        db.advance_streams(60.0)
+        db.insert_stream("s", [("b", 1, 65.0)])
+        db.advance_streams(120.0)
+        assert len(db.table_rows("history")) == 2
+        assert db.table_rows("latest") == [("b", 1, 120.0)]
+
+    def test_many_subscriptions_fan_out(self, db):
+        subs = [db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+                for _ in range(20)]
+        db.insert_stream("s", [("a", 1, 5.0)])
+        db.advance_streams(60.0)
+        for sub in subs:
+            assert sub.rows() == [(1,)]

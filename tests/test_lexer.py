@@ -1,0 +1,92 @@
+"""Tests for the TruSQL tokenizer."""
+
+import pytest
+
+from repro.errors import LexerError
+from repro.sql.lexer import EOF, IDENT, NUMBER, OP, STRING, tokenize
+
+
+def kinds(sql):
+    return [t.kind for t in tokenize(sql)]
+
+
+def texts(sql):
+    return [t.text for t in tokenize(sql) if t.kind != EOF]
+
+
+class TestBasicTokens:
+    def test_idents_and_ops(self):
+        assert texts("select a from t") == ["select", "a", "from", "t"]
+
+    def test_eof_always_last(self):
+        assert kinds("x")[-1] == EOF
+        assert kinds("")[-1] == EOF
+
+    def test_numbers(self):
+        tokens = tokenize("1 2.5 .75 1e3 2.5e-2")
+        numbers = [t.text for t in tokens if t.kind == NUMBER]
+        assert numbers == ["1", "2.5", ".75", "1e3", "2.5e-2"]
+
+    def test_number_then_dot_stops(self):
+        # "1.2.3" must not swallow two dots into one number
+        tokens = [t.text for t in tokenize("1.2.3") if t.kind != EOF]
+        assert tokens == ["1.2", ".3"]
+
+    def test_string_literal(self):
+        tokens = tokenize("'5 minutes'")
+        assert tokens[0].kind == STRING
+        assert tokens[0].text == "5 minutes"
+
+    def test_string_escaped_quote(self):
+        tokens = tokenize("'it''s'")
+        assert tokens[0].text == "it's"
+
+    def test_unterminated_string(self):
+        with pytest.raises(LexerError):
+            tokenize("'oops")
+
+    def test_quoted_identifier(self):
+        tokens = tokenize('"My Table"')
+        assert tokens[0].kind == IDENT
+        assert tokens[0].text == "My Table"
+
+    def test_multi_char_operators(self):
+        assert texts("a::int <> b != c <= d >= e || f") == [
+            "a", "::", "int", "<>", "b", "!=", "c", "<=", "d", ">=",
+            "e", "||", "f",
+        ]
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexerError):
+            tokenize("a @ b")
+
+
+class TestComments:
+    def test_line_comment(self):
+        assert texts("select 1 -- trailing\n") == ["select", "1"]
+
+    def test_line_comment_mid_statement(self):
+        assert texts("select -- c\n 1") == ["select", "1"]
+
+    def test_block_comment(self):
+        assert texts("select /* multi\nline */ 1") == ["select", "1"]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexerError):
+            tokenize("select /* oops")
+
+    def test_line_numbers_advance(self):
+        tokens = tokenize("a\nb\nc")
+        lines = [t.line for t in tokens if t.kind == IDENT]
+        assert lines == [1, 2, 3]
+
+
+class TestWindowClauseTokens:
+    def test_angle_brackets_tokenize(self):
+        text = "url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>"
+        tokens = [(t.kind, t.text) for t in tokenize(text) if t.kind != EOF]
+        assert tokens == [
+            (IDENT, "url_stream"), (OP, "<"), (IDENT, "VISIBLE"),
+            (STRING, "5 minutes"), (IDENT, "ADVANCE"),
+            (STRING, "1 minute"), (OP, ">"),
+        ]

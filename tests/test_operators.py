@@ -1,0 +1,197 @@
+"""Direct unit tests for the physical operators (no SQL front end)."""
+
+import pytest
+
+from repro.exec import operators as ops
+from repro.exec.aggregates import make_aggregate
+
+
+def rows_of(op, ctx=None):
+    return list(op.rows(ctx if ctx is not None else {}))
+
+
+def col(i):
+    return lambda row, ctx: row[i]
+
+
+class TestRowSourceFilterProject:
+    def test_row_source_list(self):
+        src = ops.RowSource([(1,), (2,)])
+        assert rows_of(src) == [(1,), (2,)]
+
+    def test_row_source_callable_reevaluated(self):
+        data = [[(1,)]]
+        src = ops.RowSource(lambda: data[0])
+        assert rows_of(src) == [(1,)]
+        data[0] = [(2,)]
+        assert rows_of(src) == [(2,)]
+
+    def test_filter_requires_strict_true(self):
+        src = ops.RowSource([(1,), (None,), (0,)])
+        # predicate returns value itself: None (unknown) must not pass
+        out = rows_of(ops.Filter(src, lambda row, ctx: row[0] == 1 or None))
+        assert out == [(1,)]
+
+    def test_project(self):
+        src = ops.RowSource([(1, 2)])
+        out = rows_of(ops.Project(src, [col(1), col(0)]))
+        assert out == [(2, 1)]
+
+
+class TestJoins:
+    LEFT = [(1, "a"), (2, "b"), (None, "n")]
+    RIGHT = [(1, "x"), (1, "y"), (3, "z")]
+
+    def hash_join(self, kind, build_left):
+        return ops.HashJoin(
+            ops.RowSource(self.LEFT), ops.RowSource(self.RIGHT),
+            [col(0)], [col(0)], kind, right_width=2,
+            build_left=build_left)
+
+    @pytest.mark.parametrize("build_left", [False, True])
+    def test_inner_join(self, build_left):
+        out = sorted(rows_of(self.hash_join("INNER", build_left)))
+        assert out == [(1, "a", 1, "x"), (1, "a", 1, "y")]
+
+    @pytest.mark.parametrize("build_left", [False, True])
+    def test_left_join_null_extension(self, build_left):
+        out = sorted(rows_of(self.hash_join("LEFT", build_left)),
+                     key=repr)
+        assert (2, "b", None, None) in out
+        assert (None, "n", None, None) in out
+        assert len(out) == 4
+
+    @pytest.mark.parametrize("build_left", [False, True])
+    def test_null_keys_never_match(self, build_left):
+        join = ops.HashJoin(
+            ops.RowSource([(None,)]), ops.RowSource([(None,)]),
+            [col(0)], [col(0)], "INNER", 1, build_left=build_left)
+        assert rows_of(join) == []
+
+    @pytest.mark.parametrize("build_left", [False, True])
+    def test_residual_predicate(self, build_left):
+        join = ops.HashJoin(
+            ops.RowSource(self.LEFT), ops.RowSource(self.RIGHT),
+            [col(0)], [col(0)], "INNER", 2,
+            residual=lambda row, ctx: row[3] == "y",
+            build_left=build_left)
+        assert rows_of(join) == [(1, "a", 1, "y")]
+
+    def test_left_join_residual_failure_null_extends(self):
+        join = ops.HashJoin(
+            ops.RowSource([(1, "a")]), ops.RowSource([(1, "x")]),
+            [col(0)], [col(0)], "LEFT", 2,
+            residual=lambda row, ctx: False)
+        assert rows_of(join) == [(1, "a", None, None)]
+
+    def test_nested_loop_cross(self):
+        join = ops.NestedLoopJoin(
+            ops.RowSource([(1,), (2,)]), ops.RowSource([("a",), ("b",)]),
+            None, "INNER", 1)
+        assert len(rows_of(join)) == 4
+
+    def test_nested_loop_left(self):
+        join = ops.NestedLoopJoin(
+            ops.RowSource([(1,), (9,)]), ops.RowSource([(1,)]),
+            lambda row, ctx: row[0] == row[1], "LEFT", 1)
+        assert rows_of(join) == [(1, 1), (9, None)]
+
+
+class TestHashAggregate:
+    def agg(self, rows, group, specs):
+        return rows_of(ops.HashAggregate(ops.RowSource(rows), group, specs))
+
+    def test_group_count(self):
+        out = self.agg([("a",), ("a",), ("b",)], [col(0)],
+                       [(make_aggregate("count", star=True), None)])
+        assert sorted(out) == [("a", 2), ("b", 1)]
+
+    def test_scalar_over_empty_input(self):
+        out = self.agg([], [], [(make_aggregate("count", star=True), None),
+                                (make_aggregate("sum"), col(0))])
+        assert out == [(0, None)]
+
+    def test_grouped_over_empty_input(self):
+        out = self.agg([], [col(0)],
+                       [(make_aggregate("count", star=True), None)])
+        assert out == []
+
+    def test_multiple_aggregates(self):
+        out = self.agg([(1,), (3,)], [],
+                       [(make_aggregate("min"), col(0)),
+                        (make_aggregate("max"), col(0)),
+                        (make_aggregate("avg"), col(0))])
+        assert out == [(1, 3, 2.0)]
+
+
+class TestSortLimitDistinct:
+    def test_sort_multi_key_stability(self):
+        rows = [(1, "b"), (2, "a"), (1, "a")]
+        out = rows_of(ops.Sort(ops.RowSource(rows),
+                               [col(0), col(1)], [False, False]))
+        assert out == [(1, "a"), (1, "b"), (2, "a")]
+
+    def test_sort_desc(self):
+        out = rows_of(ops.Sort(ops.RowSource([(1,), (3,), (2,)]),
+                               [col(0)], [True]))
+        assert out == [(3,), (2,), (1,)]
+
+    def test_limit_zero(self):
+        out = rows_of(ops.Limit(ops.RowSource([(1,), (2,)]), 0, None))
+        assert out == []
+
+    def test_limit_offset_past_end(self):
+        out = rows_of(ops.Limit(ops.RowSource([(1,)]), 5, 10))
+        assert out == []
+
+    def test_limit_short_circuits(self):
+        produced = []
+
+        def generator():
+            for i in range(1000):
+                produced.append(i)
+                yield (i,)
+        out = rows_of(ops.Limit(ops.RowSource(generator), 3, None))
+        assert out == [(0,), (1,), (2,)]
+        assert len(produced) == 3
+
+    def test_distinct(self):
+        out = rows_of(ops.Distinct(ops.RowSource([(1,), (1,), (2,)])))
+        assert out == [(1,), (2,)]
+
+
+class TestSetOperators:
+    A = [(1,), (2,), (2,)]
+    B = [(2,), (3,)]
+
+    def test_concat(self):
+        out = rows_of(ops.Concat(ops.RowSource(self.A), ops.RowSource(self.B)))
+        assert out == [(1,), (2,), (2,), (2,), (3,)]
+
+    def test_except_set(self):
+        out = rows_of(ops.Except(ops.RowSource(self.A),
+                                 ops.RowSource(self.B), all_rows=False))
+        assert out == [(1,)]
+
+    def test_except_all(self):
+        out = rows_of(ops.Except(ops.RowSource(self.A),
+                                 ops.RowSource(self.B), all_rows=True))
+        assert out == [(1,), (2,)]
+
+    def test_intersect_set(self):
+        out = rows_of(ops.Intersect(ops.RowSource(self.A),
+                                    ops.RowSource(self.B), all_rows=False))
+        assert out == [(2,)]
+
+    def test_intersect_all_bag(self):
+        out = rows_of(ops.Intersect(
+            ops.RowSource([(2,), (2,), (2,)]),
+            ops.RowSource([(2,), (2,)]), all_rows=True))
+        assert out == [(2,), (2,)]
+
+    def test_explain_tree_renders(self):
+        join = ops.HashJoin(ops.RowSource([], "l"), ops.RowSource([], "r"),
+                            [col(0)], [col(0)], "INNER", 1)
+        text = join.explain()
+        assert "HashJoin" in text
+        assert "RowSource(l)" in text

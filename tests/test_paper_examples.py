@@ -1,0 +1,216 @@
+"""The paper's Examples 1–5, executed verbatim (modulo the PDF's mangled
+minus sign in Example 5), end to end.
+
+This is the fidelity test: the reproduction must accept the paper's own
+TruSQL and behave as Section 3 describes.
+"""
+
+import pytest
+
+from repro import Database
+from repro.core.results import Subscription
+
+EXAMPLE_1 = """
+CREATE STREAM url_stream (
+    url varchar(1024),
+    atime timestamp CQTIME USER,
+    client_ip varchar(50)
+)
+"""
+
+EXAMPLE_2 = """
+SELECT url, count(*) url_count
+FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+GROUP by url
+ORDER by url_count desc
+LIMIT 10
+"""
+
+EXAMPLE_3 = """
+CREATE STREAM urls_now as
+SELECT url, count(*) as scnt, cq_close(*)
+FROM url_stream <VISIBLE '5 minutes' ADVANCE '1 minute'>
+GROUP by url
+"""
+
+EXAMPLE_4A = """
+CREATE TABLE urls_archive (url varchar(1024), scnt integer,
+                           stime timestamp)
+"""
+
+EXAMPLE_4B = """
+CREATE CHANNEL urls_channel FROM urls_now INTO urls_archive APPEND
+"""
+
+EXAMPLE_5 = """
+select c.scnt, h.scnt, c.stime
+from (select sum(scnt) as scnt, cq_close(*) as stime
+      from urls_now <slices 1 windows>) c,
+     urls_archive h
+where c.stime - '1 week'::interval = h.stime
+"""
+
+WEEK = 7 * 86400.0
+MINUTE = 60.0
+
+
+@pytest.fixture
+def db():
+    return Database()
+
+
+def clicks(db, url_counts, minute_start):
+    """Insert url_counts = {url: n} spread inside one minute."""
+    events = []
+    base = minute_start * MINUTE
+    i = 0
+    for url, count in sorted(url_counts.items()):
+        for _ in range(count):
+            events.append((url, base + 1 + i * 0.001, "10.0.0.1"))
+            i += 1
+    db.insert_stream("url_stream", events)
+
+
+class TestExample1:
+    def test_creates_stream(self, db):
+        db.execute(EXAMPLE_1)
+        stream = db.get_stream("url_stream")
+        assert stream.cqtime_mode == "user"
+        assert stream.schema.names() == ["url", "atime", "client_ip"]
+
+    def test_varchar_widths_enforced(self, db):
+        from repro.errors import ConstraintError
+        db.execute(EXAMPLE_1)
+        with pytest.raises(ConstraintError):
+            db.insert_stream("url_stream", [("x" * 2000, 1.0, "ip")])
+
+
+class TestExample2:
+    def test_top_ten_per_minute(self, db):
+        db.execute(EXAMPLE_1)
+        sub = db.execute(EXAMPLE_2)
+        assert isinstance(sub, Subscription)
+        assert sub.columns == ["url", "url_count"]
+        # 12 distinct urls; only the top 10 must appear
+        clicks(db, {f"/u{i:02d}": 12 - i for i in range(12)}, 0)
+        db.advance_streams(MINUTE)
+        window = sub.latest()
+        assert len(window.rows) == 10
+        assert window.rows[0] == ("/u00", 12)
+        counts = [c for _u, c in window.rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_five_minute_visibility(self, db):
+        db.execute(EXAMPLE_1)
+        sub = db.execute(EXAMPLE_2)
+        clicks(db, {"/a": 2}, 0)   # minute 0
+        clicks(db, {"/a": 3}, 4)   # minute 4: still visible at close 5
+        db.advance_streams(5 * MINUTE)
+        window = sub.latest()
+        assert window.rows == [("/a", 5)]
+        # at close 6 the minute-0 clicks have left the window
+        db.advance_streams(6 * MINUTE)
+        assert sub.latest().rows == [("/a", 3)]
+
+
+class TestExample3:
+    def test_derived_stream_publishes_every_minute(self, db):
+        db.execute(EXAMPLE_1)
+        db.execute(EXAMPLE_3)
+        clicks(db, {"/a": 2, "/b": 1}, 0)
+        db.advance_streams(MINUTE)
+        derived = db.catalog.get_relation("urls_now")
+        assert derived.batches_out == 1
+        assert derived.schema.names() == ["url", "scnt", "cq_close"]
+
+    def test_results_within_one_minute_after_reconnect(self, db):
+        """The paper: "results of a CQ are available upon the first
+        window close after a client re-connects"."""
+        db.execute(EXAMPLE_1)
+        db.execute(EXAMPLE_3)
+        clicks(db, {"/a": 4}, 0)
+        db.advance_streams(MINUTE)  # runs with no subscriber (always on)
+        sub = db.subscribe("SELECT url, scnt FROM urls_now <slices 1 windows>")
+        clicks(db, {"/a": 1}, 1)
+        db.advance_streams(2 * MINUTE)
+        rows = sub.rows()
+        assert ("/a", 5) in rows
+
+
+class TestExample4:
+    def setup_pipeline(self, db):
+        db.execute(EXAMPLE_1)
+        db.execute(EXAMPLE_3)
+        db.execute(EXAMPLE_4A)
+        db.execute(EXAMPLE_4B)
+
+    def test_append_archives_each_window(self, db):
+        self.setup_pipeline(db)
+        clicks(db, {"/a": 2}, 0)
+        db.advance_streams(MINUTE)
+        clicks(db, {"/a": 1}, 1)
+        db.advance_streams(2 * MINUTE)
+        rows = db.table_rows("urls_archive")
+        assert ("/a", 2, 60.0) in rows
+        assert ("/a", 3, 120.0) in rows  # sliding window still sees min 0
+
+    def test_archive_is_plain_sql_table(self, db):
+        self.setup_pipeline(db)
+        clicks(db, {"/a": 2, "/b": 5}, 0)
+        db.advance_streams(MINUTE)
+        result = db.query(
+            "SELECT url FROM urls_archive ORDER BY scnt DESC LIMIT 1")
+        assert result.rows == [("/b",)]
+
+    def test_reporting_query_is_cheap(self, db):
+        """The Section 4 anecdote in miniature: the reporting query
+        touches the small archive, not the raw events."""
+        self.setup_pipeline(db)
+        for minute in range(3):
+            clicks(db, {"/a": 50}, minute)
+        db.advance_streams(4 * MINUTE)
+        before = db.io_snapshot()
+        db.query("SELECT url, sum(scnt) FROM urls_archive GROUP BY url")
+        delta = db.io_snapshot() - before
+        assert delta.pages_read <= 2  # the archive is tiny and hot
+
+
+class TestExample5:
+    def test_week_over_week_join(self, db):
+        db.execute(EXAMPLE_1)
+        db.execute(EXAMPLE_3)
+        db.execute(EXAMPLE_4A)
+        db.execute(EXAMPLE_4B)
+        sub = db.execute(EXAMPLE_5)
+        assert sub.columns == ["scnt", "scnt", "stime"]
+
+        # week 1, minute 0: 7 clicks -> archived at close WEEK + 60?  No:
+        # archive rows carry their own close times; we need a row whose
+        # stime is exactly one week before a current window close.
+        clicks(db, {"/a": 7}, 0)
+        db.advance_streams(MINUTE)            # archive ('/a', 7, 60.0)
+        db.get_stream("url_stream").advance_to(WEEK)  # a quiet week passes
+
+        events = [("/a", WEEK + 1.0, "ip")] * 4
+        db.insert_stream("url_stream", events)
+        db.advance_streams(WEEK + MINUTE)     # closes at WEEK + 60
+
+        matches = [row for w in sub.poll() for row in w.rows]
+        assert (4, 7, WEEK + MINUTE) in matches
+
+    def test_historical_comparison_semantics(self, db):
+        """current count c.scnt vs the archived count h.scnt."""
+        db.execute(EXAMPLE_1)
+        db.execute(EXAMPLE_3)
+        db.execute(EXAMPLE_4A)
+        db.execute(EXAMPLE_4B)
+        sub = db.execute(EXAMPLE_5)
+        clicks(db, {"/a": 2, "/b": 3}, 0)     # total 5
+        db.advance_streams(MINUTE)
+        db.get_stream("url_stream").advance_to(WEEK)
+        db.insert_stream("url_stream", [("/c", WEEK + 0.5, "ip")])
+        db.advance_streams(WEEK + MINUTE)
+        matches = [row for w in sub.poll() for row in w.rows]
+        # current sum = 1; archived rows from a week ago: 2 and 3
+        assert (1, 2, WEEK + MINUTE) in matches
+        assert (1, 3, WEEK + MINUTE) in matches

@@ -1,0 +1,405 @@
+"""Tests for the TruSQL parser: statements, expressions, window clauses."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.sql import ast, parse_script, parse_statement
+
+
+class TestSelectBasics:
+    def test_simple_select(self):
+        s = parse_statement("SELECT a, b FROM t")
+        assert isinstance(s, ast.Select)
+        assert len(s.items) == 2
+        assert isinstance(s.from_clause, ast.TableRef)
+        assert s.from_clause.name == "t"
+
+    def test_select_star(self):
+        s = parse_statement("SELECT * FROM t")
+        assert isinstance(s.items[0].expr, ast.Star)
+
+    def test_qualified_star(self):
+        s = parse_statement("SELECT t.* FROM t")
+        assert isinstance(s.items[0].expr, ast.Star)
+        assert s.items[0].expr.table == "t"
+
+    def test_aliases(self):
+        s = parse_statement("SELECT a AS x, b y FROM t")
+        assert s.items[0].alias == "x"
+        assert s.items[1].alias == "y"
+
+    def test_no_from(self):
+        s = parse_statement("SELECT 1 + 1")
+        assert s.from_clause is None
+
+    def test_distinct(self):
+        assert parse_statement("SELECT DISTINCT a FROM t").distinct
+
+    def test_where(self):
+        s = parse_statement("SELECT a FROM t WHERE a > 5")
+        assert isinstance(s.where, ast.BinaryOp)
+        assert s.where.op == ">"
+
+    def test_group_having_order_limit_offset(self):
+        s = parse_statement(
+            "SELECT a, count(*) FROM t GROUP BY a HAVING count(*) > 1 "
+            "ORDER BY a DESC LIMIT 10 OFFSET 5")
+        assert len(s.group_by) == 1
+        assert s.having is not None
+        assert s.order_by[0].descending
+        assert s.limit == 10
+        assert s.offset == 5
+
+    def test_order_by_asc_default(self):
+        s = parse_statement("SELECT a FROM t ORDER BY a")
+        assert s.order_by[0].descending is False
+
+    def test_table_alias(self):
+        s = parse_statement("SELECT x.a FROM t AS x")
+        assert s.from_clause.alias == "x"
+
+    def test_table_alias_without_as(self):
+        s = parse_statement("SELECT x.a FROM t x")
+        assert s.from_clause.alias == "x"
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT a FROM t garbage extra ,")
+
+
+class TestJoins:
+    def test_comma_join(self):
+        s = parse_statement("SELECT * FROM a, b")
+        assert isinstance(s.from_clause, ast.Join)
+        assert s.from_clause.kind == "CROSS"
+
+    def test_inner_join_on(self):
+        s = parse_statement("SELECT * FROM a JOIN b ON a.x = b.x")
+        assert s.from_clause.kind == "INNER"
+        assert s.from_clause.condition is not None
+
+    def test_inner_keyword(self):
+        s = parse_statement("SELECT * FROM a INNER JOIN b ON a.x = b.x")
+        assert s.from_clause.kind == "INNER"
+
+    def test_left_join(self):
+        s = parse_statement("SELECT * FROM a LEFT JOIN b ON a.x = b.x")
+        assert s.from_clause.kind == "LEFT"
+
+    def test_left_outer_join(self):
+        s = parse_statement("SELECT * FROM a LEFT OUTER JOIN b ON a.x = b.x")
+        assert s.from_clause.kind == "LEFT"
+
+    def test_cross_join(self):
+        s = parse_statement("SELECT * FROM a CROSS JOIN b")
+        assert s.from_clause.kind == "CROSS"
+        assert s.from_clause.condition is None
+
+    def test_three_way(self):
+        s = parse_statement(
+            "SELECT * FROM a JOIN b ON a.x = b.x JOIN c ON b.y = c.y")
+        outer = s.from_clause
+        assert isinstance(outer.left, ast.Join)
+
+    def test_subquery_in_from(self):
+        s = parse_statement("SELECT * FROM (SELECT a FROM t) sub")
+        assert isinstance(s.from_clause, ast.SubqueryRef)
+        assert s.from_clause.alias == "sub"
+
+    def test_subquery_requires_alias(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM (SELECT a FROM t)")
+
+
+class TestWindowClauses:
+    def test_visible_advance(self):
+        s = parse_statement(
+            "SELECT * FROM s <VISIBLE '5 minutes' ADVANCE '1 minute'>")
+        w = s.from_clause.window
+        assert w.visible == 300.0
+        assert w.advance == 60.0
+
+    def test_tumbling_visible_only(self):
+        w = parse_statement("SELECT * FROM s <VISIBLE '1 minute'>").from_clause.window
+        assert w.visible == w.advance == 60.0
+
+    def test_tumbling_advance_only(self):
+        w = parse_statement("SELECT * FROM s <ADVANCE '10 seconds'>").from_clause.window
+        assert w.visible == w.advance == 10.0
+
+    def test_row_window(self):
+        w = parse_statement(
+            "SELECT * FROM s <VISIBLE 100 ROWS ADVANCE 10 ROWS>").from_clause.window
+        assert w.visible_rows == 100
+        assert w.advance_rows == 10
+
+    def test_slices_windows(self):
+        w = parse_statement("SELECT * FROM s <slices 3 windows>").from_clause.window
+        assert w.slices_windows == 3
+
+    def test_numeric_seconds(self):
+        w = parse_statement("SELECT * FROM s <VISIBLE 60 ADVANCE 30>").from_clause.window
+        assert w.visible == 60.0
+        assert w.advance == 30.0
+
+    def test_window_after_alias(self):
+        s = parse_statement("SELECT * FROM s u <VISIBLE '1 minute'>")
+        assert s.from_clause.alias == "u"
+        assert s.from_clause.window is not None
+
+    def test_mixed_extents_rejected(self):
+        with pytest.raises(ParseError):
+            parse_statement("SELECT * FROM s <VISIBLE '1 minute' ADVANCE 5 ROWS>")
+
+    def test_comparison_lt_not_window(self):
+        # '<' followed by a non-window word must stay a comparison
+        s = parse_statement("SELECT * FROM t WHERE a < b")
+        assert s.where.op == "<"
+
+
+class TestExpressions:
+    def parse_expr(self, text):
+        return parse_statement(f"SELECT {text}").items[0].expr
+
+    def test_precedence_mul_over_add(self):
+        e = self.parse_expr("1 + 2 * 3")
+        assert e.op == "+"
+        assert e.right.op == "*"
+
+    def test_parens(self):
+        e = self.parse_expr("(1 + 2) * 3")
+        assert e.op == "*"
+
+    def test_and_or_precedence(self):
+        e = self.parse_expr("a OR b AND c")
+        assert e.op == "OR"
+        assert e.right.op == "AND"
+
+    def test_not(self):
+        e = self.parse_expr("NOT a")
+        assert isinstance(e, ast.UnaryOp)
+        assert e.op == "NOT"
+
+    def test_unary_minus(self):
+        e = self.parse_expr("-5")
+        assert isinstance(e, ast.UnaryOp)
+
+    def test_is_null(self):
+        e = self.parse_expr("a IS NULL")
+        assert isinstance(e, ast.IsNull)
+        assert not e.negated
+
+    def test_is_not_null(self):
+        e = self.parse_expr("a IS NOT NULL")
+        assert e.negated
+
+    def test_like(self):
+        e = self.parse_expr("a LIKE 'x%'")
+        assert isinstance(e, ast.Like)
+
+    def test_not_like(self):
+        assert self.parse_expr("a NOT LIKE 'x%'").negated
+
+    def test_ilike(self):
+        assert self.parse_expr("a ILIKE 'x%'").case_insensitive
+
+    def test_in_list(self):
+        e = self.parse_expr("a IN (1, 2, 3)")
+        assert isinstance(e, ast.InList)
+        assert len(e.items) == 3
+
+    def test_not_in(self):
+        assert self.parse_expr("a NOT IN (1)").negated
+
+    def test_between(self):
+        e = self.parse_expr("a BETWEEN 1 AND 10")
+        assert isinstance(e, ast.Between)
+
+    def test_cast_postfix(self):
+        e = self.parse_expr("'1 week'::interval")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "interval"
+
+    def test_cast_function(self):
+        e = self.parse_expr("CAST(a AS integer)")
+        assert isinstance(e, ast.Cast)
+        assert e.type_name == "integer"
+
+    def test_interval_keyword_literal(self):
+        e = self.parse_expr("INTERVAL '5 minutes'")
+        assert isinstance(e, ast.Cast)
+
+    def test_chained_cast(self):
+        e = self.parse_expr("a::text::varchar")
+        assert isinstance(e, ast.Cast)
+        assert isinstance(e.operand, ast.Cast)
+
+    def test_case_searched(self):
+        e = self.parse_expr("CASE WHEN a > 1 THEN 'big' ELSE 'small' END")
+        assert isinstance(e, ast.CaseExpr)
+        assert e.operand is None
+        assert e.default is not None
+
+    def test_case_simple(self):
+        e = self.parse_expr("CASE a WHEN 1 THEN 'one' END")
+        assert e.operand is not None
+        assert e.default is None
+
+    def test_function_call(self):
+        e = self.parse_expr("lower(a)")
+        assert isinstance(e, ast.FunctionCall)
+        assert e.name == "lower"
+
+    def test_count_star(self):
+        e = self.parse_expr("count(*)")
+        assert isinstance(e.args[0], ast.Star)
+
+    def test_count_distinct(self):
+        e = self.parse_expr("count(DISTINCT a)")
+        assert e.distinct
+
+    def test_cq_close(self):
+        e = self.parse_expr("cq_close(*)")
+        assert e.name == "cq_close"
+
+    def test_string_concat_op(self):
+        e = self.parse_expr("a || b")
+        assert e.op == "||"
+
+    def test_boolean_literals(self):
+        assert self.parse_expr("TRUE").value is True
+        assert self.parse_expr("FALSE").value is False
+        assert self.parse_expr("NULL").value is None
+
+    def test_comparison_chain(self):
+        e = self.parse_expr("1 < 2")
+        assert e.op == "<"
+
+    def test_ne_variants(self):
+        assert self.parse_expr("a != b").op == "<>"
+        assert self.parse_expr("a <> b").op == "<>"
+
+    def test_modulo(self):
+        assert self.parse_expr("a % 2").op == "%"
+
+
+class TestDDL:
+    def test_create_table(self):
+        s = parse_statement(
+            "CREATE TABLE t (a integer NOT NULL, b varchar(10), "
+            "c double precision, d timestamp)")
+        assert isinstance(s, ast.CreateTable)
+        assert s.columns[0].not_null
+        assert s.columns[1].length == 10
+        assert s.columns[2].type_name == "double precision"
+
+    def test_create_table_if_not_exists(self):
+        s = parse_statement("CREATE TABLE IF NOT EXISTS t (a int)")
+        assert s.if_not_exists
+
+    def test_primary_key(self):
+        s = parse_statement("CREATE TABLE t (id integer PRIMARY KEY)")
+        assert s.columns[0].primary_key
+        assert s.columns[0].not_null
+
+    def test_create_stream_cqtime(self):
+        s = parse_statement(
+            "CREATE STREAM s (v int, ts timestamp CQTIME USER)")
+        assert isinstance(s, ast.CreateStream)
+        assert s.columns[1].cqtime == "user"
+
+    def test_cqtime_system(self):
+        s = parse_statement(
+            "CREATE STREAM s (v int, ts timestamp CQTIME SYSTEM)")
+        assert s.columns[1].cqtime == "system"
+
+    def test_create_derived_stream(self):
+        s = parse_statement(
+            "CREATE STREAM d AS SELECT a FROM s <VISIBLE '1 minute'>")
+        assert isinstance(s, ast.CreateDerivedStream)
+        assert s.name == "d"
+
+    def test_create_view(self):
+        s = parse_statement("CREATE VIEW v AS SELECT a FROM t")
+        assert isinstance(s, ast.CreateView)
+
+    def test_create_channel(self):
+        s = parse_statement("CREATE CHANNEL c FROM src INTO tgt APPEND")
+        assert isinstance(s, ast.CreateChannel)
+        assert s.mode == "append"
+
+    def test_create_channel_replace(self):
+        s = parse_statement("CREATE CHANNEL c FROM src INTO tgt REPLACE")
+        assert s.mode == "replace"
+
+    def test_create_index(self):
+        s = parse_statement("CREATE INDEX i ON t (a)")
+        assert isinstance(s, ast.CreateIndex)
+        assert s.columns == ["a"]
+        assert not s.unique
+
+    def test_create_unique_index(self):
+        assert parse_statement("CREATE UNIQUE INDEX i ON t (a)").unique
+
+    def test_drop_variants(self):
+        for kind in ("TABLE", "STREAM", "VIEW", "CHANNEL", "INDEX"):
+            s = parse_statement(f"DROP {kind} x")
+            assert isinstance(s, ast.Drop)
+            assert s.kind == kind.lower()
+
+    def test_drop_if_exists(self):
+        assert parse_statement("DROP TABLE IF EXISTS t").if_exists
+
+    def test_numeric_precision_scale(self):
+        s = parse_statement("CREATE TABLE t (a numeric(10, 2))")
+        assert s.columns[0].type_name == "numeric"
+
+
+class TestDML:
+    def test_insert_values(self):
+        s = parse_statement("INSERT INTO t VALUES (1, 'a'), (2, 'b')")
+        assert isinstance(s, ast.Insert)
+        assert len(s.rows) == 2
+
+    def test_insert_with_columns(self):
+        s = parse_statement("INSERT INTO t (a, b) VALUES (1, 2)")
+        assert s.columns == ["a", "b"]
+
+    def test_insert_select(self):
+        s = parse_statement("INSERT INTO t SELECT * FROM u")
+        assert s.query is not None
+
+    def test_update(self):
+        s = parse_statement("UPDATE t SET a = 1, b = b + 1 WHERE c = 'x'")
+        assert isinstance(s, ast.Update)
+        assert len(s.assignments) == 2
+        assert s.where is not None
+
+    def test_delete(self):
+        s = parse_statement("DELETE FROM t WHERE a < 0")
+        assert isinstance(s, ast.Delete)
+
+    def test_delete_all(self):
+        assert parse_statement("DELETE FROM t").where is None
+
+
+class TestTransactionsAndScripts:
+    def test_begin_commit_rollback(self):
+        assert isinstance(parse_statement("BEGIN"), ast.Begin)
+        assert isinstance(parse_statement("COMMIT"), ast.Commit)
+        assert isinstance(parse_statement("ROLLBACK"), ast.Rollback)
+        assert isinstance(parse_statement("ABORT"), ast.Rollback)
+        assert isinstance(parse_statement("BEGIN TRANSACTION"), ast.Begin)
+
+    def test_script_multiple(self):
+        statements = parse_script(
+            "CREATE TABLE t (a int); INSERT INTO t VALUES (1); SELECT * FROM t;")
+        assert len(statements) == 3
+
+    def test_script_empty_statements_skipped(self):
+        assert parse_script(";;;") == []
+
+    def test_error_carries_line(self):
+        with pytest.raises(ParseError) as info:
+            parse_statement("SELECT a\nFROM")
+        assert "line" in str(info.value)

@@ -1,0 +1,171 @@
+"""Direct planner behaviour tests: predicate placement, index choice,
+join strategy — verified through EXPLAIN output and result equivalence."""
+
+import pytest
+
+from repro import Database
+from repro.exec.planner import split_conjuncts
+from repro.sql import ast, parse_statement
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE orders (oid integer, cust integer, "
+                     "total double precision)")
+    database.execute("CREATE TABLE customers (cid integer, "
+                     "region varchar(10))")
+    database.insert_table("orders",
+                          [(i, i % 20, float(i)) for i in range(100)])
+    database.insert_table("customers",
+                          [(i, "east" if i % 2 else "west")
+                           for i in range(20)])
+    return database
+
+
+def plan_lines(db, sql):
+    return db.explain(sql).split("\n")
+
+
+def depth(line):
+    return (len(line) - len(line.lstrip())) // 2
+
+
+class TestSplitConjuncts:
+    def expr(self, text):
+        return parse_statement(f"SELECT 1 WHERE {text}").where
+
+    def test_flattens_ands(self):
+        parts = split_conjuncts(self.expr("a = 1 AND b = 2 AND c = 3"))
+        assert len(parts) == 3
+
+    def test_or_not_split(self):
+        parts = split_conjuncts(self.expr("a = 1 OR b = 2"))
+        assert len(parts) == 1
+
+    def test_nested(self):
+        parts = split_conjuncts(self.expr("(a = 1 AND b = 2) AND c = 3"))
+        assert len(parts) == 3
+
+    def test_none(self):
+        assert split_conjuncts(None) == []
+
+
+class TestPredicatePushdown:
+    def test_single_table_filter_below_projection(self, db):
+        lines = plan_lines(db, "SELECT oid FROM orders WHERE total > 50")
+        kinds = [line.strip().split("(")[0] for line in lines]
+        assert kinds == ["Project", "Filter", "SeqScan"]
+
+    def test_table_local_filter_pushed_below_join(self, db):
+        lines = plan_lines(
+            db,
+            "SELECT o.oid FROM orders o, customers c "
+            "WHERE o.cust = c.cid AND c.region = 'east' AND o.total > 10")
+        text = "\n".join(lines)
+        # the join is a hash join on the equality; the per-table filters
+        # sit below it (no filter above the join remains)
+        join_depth = next(depth(l) for l in lines if "HashJoin" in l)
+        filter_depths = [depth(l) for l in lines if "Filter" in l]
+        assert "HashJoin" in text
+        assert all(d > join_depth for d in filter_depths)
+
+    def test_cross_join_equality_becomes_hash_key(self, db):
+        text = db.explain(
+            "SELECT count(*) FROM orders o, customers c WHERE o.cust = c.cid")
+        assert "HashJoin" in text
+        assert "NestedLoopJoin" not in text
+
+    def test_inequality_join_uses_nested_loop(self, db):
+        text = db.explain(
+            "SELECT count(*) FROM orders o, customers c WHERE o.cust < c.cid")
+        assert "NestedLoopJoin" in text
+
+    def test_filter_on_join_output_stays_above(self, db):
+        # a predicate mixing both sides without equality must run at/above
+        # the join
+        text = db.explain(
+            "SELECT count(*) FROM orders o, customers c "
+            "WHERE o.cust = c.cid AND o.total + c.cid > 50")
+        assert "HashJoin" in text  # the equality still drives the join
+
+    def test_pushdown_preserves_results(self, db):
+        joined = db.query(
+            "SELECT count(*) FROM orders o, customers c "
+            "WHERE o.cust = c.cid AND c.region = 'east'").scalar()
+        # 10 east customers x 5 orders each
+        assert joined == 50
+
+
+class TestIndexChoice:
+    def test_equality_beats_range(self, db):
+        db.execute("CREATE INDEX o_oid ON orders (oid)")
+        text = db.explain(
+            "SELECT total FROM orders WHERE oid = 5 AND oid > 0")
+        assert "IndexScan" in text and "eq" in text
+
+    def test_range_bounds_combined(self, db):
+        db.execute("CREATE INDEX o_total ON orders (total)")
+        text = db.explain(
+            "SELECT oid FROM orders WHERE total > 10 AND total <= 20")
+        assert "IndexScan" in text and "range" in text
+        rows = db.query(
+            "SELECT count(*) FROM orders WHERE total > 10 AND total <= 20")
+        assert rows.scalar() == 10
+
+    def test_flipped_comparison_recognised(self, db):
+        db.execute("CREATE INDEX o_oid ON orders (oid)")
+        text = db.explain("SELECT total FROM orders WHERE 5 = oid")
+        assert "IndexScan" in text
+
+    def test_expression_over_column_not_indexed(self, db):
+        db.execute("CREATE INDEX o_oid ON orders (oid)")
+        text = db.explain("SELECT total FROM orders WHERE oid + 1 = 5")
+        assert "SeqScan" in text
+
+    def test_multi_column_index_not_selected_for_prefix(self, db):
+        db.execute("CREATE INDEX o_pair ON orders (cust, oid)")
+        # composite indexes need every column pinned by equality
+        text = db.explain("SELECT total FROM orders WHERE cust = 3")
+        assert "SeqScan" in text
+
+    def test_composite_index_full_equality(self, db):
+        db.execute("CREATE INDEX o_pair ON orders (cust, oid)")
+        text = db.explain(
+            "SELECT total FROM orders WHERE cust = 3 AND oid = 23")
+        assert "IndexScan" in text and "o_pair" in text
+        assert db.query(
+            "SELECT total FROM orders WHERE cust = 3 AND oid = 23"
+        ).rows == [(23.0,)]
+
+    def test_composite_beats_single_column(self, db):
+        db.execute("CREATE INDEX o_cust ON orders (cust)")
+        db.execute("CREATE INDEX o_pair ON orders (cust, oid)")
+        text = db.explain(
+            "SELECT total FROM orders WHERE oid = 23 AND cust = 3")
+        assert "o_pair" in text  # widest fully-pinned index wins
+
+    def test_composite_index_maintained_on_update(self, db):
+        db.execute("CREATE INDEX o_pair ON orders (cust, oid)")
+        db.execute("UPDATE orders SET total = 999 WHERE oid = 23")
+        assert db.query(
+            "SELECT total FROM orders WHERE cust = 3 AND oid = 23"
+        ).rows == [(999.0,)]
+
+    def test_composite_index_with_params(self, db):
+        db.execute("CREATE INDEX o_pair ON orders (cust, oid)")
+        rows = db.query(
+            "SELECT total FROM orders WHERE cust = ? AND oid = ?",
+            (3, 23)).rows
+        assert rows == [(23.0,)]
+
+    def test_index_scan_respects_visibility(self, db):
+        db.execute("CREATE INDEX o_oid ON orders (oid)")
+        db.execute("DELETE FROM orders WHERE oid = 5")
+        assert db.query("SELECT * FROM orders WHERE oid = 5").rows == []
+
+
+class TestScanEstimates:
+    def test_seqscan_shows_row_estimate(self, db):
+        text = db.explain("SELECT * FROM orders")
+        assert "~100 rows" in text

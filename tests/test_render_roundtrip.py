@@ -1,0 +1,159 @@
+"""Property test: for generated ASTs, parse(render(ast)) == ast.
+
+This pins down the parser and the renderer against each other across
+the whole expression grammar, far beyond what hand-written cases cover.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sql import ast, parse_statement
+from repro.sql.render import render_expr, render_statement
+
+# -- strategies --------------------------------------------------------------
+
+names = st.sampled_from(["a", "b", "c", "val", "ts"])
+qualifiers = st.sampled_from([None, "t", "u"])
+
+literals = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=0, max_value=10**6),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False,
+              allow_infinity=False),
+    st.text(alphabet="abc xyz'%_", max_size=8),
+).map(ast.Literal)
+
+column_refs = st.builds(ast.ColumnRef, names, qualifiers)
+
+leaf = st.one_of(literals, column_refs)
+
+_ARITH = ["+", "-", "*", "/", "%", "||"]
+_COMPARE = ["=", "<>", "<", "<=", ">", ">="]
+_LOGIC = ["AND", "OR"]
+
+
+def expressions(depth=3):
+    if depth == 0:
+        return leaf
+    sub = expressions(depth - 1)
+    return st.one_of(
+        leaf,
+        st.builds(ast.BinaryOp,
+                  st.sampled_from(_ARITH + _COMPARE + _LOGIC), sub, sub),
+        st.builds(ast.UnaryOp, st.just("NOT"), sub),
+        st.builds(ast.UnaryOp, st.just("-"), sub),
+        st.builds(ast.IsNull, sub, st.booleans()),
+        st.builds(ast.Like, sub, sub, st.booleans(), st.booleans()),
+        st.builds(ast.InList, sub, st.lists(sub, min_size=1, max_size=3),
+                  st.booleans()),
+        st.builds(ast.Between, sub, sub, sub, st.booleans()),
+        st.builds(ast.Cast, sub,
+                  st.sampled_from(["integer", "bigint", "text",
+                                   "double precision", "timestamp",
+                                   "interval"]),
+                  st.none()),
+        st.builds(ast.FunctionCall, st.sampled_from(["lower", "coalesce",
+                                                     "length", "abs"]),
+                  st.lists(sub, min_size=1, max_size=3), st.just(False)),
+        st.builds(
+            ast.CaseExpr,
+            st.one_of(st.none(), sub),
+            st.lists(st.tuples(sub, sub), min_size=1, max_size=2),
+            st.one_of(st.none(), sub),
+        ),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(expressions())
+def test_expression_roundtrip(expr):
+    text = f"SELECT {render_expr(expr)}"
+    parsed = parse_statement(text)
+    assert parsed.items[0].expr == expr
+
+
+aggregate_calls = st.one_of(
+    st.builds(ast.FunctionCall, st.just("count"),
+              st.just([ast.Star()]), st.just(False)),
+    st.builds(ast.FunctionCall, st.sampled_from(["sum", "min", "max", "avg"]),
+              st.lists(column_refs, min_size=1, max_size=1), st.just(False)),
+)
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    st.lists(st.tuples(expressions(2),
+                       st.one_of(st.none(), st.sampled_from(["x", "y"]))),
+             min_size=1, max_size=3),
+    st.one_of(st.none(), expressions(2)),
+    st.booleans(),
+)
+def test_select_roundtrip(item_specs, where, distinct):
+    select = ast.Select(
+        items=[ast.SelectItem(expr, alias) for expr, alias in item_specs],
+        from_clause=ast.TableRef("t"),
+        where=where,
+        distinct=distinct,
+    )
+    parsed = parse_statement(render_statement(select))
+    assert parsed == select
+
+
+class TestRenderUnits:
+    def roundtrip(self, sql):
+        first = parse_statement(sql)
+        again = parse_statement(render_statement(first))
+        assert first == again
+
+    def test_window_clause(self):
+        self.roundtrip("SELECT count(*) FROM s "
+                       "<VISIBLE '5 minutes' ADVANCE '1 minute'>")
+
+    def test_row_window(self):
+        self.roundtrip("SELECT count(*) FROM s <VISIBLE 10 ROWS ADVANCE 2 ROWS>")
+
+    def test_slices_window(self):
+        self.roundtrip("SELECT * FROM d <slices 2 windows>")
+
+    def test_joins(self):
+        self.roundtrip("SELECT * FROM a JOIN b ON a.x = b.x "
+                       "LEFT JOIN c ON b.y = c.y")
+
+    def test_cross_join(self):
+        self.roundtrip("SELECT * FROM a, b WHERE a.x = b.x")
+
+    def test_subquery(self):
+        self.roundtrip("SELECT s.c FROM (SELECT count(*) c FROM t) s")
+
+    def test_group_having_order_limit(self):
+        self.roundtrip("SELECT a, count(*) FROM t GROUP BY a "
+                       "HAVING count(*) > 2 ORDER BY a DESC LIMIT 5 OFFSET 1")
+
+    def test_set_ops(self):
+        self.roundtrip("SELECT a FROM t UNION ALL SELECT b FROM u "
+                       "ORDER BY 1 LIMIT 3")
+        self.roundtrip("SELECT a FROM t EXCEPT SELECT b FROM u")
+        self.roundtrip("SELECT a FROM t INTERSECT ALL SELECT b FROM u")
+
+    def test_subquery_predicates(self):
+        self.roundtrip("SELECT a FROM t WHERE a IN (SELECT b FROM u)")
+        self.roundtrip("SELECT a FROM t WHERE EXISTS (SELECT 1 FROM u)")
+        self.roundtrip("SELECT (SELECT max(b) FROM u)")
+
+    def test_count_distinct(self):
+        self.roundtrip("SELECT count(DISTINCT a) FROM t")
+
+    def test_string_escaping(self):
+        self.roundtrip("SELECT 'it''s', 'a''''b' FROM t")
+
+    def test_case(self):
+        self.roundtrip("SELECT CASE WHEN a > 1 THEN 'x' ELSE 'y' END FROM t")
+        self.roundtrip("SELECT CASE a WHEN 1 THEN 'x' END FROM t")
+
+    def test_parameters(self):
+        self.roundtrip("SELECT a FROM t WHERE a = ? AND b < ?")
+
+    def test_unbounded_window(self):
+        self.roundtrip(
+            "SELECT count(*) FROM s <VISIBLE UNBOUNDED ADVANCE '1 minute'>")

@@ -1,0 +1,193 @@
+"""Tests for shared slice aggregation (Section 2.2, refs [4, 12]):
+many CQs, one per-tuple aggregation pass."""
+
+import pytest
+
+from repro import Database
+from repro.sql import parse_statement
+from repro.streaming.shared import sharing_signature
+
+
+@pytest.fixture
+def db():
+    database = Database(share_slices=True)
+    database.execute(
+        "CREATE STREAM clicks (url varchar(100), ts timestamp CQTIME USER, "
+        "ip varchar(20))")
+    return database
+
+
+@pytest.fixture
+def plain_db():
+    database = Database(share_slices=False)
+    database.execute(
+        "CREATE STREAM clicks (url varchar(100), ts timestamp CQTIME USER, "
+        "ip varchar(20))")
+    return database
+
+
+CQ_TEMPLATE = ("SELECT url, count(*) c FROM clicks "
+               "<VISIBLE '{v}' ADVANCE '1 minute'> GROUP BY url")
+
+
+def drive(db, n_per_minute=3, minutes=6):
+    events = []
+    for minute in range(minutes):
+        for i in range(n_per_minute):
+            events.append((f"/p{i % 2}", minute * 60.0 + i + 1, "x"))
+    db.insert_stream("clicks", events)
+    db.advance_streams(minutes * 60.0)
+
+
+class TestEligibility:
+    def check(self, db, sql):
+        return sharing_signature(parse_statement(sql), db.catalog)
+
+    def test_simple_aggregate_eligible(self, db):
+        assert self.check(db, CQ_TEMPLATE.format(v="5 minutes")) is not None
+
+    def test_different_windows_same_signature(self, db):
+        a = self.check(db, CQ_TEMPLATE.format(v="5 minutes"))
+        b = self.check(db, CQ_TEMPLATE.format(v="10 minutes"))
+        assert a.signature == b.signature
+
+    def test_different_group_different_signature(self, db):
+        a = self.check(db, CQ_TEMPLATE.format(v="5 minutes"))
+        b = self.check(db, "SELECT ip, count(*) FROM clicks "
+                           "<VISIBLE '5 minutes' ADVANCE '1 minute'> GROUP BY ip")
+        assert a.signature != b.signature
+
+    def test_where_included_in_signature(self, db):
+        a = self.check(db, "SELECT count(*) FROM clicks <VISIBLE '1 minute'> "
+                           "WHERE url = '/a'")
+        b = self.check(db, "SELECT count(*) FROM clicks <VISIBLE '1 minute'> "
+                           "WHERE url = '/b'")
+        assert a is not None and b is not None
+        assert a.signature != b.signature
+
+    def test_join_not_eligible(self, db):
+        db.execute("CREATE TABLE t (url varchar(100))")
+        assert self.check(
+            db, "SELECT count(*) FROM clicks <VISIBLE '1 minute'> c, t "
+                "WHERE c.url = t.url") is None
+
+    def test_non_aggregate_not_eligible(self, db):
+        assert self.check(db, "SELECT url FROM clicks <VISIBLE '1 minute'>") is None
+
+    def test_row_window_not_eligible(self, db):
+        assert self.check(
+            db, "SELECT count(*) FROM clicks <VISIBLE 10 ROWS>") is None
+
+    def test_table_query_not_eligible(self, db):
+        db.execute("CREATE TABLE t (a integer)")
+        assert self.check(db, "SELECT count(*) FROM t") is None
+
+
+class TestSharedResults:
+    def test_matches_generic_path(self, db, plain_db):
+        """The shared path must produce exactly the generic path's output."""
+        sql = CQ_TEMPLATE.format(v="2 minutes")
+        shared_sub = db.subscribe(sql)
+        plain_sub = plain_db.subscribe(sql)
+        drive(db)
+        drive(plain_db)
+        shared_out = [(w.close_time, sorted(w.rows))
+                      for w in shared_sub.poll()]
+        plain_out = [(w.close_time, sorted(w.rows))
+                     for w in plain_sub.poll()]
+        assert shared_out == plain_out
+        assert getattr(shared_sub.cq, "shared", False) is True
+
+    def test_multiple_windows_one_aggregator(self, db):
+        subs = [db.subscribe(CQ_TEMPLATE.format(v=v))
+                for v in ("1 minute", "2 minutes", "5 minutes")]
+        assert len(db.runtime.aggregators()) == 1
+        drive(db)
+        for sub in subs:
+            assert len(sub.poll()) > 0
+
+    def test_per_tuple_work_independent_of_cq_count(self, db):
+        for v in ("1 minute", "2 minutes", "3 minutes", "4 minutes"):
+            db.subscribe(CQ_TEMPLATE.format(v=v))
+        drive(db, n_per_minute=5, minutes=4)
+        aggregator = db.runtime.aggregators()[0]
+        # every tuple aggregated exactly once despite 4 CQs
+        assert aggregator.stats.tuples_in == 20
+        assert aggregator.stats.agg_adds == 20
+
+    def test_unshared_processes_per_cq(self, plain_db):
+        subs = [plain_db.subscribe(CQ_TEMPLATE.format(v=v))
+                for v in ("1 minute", "2 minutes")]
+        drive(plain_db, n_per_minute=5, minutes=4)
+        total_scanned = sum(s.stats.rows_scanned for s in subs)
+        # generic path: each CQ rescans its window buffer per close
+        assert total_scanned > 20
+
+    def test_having_and_order_run_per_cq(self, db):
+        sub = db.subscribe(
+            "SELECT url, count(*) c FROM clicks "
+            "<VISIBLE '2 minutes' ADVANCE '1 minute'> GROUP BY url "
+            "HAVING count(*) > 2 ORDER BY c DESC LIMIT 1")
+        drive(db, n_per_minute=6, minutes=3)
+        for window in sub.poll():
+            assert len(window.rows) <= 1
+            for _url, count in window.rows:
+                assert count > 2
+
+    def test_where_filter_applied(self, db):
+        sub = db.subscribe(
+            "SELECT count(*) FROM clicks <VISIBLE '1 minute'> "
+            "WHERE url = '/p0'")
+        drive(db, n_per_minute=4, minutes=2)
+        rows = sub.rows()
+        assert all(isinstance(c, int) for (c,) in rows)
+        aggregator = db.runtime.aggregators()[0]
+        assert aggregator.stats.tuples_filtered > 0
+
+    def test_incompatible_grid_gets_second_aggregator(self, db):
+        db.subscribe(CQ_TEMPLATE.format(v="2 minutes"))   # slice = 60s
+        db.subscribe("SELECT url, count(*) c FROM clicks "
+                     "<VISIBLE '90 seconds' ADVANCE '30 seconds'> GROUP BY url")
+        assert len(db.runtime.aggregators()) == 2
+
+    def test_stop_removes_consumer(self, db):
+        sub = db.subscribe(CQ_TEMPLATE.format(v="1 minute"))
+        aggregator = db.runtime.aggregators()[0]
+        assert aggregator.consumer_count == 1
+        sub.close()
+        assert aggregator.consumer_count == 0
+
+    def test_flush_emits_pending_window(self, db):
+        sub = db.subscribe(CQ_TEMPLATE.format(v="1 minute"))
+        db.insert_stream("clicks", [("/a", 10.0, "x")])
+        db.flush_streams()
+        rows = sub.rows()
+        assert rows == [("/a", 1)]
+
+    def test_scalar_aggregate_no_group(self, db):
+        sub = db.subscribe(
+            "SELECT count(*), avg(length(url)) FROM clicks <VISIBLE '1 minute'>")
+        db.insert_stream("clicks", [("/ab", 1.0, "x"), ("/cd", 2.0, "x")])
+        db.advance_streams(60.0)
+        rows = sub.rows()
+        assert rows == [(2, 3.0)]
+
+    def test_scalar_empty_window_matches_generic(self, db, plain_db):
+        sql = "SELECT count(*) FROM clicks <VISIBLE '1 minute'>"
+        shared_sub = db.subscribe(sql)
+        plain_sub = plain_db.subscribe(sql)
+        for d in (db, plain_db):
+            d.insert_stream("clicks", [("/a", 10.0, "x")])
+            d.advance_streams(180.0)
+        shared_out = [(w.close_time, w.rows) for w in shared_sub.poll()]
+        plain_out = [(w.close_time, w.rows) for w in plain_sub.poll()]
+        assert shared_out == plain_out
+        assert shared_out[-1][1] == [(0,)]
+
+    def test_empty_window_emits_nothing_for_grouped(self, db):
+        sub = db.subscribe(CQ_TEMPLATE.format(v="1 minute"))
+        db.insert_stream("clicks", [("/a", 10.0, "x")])
+        db.advance_streams(180.0)
+        windows = sub.poll()
+        # grouped aggregates over empty windows produce zero rows
+        assert [len(w.rows) for w in windows] == [1, 0, 0]

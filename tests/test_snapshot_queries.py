@@ -1,0 +1,296 @@
+"""End-to-end snapshot (table-only) SQL through the Database facade."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, PlanningError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute(
+        "CREATE TABLE emp (id integer, name varchar(50), dept varchar(20), "
+        "salary double precision)")
+    database.insert_table("emp", [
+        (1, "ann", "eng", 100.0),
+        (2, "bob", "eng", 90.0),
+        (3, "cy", "sales", 80.0),
+        (4, "dee", "sales", 85.0),
+        (5, "eve", "hr", None),
+    ])
+    return database
+
+
+class TestProjectionFilter:
+    def test_select_star(self, db):
+        result = db.query("SELECT * FROM emp")
+        assert len(result) == 5
+        assert result.columns == ["id", "name", "dept", "salary"]
+
+    def test_projection(self, db):
+        result = db.query("SELECT name FROM emp WHERE id = 3")
+        assert result.rows == [("cy",)]
+
+    def test_expression_projection(self, db):
+        result = db.query("SELECT salary * 2 AS double_pay FROM emp WHERE id = 1")
+        assert result.columns == ["double_pay"]
+        assert result.rows == [(200.0,)]
+
+    def test_where_and(self, db):
+        result = db.query(
+            "SELECT id FROM emp WHERE dept = 'eng' AND salary > 95")
+        assert result.rows == [(1,)]
+
+    def test_where_or(self, db):
+        result = db.query(
+            "SELECT id FROM emp WHERE dept = 'hr' OR salary < 81 ORDER BY id")
+        assert result.rows == [(3,), (5,)]
+
+    def test_null_filtered_by_comparison(self, db):
+        # eve's NULL salary must not satisfy either branch
+        assert len(db.query("SELECT * FROM emp WHERE salary > 0")) == 4
+        assert len(db.query("SELECT * FROM emp WHERE salary <= 0")) == 0
+
+    def test_is_null(self, db):
+        result = db.query("SELECT name FROM emp WHERE salary IS NULL")
+        assert result.rows == [("eve",)]
+
+    def test_like(self, db):
+        result = db.query("SELECT name FROM emp WHERE name LIKE '%e%'")
+        assert sorted(r[0] for r in result) == ["dee", "eve"]
+
+    def test_in(self, db):
+        result = db.query("SELECT id FROM emp WHERE dept IN ('hr', 'sales') ORDER BY id")
+        assert result.rows == [(3,), (4,), (5,)]
+
+    def test_select_without_from(self, db):
+        assert db.query("SELECT 40 + 2").scalar() == 42
+
+    def test_unknown_table(self, db):
+        with pytest.raises(BindError):
+            db.query("SELECT * FROM missing")
+
+    def test_unknown_column(self, db):
+        with pytest.raises(BindError):
+            db.query("SELECT bogus FROM emp")
+
+
+class TestAggregation:
+    def test_count_star(self, db):
+        assert db.query("SELECT count(*) FROM emp").scalar() == 5
+
+    def test_count_column_skips_null(self, db):
+        assert db.query("SELECT count(salary) FROM emp").scalar() == 4
+
+    def test_group_by(self, db):
+        result = db.query(
+            "SELECT dept, count(*) FROM emp GROUP BY dept ORDER BY dept")
+        assert result.rows == [("eng", 2), ("hr", 1), ("sales", 2)]
+
+    def test_group_by_multiple_aggs(self, db):
+        result = db.query(
+            "SELECT dept, min(salary), max(salary), avg(salary) "
+            "FROM emp WHERE dept = 'eng' GROUP BY dept")
+        assert result.rows == [("eng", 90.0, 100.0, 95.0)]
+
+    def test_having(self, db):
+        result = db.query(
+            "SELECT dept, count(*) c FROM emp GROUP BY dept "
+            "HAVING count(*) > 1 ORDER BY dept")
+        assert result.rows == [("eng", 2), ("sales", 2)]
+
+    def test_scalar_aggregate_over_empty(self, db):
+        result = db.query("SELECT count(*), sum(salary) FROM emp WHERE id > 99")
+        assert result.rows == [(0, None)]
+
+    def test_group_by_empty_input_no_rows(self, db):
+        result = db.query(
+            "SELECT dept, count(*) FROM emp WHERE id > 99 GROUP BY dept")
+        assert result.rows == []
+
+    def test_expression_on_aggregate(self, db):
+        result = db.query("SELECT sum(salary) / count(salary) FROM emp")
+        assert result.scalar() == pytest.approx((100 + 90 + 80 + 85) / 4)
+
+    def test_group_by_expression(self, db):
+        result = db.query(
+            "SELECT length(dept), count(*) FROM emp GROUP BY length(dept) "
+            "ORDER BY length(dept)")
+        assert result.rows == [(2, 1), (3, 2), (5, 2)]
+
+    def test_bare_column_without_group_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT name, count(*) FROM emp")
+
+    def test_count_distinct(self, db):
+        assert db.query("SELECT count(DISTINCT dept) FROM emp").scalar() == 3
+
+    def test_having_without_group_on_scalar(self, db):
+        result = db.query("SELECT count(*) FROM emp HAVING count(*) > 100")
+        assert result.rows == []
+
+
+class TestOrderLimit:
+    def test_order_by_non_projected_column(self, db):
+        result = db.query(
+            "SELECT name FROM emp WHERE salary IS NOT NULL "
+            "ORDER BY salary DESC LIMIT 2")
+        assert result.rows == [("ann",), ("bob",)]
+
+    def test_nulls_last_ascending(self, db):
+        result = db.query("SELECT name FROM emp ORDER BY salary")
+        assert result.rows[-1] == ("eve",)
+
+    def test_nulls_first_descending(self, db):
+        # PostgreSQL semantics: DESC implies NULLS FIRST
+        result = db.query("SELECT name FROM emp ORDER BY salary DESC")
+        assert result.rows[0] == ("eve",)
+
+    def test_order_by_alias(self, db):
+        result = db.query(
+            "SELECT salary * -1 AS neg FROM emp WHERE salary IS NOT NULL "
+            "ORDER BY neg LIMIT 1")
+        assert result.rows == [(-100.0,)]
+
+    def test_order_by_position(self, db):
+        result = db.query("SELECT id, name FROM emp ORDER BY 1 DESC LIMIT 1")
+        assert result.rows == [(5, "eve")]
+
+    def test_order_by_aggregate_expression(self, db):
+        result = db.query(
+            "SELECT dept, count(*) AS c FROM emp GROUP BY dept "
+            "ORDER BY count(*) DESC, dept LIMIT 1")
+        assert result.rows == [("eng", 2)]
+
+    def test_limit_offset(self, db):
+        result = db.query("SELECT id FROM emp ORDER BY id LIMIT 2 OFFSET 2")
+        assert result.rows == [(3,), (4,)]
+
+    def test_multi_key_sort(self, db):
+        result = db.query("SELECT dept, name FROM emp ORDER BY dept, name DESC")
+        assert result.rows[0] == ("eng", "bob")
+        assert result.rows[1] == ("eng", "ann")
+
+    def test_distinct(self, db):
+        result = db.query("SELECT DISTINCT dept FROM emp ORDER BY dept")
+        assert result.rows == [("eng",), ("hr",), ("sales",)]
+
+
+class TestJoins:
+    @pytest.fixture
+    def jdb(self, db):
+        db.execute("CREATE TABLE dept (dname varchar(20), floor integer)")
+        db.insert_table("dept", [("eng", 3), ("sales", 1), ("legal", 9)])
+        return db
+
+    def test_inner_join_on(self, jdb):
+        result = jdb.query(
+            "SELECT e.name, d.floor FROM emp e JOIN dept d "
+            "ON e.dept = d.dname WHERE e.id = 1")
+        assert result.rows == [("ann", 3)]
+
+    def test_comma_join_with_where(self, jdb):
+        result = jdb.query(
+            "SELECT count(*) FROM emp e, dept d WHERE e.dept = d.dname")
+        assert result.scalar() == 4  # hr has no dept row
+
+    def test_left_join_null_extends(self, jdb):
+        result = jdb.query(
+            "SELECT e.name, d.floor FROM emp e LEFT JOIN dept d "
+            "ON e.dept = d.dname WHERE e.id = 5")
+        assert result.rows == [("eve", None)]
+
+    def test_cross_join_count(self, jdb):
+        assert jdb.query(
+            "SELECT count(*) FROM emp CROSS JOIN dept").scalar() == 15
+
+    def test_join_with_expression_key(self, jdb):
+        result = jdb.query(
+            "SELECT count(*) FROM emp e, dept d WHERE lower(e.dept) = d.dname")
+        assert result.scalar() == 4
+
+    def test_three_way_join(self, jdb):
+        jdb.execute("CREATE TABLE floors (fl integer, label varchar(10))")
+        jdb.insert_table("floors", [(3, "third"), (1, "first")])
+        result = jdb.query(
+            "SELECT e.name, f.label FROM emp e "
+            "JOIN dept d ON e.dept = d.dname "
+            "JOIN floors f ON d.floor = f.fl "
+            "ORDER BY e.name")
+        assert result.rows == [
+            ("ann", "third"), ("bob", "third"), ("cy", "first"),
+            ("dee", "first")]
+
+    def test_join_aggregate(self, jdb):
+        result = jdb.query(
+            "SELECT d.floor, count(*) FROM emp e JOIN dept d "
+            "ON e.dept = d.dname GROUP BY d.floor ORDER BY d.floor")
+        assert result.rows == [(1, 2), (3, 2)]
+
+
+class TestSubqueriesAndViews:
+    def test_subquery_in_from(self, db):
+        result = db.query(
+            "SELECT sub.dept, sub.c FROM "
+            "(SELECT dept, count(*) AS c FROM emp GROUP BY dept) sub "
+            "WHERE sub.c > 1 ORDER BY sub.dept")
+        assert result.rows == [("eng", 2), ("sales", 2)]
+
+    def test_nested_subquery(self, db):
+        result = db.query(
+            "SELECT max(c) FROM (SELECT dept, count(*) AS c FROM emp "
+            "GROUP BY dept) x")
+        assert result.scalar() == 2
+
+    def test_view(self, db):
+        db.execute("CREATE VIEW engineers AS "
+                   "SELECT id, name FROM emp WHERE dept = 'eng'")
+        result = db.query("SELECT count(*) FROM engineers")
+        assert result.scalar() == 2
+
+    def test_view_over_view(self, db):
+        db.execute("CREATE VIEW engineers AS "
+                   "SELECT id, name FROM emp WHERE dept = 'eng'")
+        db.execute("CREATE VIEW first_engineer AS "
+                   "SELECT name FROM engineers WHERE id = 1")
+        assert db.query("SELECT * FROM first_engineer").rows == [("ann",)]
+
+    def test_subquery_alias_scoping(self, db):
+        result = db.query(
+            "SELECT s.name FROM (SELECT name FROM emp WHERE id = 2) s")
+        assert result.rows == [("bob",)]
+
+
+class TestIndexUsage:
+    def test_index_equality_plan(self, db):
+        db.execute("CREATE INDEX emp_id ON emp (id)")
+        plan = db.explain("SELECT name FROM emp WHERE id = 3")
+        assert "IndexScan" in plan
+        assert db.query("SELECT name FROM emp WHERE id = 3").rows == [("cy",)]
+
+    def test_index_range_plan(self, db):
+        db.execute("CREATE INDEX emp_sal ON emp (salary)")
+        plan = db.explain("SELECT name FROM emp WHERE salary > 85")
+        assert "IndexScan" in plan
+        rows = db.query(
+            "SELECT name FROM emp WHERE salary > 85 ORDER BY name").rows
+        assert rows == [("ann",), ("bob",)]
+
+    def test_index_results_match_seqscan(self, db):
+        expected = db.query(
+            "SELECT id FROM emp WHERE salary >= 85 ORDER BY id").rows
+        db.execute("CREATE INDEX emp_sal ON emp (salary)")
+        actual = db.query(
+            "SELECT id FROM emp WHERE salary >= 85 ORDER BY id").rows
+        assert actual == expected
+
+    def test_index_sees_new_inserts(self, db):
+        db.execute("CREATE INDEX emp_id ON emp (id)")
+        db.insert_table("emp", [(6, "fay", "eng", 70.0)])
+        assert db.query("SELECT name FROM emp WHERE id = 6").rows == [("fay",)]
+
+    def test_no_index_on_other_column(self, db):
+        db.execute("CREATE INDEX emp_id ON emp (id)")
+        plan = db.explain("SELECT name FROM emp WHERE dept = 'eng'")
+        assert "SeqScan" in plan

@@ -1,0 +1,167 @@
+"""SQL-semantics conformance: a battery of small behavioural cases
+(NULL propagation, coercion, grouping, ordering, aliasing edge cases)."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b varchar(10), "
+                     "c double precision)")
+    database.insert_table("t", [
+        (1, "one", 1.5),
+        (2, "two", None),
+        (None, "none", 3.5),
+        (2, None, 0.0),
+    ])
+    return database
+
+
+class TestNullSemantics:
+    def test_null_arith(self, db):
+        assert db.query("SELECT a + c FROM t WHERE b = 'two'").scalar() is None
+
+    def test_where_null_row_excluded_from_comparison(self, db):
+        assert db.query("SELECT count(*) FROM t WHERE a = a").scalar() == 3
+
+    def test_null_not_equal_null(self, db):
+        assert db.query(
+            "SELECT count(*) FROM t WHERE a <> a").scalar() == 0
+
+    def test_coalesce_chain(self, db):
+        rows = db.query("SELECT coalesce(b, 'missing') FROM t "
+                        "WHERE a = 2 ORDER BY 1").rows
+        assert rows == [("missing",), ("two",)]
+
+    def test_case_with_null(self, db):
+        result = db.query(
+            "SELECT CASE WHEN a IS NULL THEN 'n' ELSE 'v' END FROM t "
+            "WHERE b = 'none'")
+        assert result.scalar() == "n"
+
+    def test_count_vs_count_star(self, db):
+        row = db.query("SELECT count(*), count(a), count(b), count(c) "
+                       "FROM t").rows[0]
+        assert row == (4, 3, 3, 3)
+
+    def test_sum_avg_ignore_nulls(self, db):
+        row = db.query("SELECT sum(c), avg(c) FROM t").rows[0]
+        assert row == (5.0, pytest.approx(5.0 / 3))
+
+    def test_group_by_null_forms_its_own_group(self, db):
+        rows = db.query("SELECT a, count(*) FROM t GROUP BY a "
+                        "ORDER BY a").rows
+        assert (None, 1) in rows
+        assert (2, 2) in rows
+
+    def test_distinct_treats_nulls_equal(self, db):
+        db.insert_table("t", [(None, "other", 9.0)])
+        rows = db.query("SELECT DISTINCT a FROM t ORDER BY a").rows
+        assert rows.count((None,)) == 1
+
+
+class TestCoercion:
+    def test_string_to_number_in_comparison(self, db):
+        assert db.query("SELECT count(*) FROM t WHERE a = 2").scalar() == 2
+
+    def test_int_float_equality(self, db):
+        assert db.query("SELECT 1 = 1.0").scalar() is True
+
+    def test_boolean_output(self, db):
+        assert db.query("SELECT 2 > 1").scalar() is True
+
+    def test_concat_coerces(self, db):
+        assert db.query("SELECT 'n=' || 5").scalar() == "n=5"
+
+    def test_cast_chain(self, db):
+        assert db.query("SELECT '42'::text::integer + 1").scalar() == 43
+
+
+class TestAliasingAndScoping:
+    def test_alias_hides_table_name(self, db):
+        from repro.errors import BindError
+        with pytest.raises(BindError):
+            db.query("SELECT t.a FROM t AS renamed")
+
+    def test_self_join_needs_aliases(self, db):
+        result = db.query(
+            "SELECT count(*) FROM t x, t y WHERE x.a = y.a")
+        assert result.scalar() == 5  # 1x1 + 2x2 matches
+
+    def test_reserved_like_identifiers(self, db):
+        # 'visible' is only special inside a window clause
+        db.execute("CREATE TABLE visible (value integer)")
+        db.execute("INSERT INTO visible VALUES (1)")
+        assert db.query("SELECT value FROM visible").scalar() == 1
+
+    def test_quoted_identifier(self, db):
+        db.execute('CREATE TABLE "Mixed Case" (x integer)')
+        db.execute('INSERT INTO "Mixed Case" VALUES (9)')
+        assert db.query('SELECT x FROM "Mixed Case"').scalar() == 9
+
+    def test_select_item_alias_usable_in_order(self, db):
+        rows = db.query("SELECT a * -1 AS neg FROM t WHERE a IS NOT NULL "
+                        "ORDER BY neg").rows
+        assert rows[0] == (-2,)
+
+
+class TestGroupingEdges:
+    def test_group_by_expression_reused_in_select(self, db):
+        rows = db.query(
+            "SELECT a % 2, count(*) FROM t WHERE a IS NOT NULL "
+            "GROUP BY a % 2 ORDER BY 1").rows
+        assert rows == [(0, 2), (1, 1)]
+
+    def test_having_references_unselected_aggregate(self, db):
+        rows = db.query(
+            "SELECT a FROM t WHERE a IS NOT NULL GROUP BY a "
+            "HAVING count(*) > 1").rows
+        assert rows == [(2,)]
+
+    def test_order_by_unselected_aggregate(self, db):
+        rows = db.query(
+            "SELECT a FROM t WHERE a IS NOT NULL GROUP BY a "
+            "ORDER BY count(*) DESC").rows
+        assert rows[0] == (2,)
+
+    def test_aggregate_of_expression(self, db):
+        assert db.query(
+            "SELECT sum(a * 10) FROM t").scalar() == 50
+
+    def test_nested_aggregate_rejected(self, db):
+        from repro.errors import TruvisoError
+        with pytest.raises(Exception):
+            db.query("SELECT sum(count(*)) FROM t")
+
+    def test_group_by_two_keys(self, db):
+        rows = db.query(
+            "SELECT a, b, count(*) FROM t GROUP BY a, b").rows
+        assert len(rows) == 4
+
+
+class TestLimitsAndOrdering:
+    def test_order_stable_across_equal_keys(self, db):
+        db.execute("CREATE TABLE seq (pos integer, grp integer)")
+        db.insert_table("seq", [(i, i % 2) for i in range(6)])
+        rows = db.query("SELECT pos FROM seq ORDER BY grp").rows
+        evens = [p for (p,) in rows[:3]]
+        assert evens == sorted(evens)  # stable within the equal group
+
+    def test_offset_without_limit(self, db):
+        rows = db.query("SELECT a FROM t WHERE a IS NOT NULL "
+                        "ORDER BY a OFFSET 2").rows
+        assert rows == [(2,)]
+
+    def test_limit_larger_than_result(self, db):
+        assert len(db.query("SELECT * FROM t LIMIT 100")) == 4
+
+    def test_between_inclusive(self, db):
+        assert db.query("SELECT count(*) FROM t "
+                        "WHERE a BETWEEN 1 AND 2").scalar() == 3
+
+    def test_like_on_null_excluded(self, db):
+        assert db.query("SELECT count(*) FROM t "
+                        "WHERE b LIKE '%o%'").scalar() == 3

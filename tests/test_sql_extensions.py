@@ -1,0 +1,232 @@
+"""Tests for the extended SQL surface: set operations, subquery
+predicates, scalar subqueries, CREATE TABLE AS, and EXPLAIN."""
+
+import pytest
+
+from repro import Database
+from repro.errors import BindError, ExecutionError, PlanningError
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE a (x integer, tag varchar(10))")
+    database.execute("CREATE TABLE b (x integer, tag varchar(10))")
+    database.insert_table("a", [(1, "one"), (2, "two"), (2, "two"),
+                                (3, "three")])
+    database.insert_table("b", [(2, "two"), (4, "four")])
+    return database
+
+
+class TestSetOperations:
+    def test_union_all_keeps_duplicates(self, db):
+        result = db.query("SELECT x FROM a UNION ALL SELECT x FROM b")
+        assert sorted(result.rows) == [(1,), (2,), (2,), (2,), (3,), (4,)]
+
+    def test_union_deduplicates(self, db):
+        result = db.query("SELECT x FROM a UNION SELECT x FROM b")
+        assert sorted(result.rows) == [(1,), (2,), (3,), (4,)]
+
+    def test_except(self, db):
+        result = db.query("SELECT x FROM a EXCEPT SELECT x FROM b")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_except_all_bag_semantics(self, db):
+        result = db.query("SELECT x FROM a EXCEPT ALL SELECT x FROM b")
+        # a has two 2s, b cancels one
+        assert sorted(result.rows) == [(1,), (2,), (3,)]
+
+    def test_intersect(self, db):
+        result = db.query("SELECT x FROM a INTERSECT SELECT x FROM b")
+        assert result.rows == [(2,)]
+
+    def test_intersect_all(self, db):
+        db.insert_table("b", [(2, "two")])
+        result = db.query("SELECT x FROM a INTERSECT ALL SELECT x FROM b")
+        assert sorted(result.rows) == [(2,), (2,)]
+
+    def test_chained_set_ops(self, db):
+        result = db.query(
+            "SELECT x FROM a UNION SELECT x FROM b UNION SELECT 99")
+        assert (99,) in result.rows
+        assert len(result.rows) == 5
+
+    def test_order_limit_apply_to_whole(self, db):
+        result = db.query(
+            "SELECT x FROM a UNION SELECT x FROM b ORDER BY x DESC LIMIT 2")
+        assert result.rows == [(4,), (3,)]
+
+    def test_order_by_position(self, db):
+        result = db.query(
+            "SELECT x, tag FROM a UNION SELECT x, tag FROM b ORDER BY 1")
+        assert result.rows[0][0] == 1
+
+    def test_column_names_from_left(self, db):
+        result = db.query(
+            "SELECT x AS left_name FROM a UNION SELECT x FROM b")
+        assert result.columns == ["left_name"]
+
+    def test_arity_mismatch_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT x FROM a UNION SELECT x, tag FROM b")
+
+    def test_set_op_in_from_subquery(self, db):
+        result = db.query(
+            "SELECT count(*) FROM "
+            "(SELECT x FROM a UNION SELECT x FROM b) u")
+        assert result.scalar() == 4
+
+    def test_set_op_in_view(self, db):
+        db.execute("CREATE VIEW both AS SELECT x FROM a UNION "
+                   "SELECT x FROM b")
+        assert db.query("SELECT count(*) FROM both").scalar() == 4
+
+    def test_set_op_over_streams_rejected(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        with pytest.raises(PlanningError):
+            db.execute("SELECT v FROM s <VISIBLE '1 minute'> "
+                       "UNION SELECT x FROM a")
+
+
+class TestSubqueryPredicates:
+    def test_in_subquery(self, db):
+        result = db.query("SELECT x FROM a WHERE x IN (SELECT x FROM b)")
+        assert result.rows == [(2,), (2,)]
+
+    def test_not_in_subquery(self, db):
+        result = db.query(
+            "SELECT DISTINCT x FROM a WHERE x NOT IN (SELECT x FROM b)")
+        assert sorted(result.rows) == [(1,), (3,)]
+
+    def test_not_in_with_null_in_subquery_is_empty(self, db):
+        db.execute("CREATE TABLE n (x integer)")
+        db.insert_table("n", [(2,), (None,)])
+        result = db.query("SELECT x FROM a WHERE x NOT IN (SELECT x FROM n)")
+        assert result.rows == []  # NULL makes NOT IN unknown
+
+    def test_exists(self, db):
+        assert db.query("SELECT count(*) FROM a WHERE EXISTS "
+                        "(SELECT 1 FROM b WHERE x = 4)").scalar() == 4
+
+    def test_exists_empty(self, db):
+        assert db.query("SELECT count(*) FROM a WHERE EXISTS "
+                        "(SELECT 1 FROM b WHERE x = 99)").scalar() == 0
+
+    def test_not_exists(self, db):
+        assert db.query("SELECT count(*) FROM a WHERE NOT EXISTS "
+                        "(SELECT 1 FROM b WHERE x = 99)").scalar() == 4
+
+    def test_in_subquery_must_be_single_column(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT x FROM a WHERE x IN (SELECT x, tag FROM b)")
+
+    def test_subquery_with_aggregate(self, db):
+        result = db.query(
+            "SELECT x FROM a WHERE x IN (SELECT max(x) - 2 FROM b)")
+        assert result.rows == [(2,), (2,)]
+
+    def test_correlated_subquery_rejected(self, db):
+        with pytest.raises(BindError):
+            db.query("SELECT x FROM a WHERE EXISTS "
+                     "(SELECT 1 FROM b WHERE b.x = a.x)")
+
+    def test_in_subquery_inside_cq(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT count(*) FROM s <VISIBLE '1 minute'> "
+            "WHERE v IN (SELECT x FROM b)")
+        db.insert_stream("s", [(2, 1.0), (9, 2.0), (4, 3.0)])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(2,)]
+
+    def test_cq_subquery_sees_table_updates_at_boundaries(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        sub = db.subscribe(
+            "SELECT count(*) FROM s <VISIBLE '1 minute'> "
+            "WHERE v IN (SELECT x FROM b)")
+        db.insert_stream("s", [(7, 1.0)])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(0,)]
+        db.insert_table("b", [(7, "seven")])  # visible from next boundary
+        db.insert_stream("s", [(7, 61.0)])
+        db.advance_streams(120.0)
+        assert sub.rows() == [(1,)]
+
+
+class TestScalarSubqueries:
+    def test_in_select_list(self, db):
+        assert db.query("SELECT (SELECT max(x) FROM b)").scalar() == 4
+
+    def test_in_where(self, db):
+        result = db.query(
+            "SELECT x FROM a WHERE x = (SELECT min(x) FROM b)")
+        assert result.rows == [(2,), (2,)]
+
+    def test_arithmetic_on_scalar(self, db):
+        assert db.query(
+            "SELECT (SELECT max(x) FROM b) * (SELECT min(x) FROM b)"
+        ).scalar() == 8
+
+    def test_empty_scalar_is_null(self, db):
+        assert db.query(
+            "SELECT (SELECT x FROM b WHERE x = 99)").scalar() is None
+
+    def test_multirow_scalar_raises(self, db):
+        with pytest.raises(ExecutionError):
+            db.query("SELECT (SELECT x FROM b)")
+
+    def test_multicolumn_scalar_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.query("SELECT (SELECT x, tag FROM b)")
+
+
+class TestCreateTableAs:
+    def test_basic(self, db):
+        db.execute("CREATE TABLE doubled AS SELECT x * 2 AS y FROM a")
+        assert sorted(db.table_rows("doubled")) == [(2,), (4,), (4,), (6,)]
+
+    def test_schema_inferred(self, db):
+        db.execute("CREATE TABLE t2 AS SELECT x, tag FROM a WHERE x = 1")
+        table = db.get_table("t2")
+        assert table.schema.names() == ["x", "tag"]
+
+    def test_from_set_op(self, db):
+        db.execute("CREATE TABLE u AS SELECT x FROM a UNION SELECT x FROM b")
+        assert len(db.table_rows("u")) == 4
+
+    def test_result_is_normal_table(self, db):
+        db.execute("CREATE TABLE copy_a AS SELECT * FROM a")
+        db.execute("INSERT INTO copy_a VALUES (99, 'new')")
+        assert db.query("SELECT count(*) FROM copy_a").scalar() == 5
+
+    def test_over_stream_rejected(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        with pytest.raises(PlanningError):
+            db.execute("CREATE TABLE t AS SELECT v FROM s <VISIBLE '1 minute'>")
+
+    def test_if_not_exists(self, db):
+        db.execute("CREATE TABLE IF NOT EXISTS a AS SELECT 1")
+        # unchanged: 'a' already existed
+        assert db.query("SELECT count(*) FROM a").scalar() == 4
+
+
+class TestExplainStatement:
+    def test_returns_plan_rows(self, db):
+        result = db.execute("EXPLAIN SELECT x FROM a WHERE x = 1")
+        assert result.columns == ["QUERY PLAN"]
+        text = "\n".join(line for (line,) in result.rows)
+        assert "SeqScan" in text
+        assert "Filter" in text
+
+    def test_explain_cq(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        result = db.execute(
+            "EXPLAIN SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        text = "\n".join(line for (line,) in result.rows)
+        assert "RowSource" in text or "SharedSliceAggregator" in text
+
+    def test_explain_shows_index(self, db):
+        db.execute("CREATE INDEX a_x ON a (x)")
+        result = db.execute("EXPLAIN SELECT * FROM a WHERE x = 2")
+        text = "\n".join(line for (line,) in result.rows)
+        assert "IndexScan" in text

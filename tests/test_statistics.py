@@ -1,0 +1,107 @@
+"""Tests for ANALYZE statistics and the hash-join build-side choice."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE small (k integer, label varchar(10))")
+    database.execute("CREATE TABLE big (k integer, payload varchar(10))")
+    database.insert_table("small", [(i, f"s{i}") for i in range(5)])
+    database.insert_table("big", [(i % 5, None if i % 10 == 0 else "p")
+                                  for i in range(500)])
+    return database
+
+
+class TestAnalyze:
+    def test_analyze_one_table(self, db):
+        result = db.execute("ANALYZE big")
+        assert result.columns == ["table_name", "row_count", "pages"]
+        assert result.rows[0][0] == "big"
+        assert result.rows[0][1] == 500
+
+    def test_analyze_all(self, db):
+        result = db.execute("ANALYZE")
+        assert {row[0] for row in result.rows} == {"small", "big"}
+
+    def test_column_statistics(self, db):
+        db.execute("ANALYZE big")
+        stats = db.get_table("big").stats
+        n_distinct, null_frac = stats.columns["k"]
+        assert n_distinct == 5
+        assert null_frac == 0.0
+        _nd, payload_nulls = stats.columns["payload"]
+        assert payload_nulls == pytest.approx(0.1)
+
+    def test_stats_visible_in_system_view(self, db):
+        db.execute("ANALYZE big")
+        rows = db.query("SELECT column_name, n_distinct FROM repro_stats "
+                        "WHERE table_name = 'big' ORDER BY column_name").rows
+        assert ("k", 5) in rows
+
+    def test_stats_reflect_snapshot(self, db):
+        db.execute("DELETE FROM big WHERE k = 0")
+        db.execute("ANALYZE big")
+        assert db.get_table("big").stats.row_count == 400
+
+
+class TestBuildSideChoice:
+    def test_smaller_left_becomes_build(self, db):
+        plan = db.explain(
+            "SELECT count(*) FROM small s, big b WHERE s.k = b.k")
+        assert "build=left" in plan
+
+    def test_smaller_right_stays_default(self, db):
+        plan = db.explain(
+            "SELECT count(*) FROM big b, small s WHERE s.k = b.k")
+        assert "build=right" in plan
+
+    def test_results_identical_either_orientation(self, db):
+        a = db.query(
+            "SELECT count(*) FROM small s, big b WHERE s.k = b.k").scalar()
+        b = db.query(
+            "SELECT count(*) FROM big b, small s WHERE s.k = b.k").scalar()
+        assert a == b == 500
+
+    def test_left_join_with_left_build(self, db):
+        db.insert_table("small", [(99, "unmatched")])
+        result = db.query(
+            "SELECT s.k, count(b.k) FROM small s LEFT JOIN big b "
+            "ON s.k = b.k GROUP BY s.k ORDER BY s.k")
+        assert ("build=left" in db.explain(
+            "SELECT s.k FROM small s LEFT JOIN big b ON s.k = b.k"))
+        assert result.rows[-1] == (99, 0)
+
+    def test_left_join_null_key_rows_survive_left_build(self, db):
+        db.insert_table("small", [(None, "nullkey")])
+        result = db.query(
+            "SELECT s.label FROM small s LEFT JOIN big b ON s.k = b.k "
+            "WHERE s.label = 'nullkey'")
+        assert result.rows == [("nullkey",)]
+
+    def test_stream_window_is_assumed_small(self, db):
+        db.execute("CREATE STREAM s (k integer, ts timestamp CQTIME USER)")
+        plan = db.explain(
+            "SELECT count(*) FROM s <VISIBLE '1 minute'> w, big b "
+            "WHERE w.k = b.k")
+        # the window relation (est. ~1000) is smaller than big?  big has
+        # 500 rows, so big stays the build side here
+        assert "build=right" in plan
+        db.insert_table("big", [(1, "x")] * 1000)
+        plan = db.explain(
+            "SELECT count(*) FROM s <VISIBLE '1 minute'> w, big b "
+            "WHERE w.k = b.k")
+        assert "build=left" in plan  # now the window is the smaller side
+
+    def test_stream_table_join_results_with_left_build(self, db):
+        db.execute("CREATE STREAM s (k integer, ts timestamp CQTIME USER)")
+        db.insert_table("big", [(1, "x")] * 1000)  # force build=left
+        sub = db.subscribe(
+            "SELECT count(*) FROM s <VISIBLE '1 minute'> w, small t "
+            "WHERE w.k = t.k")
+        db.insert_stream("s", [(1, 5.0), (4, 6.0), (77, 7.0)])
+        db.advance_streams(60.0)
+        assert sub.rows() == [(2,)]

@@ -1,0 +1,181 @@
+"""Tests for two-stream windowed joins (extension beyond the paper's
+single-stream examples; the paper's Section 6 promises systems that
+"combine streaming and table-based data" — this combines two streams)."""
+
+import pytest
+
+from repro import Database
+from repro.errors import PlanningError
+
+MINUTE = 60.0
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE STREAM impressions (ad varchar(20), "
+                     "ts timestamp CQTIME USER)")
+    database.execute("CREATE STREAM clicks (ad varchar(20), "
+                     "ts timestamp CQTIME USER)")
+    return database
+
+
+JOIN_SQL = """
+SELECT i.ad, count(*) AS pairs
+FROM impressions <VISIBLE '1 minute'> i,
+     clicks <VISIBLE '1 minute'> c
+WHERE i.ad = c.ad
+GROUP BY i.ad ORDER BY i.ad
+"""
+
+
+class TestTwoStreamJoin:
+    def test_equi_join_within_common_window(self, db):
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("a", 5.0), ("b", 10.0)])
+        db.insert_stream("clicks", [("a", 20.0), ("a", 30.0)])
+        db.advance_streams(MINUTE)
+        # a: 1 impression x 2 clicks = 2 pairs; b: no clicks
+        assert sub.rows() == [("a", 2)]
+
+    def test_windows_pair_by_boundary(self, db):
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.insert_stream("clicks", [("a", 70.0)])  # the *next* minute
+        db.advance_streams(2 * MINUTE)
+        windows = sub.poll()
+        # minute 1: impression but no click; minute 2: click but no
+        # impression — no pairs either way
+        assert all(w.rows == [] for w in windows)
+
+    def test_join_over_consecutive_windows(self, db):
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("x", 5.0)])
+        db.insert_stream("clicks", [("x", 6.0)])
+        db.advance_streams(MINUTE)
+        db.insert_stream("impressions", [("x", 65.0), ("y", 66.0)])
+        db.insert_stream("clicks", [("y", 70.0)])
+        db.advance_streams(2 * MINUTE)
+        out = [(w.close_time, w.rows) for w in sub.poll()]
+        assert out == [(60.0, [("x", 1)]), (120.0, [("y", 1)])]
+
+    def test_sliding_windows_with_common_advance(self, db):
+        sub = db.subscribe("""
+            SELECT count(*) FROM
+                impressions <VISIBLE '2 minutes' ADVANCE '1 minute'> i,
+                clicks <VISIBLE '1 minute' ADVANCE '1 minute'> c
+            WHERE i.ad = c.ad
+        """)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.insert_stream("clicks", [("a", 70.0)])
+        db.advance_streams(2 * MINUTE)
+        counts = [w.rows[0][0] for w in sub.poll()]
+        # at close 120 the 2-min impression window still holds t=5,
+        # the 1-min click window holds t=70 -> one pair
+        assert counts[-1] == 1
+
+    def test_mismatched_advance_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.subscribe("""
+                SELECT count(*) FROM
+                    impressions <VISIBLE '1 minute'> i,
+                    clicks <VISIBLE '2 minutes' ADVANCE '2 minutes'> c
+                WHERE i.ad = c.ad
+            """)
+
+    def test_row_windows_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.subscribe("""
+                SELECT count(*) FROM
+                    impressions <VISIBLE 5 ROWS> i,
+                    clicks <VISIBLE '1 minute'> c
+                WHERE i.ad = c.ad
+            """)
+
+    def test_missing_window_rejected(self, db):
+        with pytest.raises(PlanningError):
+            db.subscribe(
+                "SELECT count(*) FROM impressions i, "
+                "clicks <VISIBLE '1 minute'> c WHERE i.ad = c.ad")
+
+    def test_self_join(self, db):
+        """Join a stream with itself over two different extents: which
+        ads were seen both in the last minute and the last two minutes."""
+        sub = db.subscribe("""
+            SELECT recent.ad, count(*)
+            FROM impressions <VISIBLE '1 minute'> recent,
+                 impressions <VISIBLE '2 minutes' ADVANCE '1 minute'> longer
+            WHERE recent.ad = longer.ad
+            GROUP BY recent.ad ORDER BY recent.ad
+        """)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.advance_streams(MINUTE)
+        db.insert_stream("impressions", [("a", 65.0), ("b", 66.0)])
+        db.advance_streams(2 * MINUTE)
+        out = {w.close_time: w.rows for w in sub.poll()}
+        # at 120: recent={a@65,b@66}, longer={a@5,a@65,b@66}
+        assert out[120.0] == [("a", 2), ("b", 1)]
+
+    def test_flush_drains_unmatched_boundaries(self, db):
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.insert_stream("clicks", [("a", 10.0)])
+        # no heartbeat: nothing closed yet
+        assert sub.poll() == []
+        db.flush_streams()
+        assert sub.rows() == [("a", 1)]
+
+    def test_quiet_stream_still_joins(self, db):
+        """One stream silent: heartbeats alone drive its empty windows."""
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.get_stream("clicks").insert(("a", 6.0))
+        db.advance_streams(MINUTE)
+        assert sub.rows() == [("a", 1)]
+        # next minute: impressions silent, clicks active
+        db.insert_stream("clicks", [("a", 70.0)])
+        db.advance_streams(2 * MINUTE)
+        assert sub.rows() == []
+
+    def test_stats_count_both_sides(self, db):
+        sub = db.subscribe(JOIN_SQL)
+        db.insert_stream("impressions", [("a", 5.0), ("b", 6.0)])
+        db.insert_stream("clicks", [("a", 7.0)])
+        db.advance_streams(MINUTE)
+        sub.poll()
+        assert sub.stats.rows_scanned == 3
+        assert sub.stats.windows_evaluated == 1
+
+    def test_join_plus_table(self, db):
+        """Two streams *and* a table in one CQ."""
+        db.execute("CREATE TABLE ad_owner (ad varchar(20), owner varchar(20))")
+        db.insert_table("ad_owner", [("a", "acme")])
+        sub = db.subscribe("""
+            SELECT o.owner, count(*)
+            FROM impressions <VISIBLE '1 minute'> i,
+                 clicks <VISIBLE '1 minute'> c,
+                 ad_owner o
+            WHERE i.ad = c.ad AND i.ad = o.ad
+            GROUP BY o.owner
+        """)
+        db.insert_stream("impressions", [("a", 5.0)])
+        db.insert_stream("clicks", [("a", 10.0)])
+        db.advance_streams(MINUTE)
+        assert sub.rows() == [("acme", 1)]
+
+    def test_ctr_use_case(self, db):
+        """The canonical use: click-through rate per ad per minute."""
+        sub = db.subscribe("""
+            SELECT i.ad, count(DISTINCT c.ts) * 1.0 / count(DISTINCT i.ts)
+            FROM impressions <VISIBLE '1 minute'> i
+            LEFT JOIN clicks <VISIBLE '1 minute'> c ON i.ad = c.ad
+            GROUP BY i.ad ORDER BY i.ad
+        """)
+        db.insert_stream("impressions",
+                         [("a", 1.0), ("a", 2.0), ("a", 3.0), ("a", 4.0),
+                          ("b", 5.0)])
+        db.insert_stream("clicks", [("a", 30.0)])
+        db.advance_streams(MINUTE)
+        rows = sub.rows()
+        assert rows[0] == ("a", 0.25)
+        assert rows[1] == ("b", 0.0)

@@ -1,0 +1,75 @@
+"""Tests for the repro_* system views."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute_script("""
+        CREATE STREAM s (k varchar(10), ts timestamp CQTIME USER);
+        CREATE STREAM agg AS SELECT k, count(*) c, cq_close(*)
+            FROM s <VISIBLE '1 minute'> GROUP BY k;
+        CREATE TABLE arch (k varchar(10), c bigint, ts timestamp);
+        CREATE CHANNEL ch FROM agg INTO arch APPEND;
+        CREATE INDEX arch_k ON arch (k);
+    """)
+    database.insert_stream("s", [("a", 5.0), ("b", 6.0)])
+    database.advance_streams(60.0)
+    return database
+
+
+class TestSystemViews:
+    def test_streams_view(self, db):
+        rows = db.query("SELECT name, kind, tuples FROM repro_streams "
+                        "ORDER BY name").rows
+        assert ("agg", "derived", 2) in rows
+        assert ("s", "base", 2) in rows
+
+    def test_channels_view(self, db):
+        row = db.query("SELECT source, target, mode, rows_written "
+                       "FROM repro_channels").rows[0]
+        assert row == ("agg", "arch", "append", 2)
+
+    def test_tables_view(self, db):
+        rows = dict((name, slots) for name, _p, slots, _i in
+                    db.query("SELECT * FROM repro_tables").rows)
+        assert rows["arch"] == 2
+
+    def test_indexes_view(self, db):
+        row = db.query("SELECT name, table_name, entries "
+                       "FROM repro_indexes").rows[0]
+        assert row == ("arch_k", "arch", 2)
+
+    def test_cqs_view(self, db):
+        rows = db.query("SELECT name, windows FROM repro_cqs").rows
+        assert ("derived:agg", 1) in rows
+
+    def test_io_view_moves(self, db):
+        before = db.query("SELECT pages_written FROM repro_io").scalar()
+        db.insert_table("arch", [("x", 1, 0.0)] * 500)
+        db.storage.pool.flush()
+        after = db.query("SELECT pages_written FROM repro_io").scalar()
+        assert after > before
+
+    def test_views_are_queryable_like_tables(self, db):
+        # joins, filters, aggregates all work over system views
+        result = db.query(
+            "SELECT count(*) FROM repro_streams WHERE kind = 'base'")
+        assert result.scalar() == 1
+
+    def test_system_names_reserved(self, db):
+        from repro.errors import DuplicateObjectError
+        with pytest.raises(DuplicateObjectError):
+            db.execute("CREATE TABLE repro_streams (x integer)")
+
+    def test_stats_view_empty_until_analyze(self, db):
+        assert db.query("SELECT count(*) FROM repro_stats").scalar() == 0
+        db.execute("ANALYZE arch")
+        assert db.query("SELECT count(*) FROM repro_stats").scalar() == 3
+
+    def test_dropping_objects_updates_views(self, db):
+        db.execute("DROP CHANNEL ch")
+        assert db.query("SELECT count(*) FROM repro_channels").scalar() == 0

@@ -1,0 +1,117 @@
+"""Tests for timestamp and interval literal parsing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import TypeError_
+from repro.types.temporal import format_timestamp, parse_interval, parse_timestamp
+
+
+class TestParseInterval:
+    def test_minutes(self):
+        assert parse_interval("5 minutes") == 300.0
+
+    def test_single_minute(self):
+        assert parse_interval("1 minute") == 60.0
+
+    def test_week(self):
+        assert parse_interval("1 week") == 7 * 86400.0
+
+    def test_combined_units(self):
+        assert parse_interval("1 hour 30 minutes") == 5400.0
+
+    def test_fractional_quantity(self):
+        assert parse_interval("1.5 hours") == 5400.0
+
+    def test_abbreviations(self):
+        assert parse_interval("30s") == 30.0
+        assert parse_interval("5 min") == 300.0
+        assert parse_interval("2h") == 7200.0
+
+    def test_milliseconds(self):
+        assert parse_interval("250 milliseconds") == 0.25
+
+    def test_clock_syntax(self):
+        assert parse_interval("01:30:00") == 5400.0
+
+    def test_clock_syntax_with_seconds_fraction(self):
+        assert parse_interval("00:00:01.5") == 1.5
+
+    def test_negative_clock(self):
+        assert parse_interval("-00:01:00") == -60.0
+
+    def test_bare_number_is_seconds(self):
+        assert parse_interval("90") == 90.0
+
+    def test_numeric_passthrough(self):
+        assert parse_interval(120) == 120.0
+        assert parse_interval(1.5) == 1.5
+
+    def test_negative_quantity(self):
+        assert parse_interval("-5 minutes") == -300.0
+
+    def test_case_insensitive(self):
+        assert parse_interval("5 MINUTES") == 300.0
+
+    def test_day(self):
+        assert parse_interval("2 days") == 2 * 86400.0
+
+    def test_empty_raises(self):
+        with pytest.raises(TypeError_):
+            parse_interval("")
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            parse_interval("five minutes")
+
+    def test_unknown_unit_raises(self):
+        with pytest.raises(TypeError_):
+            parse_interval("5 fortnights")
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError_):
+            parse_interval(["5 minutes"])
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_seconds_roundtrip(self, n):
+        assert parse_interval(f"{n} seconds") == float(n)
+
+    @given(st.integers(min_value=0, max_value=10**4))
+    def test_minutes_are_60x_seconds(self, n):
+        assert parse_interval(f"{n} minutes") == 60 * parse_interval(f"{n} seconds")
+
+
+class TestParseTimestamp:
+    def test_epoch_string(self):
+        assert parse_timestamp("1970-01-01 00:01:00") == 60.0
+
+    def test_date_only(self):
+        assert parse_timestamp("1970-01-02") == 86400.0
+
+    def test_iso_t_separator(self):
+        assert parse_timestamp("1970-01-01T00:00:30") == 30.0
+
+    def test_microseconds(self):
+        assert parse_timestamp("1970-01-01 00:00:00.500000") == 0.5
+
+    def test_numeric_passthrough(self):
+        assert parse_timestamp(1234.5) == 1234.5
+
+    def test_numeric_string(self):
+        assert parse_timestamp("1234.5") == 1234.5
+
+    def test_garbage_raises(self):
+        with pytest.raises(TypeError_):
+            parse_timestamp("next tuesday")
+
+    def test_bool_is_not_a_timestamp(self):
+        with pytest.raises(TypeError_):
+            parse_timestamp(True)
+
+    def test_format_roundtrip(self):
+        text = "2009-01-04 09:30:00"
+        assert format_timestamp(parse_timestamp(text)) == text
+
+    @given(st.integers(min_value=0, max_value=2**31))
+    def test_roundtrip_whole_seconds(self, epoch):
+        assert parse_timestamp(format_timestamp(float(epoch))) == float(epoch)

@@ -1,0 +1,206 @@
+"""Tests for SQL value semantics: comparisons, sorting, LIKE, coercion."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConstraintError, TypeError_
+from repro.types.datatypes import (
+    BooleanType,
+    DoubleType,
+    IntegerType,
+    IntervalType,
+    TimestampType,
+    VarcharType,
+    type_from_name,
+)
+from repro.types.values import sql_compare, sql_equal, sql_like, sql_sort_key
+
+
+class TestSqlCompare:
+    def test_numbers(self):
+        assert sql_compare(1, 2) == -1
+        assert sql_compare(2, 1) == 1
+        assert sql_compare(2, 2) == 0
+
+    def test_mixed_int_float(self):
+        assert sql_compare(1, 1.0) == 0
+        assert sql_compare(1, 1.5) == -1
+
+    def test_strings(self):
+        assert sql_compare("a", "b") == -1
+        assert sql_compare("b", "b") == 0
+
+    def test_null_propagates(self):
+        assert sql_compare(None, 1) is None
+        assert sql_compare(1, None) is None
+        assert sql_compare(None, None) is None
+
+    def test_bools(self):
+        assert sql_compare(True, False) == 1
+        assert sql_compare(False, False) == 0
+
+    def test_bool_vs_number(self):
+        assert sql_compare(True, 1) == 0
+
+    def test_incomparable_types_raise(self):
+        with pytest.raises(TypeError_):
+            sql_compare(1, "a")
+
+    def test_bool_vs_string_raises(self):
+        with pytest.raises(TypeError_):
+            sql_compare(True, "true")
+
+
+class TestSqlEqual:
+    def test_equal(self):
+        assert sql_equal(3, 3) is True
+
+    def test_not_equal(self):
+        assert sql_equal(3, 4) is False
+
+    def test_null(self):
+        assert sql_equal(None, None) is None
+        assert sql_equal(None, 3) is None
+
+
+class TestSortKey:
+    def test_nulls_sort_last(self):
+        values = [3, None, 1, None, 2]
+        ordered = sorted(values, key=sql_sort_key)
+        assert ordered == [1, 2, 3, None, None]
+
+    def test_numbers_before_strings(self):
+        ordered = sorted(["b", 2, "a", 1], key=sql_sort_key)
+        assert ordered == [1, 2, "a", "b"]
+
+    def test_mixed_with_null(self):
+        ordered = sorted([None, "x", 5], key=sql_sort_key)
+        assert ordered == [5, "x", None]
+
+    @given(st.lists(st.one_of(st.none(), st.integers(), st.floats(
+        allow_nan=False, allow_infinity=False))))
+    def test_sorting_is_stable_total_order(self, values):
+        once = sorted(values, key=sql_sort_key)
+        twice = sorted(once, key=sql_sort_key)
+        assert once == twice
+
+    @given(st.lists(st.one_of(st.none(), st.integers(min_value=-100,
+                                                     max_value=100))))
+    def test_non_nulls_ascend(self, values):
+        ordered = sorted(values, key=sql_sort_key)
+        non_null = [v for v in ordered if v is not None]
+        assert non_null == sorted(non_null)
+        # all Nones at the end
+        if None in ordered:
+            first_null = ordered.index(None)
+            assert all(v is None for v in ordered[first_null:])
+
+
+class TestSqlLike:
+    def test_percent(self):
+        assert sql_like("hello", "he%") is True
+        assert sql_like("hello", "%llo") is True
+        assert sql_like("hello", "%ell%") is True
+
+    def test_underscore(self):
+        assert sql_like("cat", "c_t") is True
+        assert sql_like("cart", "c_t") is False
+
+    def test_exact(self):
+        assert sql_like("abc", "abc") is True
+        assert sql_like("abc", "abd") is False
+
+    def test_case_sensitivity(self):
+        assert sql_like("Hello", "hello") is False
+        assert sql_like("Hello", "hello", case_insensitive=True) is True
+
+    def test_escaped_percent(self):
+        assert sql_like("50%", "50\\%") is True
+        assert sql_like("500", "50\\%") is False
+
+    def test_null(self):
+        assert sql_like(None, "a%") is None
+        assert sql_like("a", None) is None
+
+    def test_regex_chars_are_literal(self):
+        assert sql_like("a.c", "a.c") is True
+        assert sql_like("abc", "a.c") is False
+
+    def test_non_string_raises(self):
+        with pytest.raises(TypeError_):
+            sql_like(5, "5")
+
+    @given(st.text(alphabet="abc%_", max_size=10))
+    def test_pattern_matches_itself_when_no_wildcards(self, text):
+        if "%" not in text and "_" not in text:
+            assert sql_like(text, text) is True
+
+
+class TestDataTypes:
+    def test_integer_coerce(self):
+        t = IntegerType()
+        assert t.coerce("42") == 42
+        assert t.coerce(7.0) == 7
+        assert t.coerce(None) is None
+
+    def test_integer_rejects_fraction(self):
+        with pytest.raises(TypeError_):
+            IntegerType().coerce(1.5)
+
+    def test_integer_rejects_garbage(self):
+        with pytest.raises(TypeError_):
+            IntegerType().coerce("forty-two")
+
+    def test_double_coerce(self):
+        t = DoubleType()
+        assert t.coerce("3.14") == 3.14
+        assert t.coerce(2) == 2.0
+        assert isinstance(t.coerce(2), float)
+
+    def test_boolean_coerce(self):
+        t = BooleanType()
+        assert t.coerce("true") is True
+        assert t.coerce("f") is False
+        assert t.coerce(1) is True
+        assert t.coerce(0) is False
+
+    def test_boolean_rejects_garbage(self):
+        with pytest.raises(TypeError_):
+            BooleanType().coerce("maybe")
+
+    def test_varchar_length_enforced(self):
+        t = VarcharType(3)
+        assert t.coerce("abc") == "abc"
+        with pytest.raises(ConstraintError):
+            t.coerce("abcd")
+
+    def test_varchar_unbounded(self):
+        assert VarcharType(None).coerce("x" * 10000) == "x" * 10000
+
+    def test_varchar_stringifies_numbers(self):
+        assert VarcharType(None).coerce(42) == "42"
+
+    def test_timestamp_coerce(self):
+        assert TimestampType().coerce("1970-01-01 00:01:00") == 60.0
+
+    def test_interval_coerce(self):
+        assert IntervalType().coerce("5 minutes") == 300.0
+
+    def test_type_from_name(self):
+        assert type_from_name("varchar", 50).sql_name() == "varchar(50)"
+        assert type_from_name("bigint").name == "bigint"
+        assert type_from_name("DOUBLE PRECISION").is_numeric()
+
+    def test_type_from_name_unknown(self):
+        with pytest.raises(TypeError_):
+            type_from_name("blob")
+
+    def test_length_on_non_char_rejected(self):
+        with pytest.raises(TypeError_):
+            type_from_name("integer", 10)
+
+    def test_type_equality(self):
+        assert VarcharType(50) == VarcharType(50)
+        assert VarcharType(50) != VarcharType(60)
+        assert IntegerType() == IntegerType()
+        assert hash(VarcharType(50)) == hash(VarcharType(50))

@@ -1,0 +1,86 @@
+"""Tests for MVCC vacuum: dead version reclamation."""
+
+import pytest
+
+from repro import Database
+
+
+@pytest.fixture
+def db():
+    database = Database()
+    database.execute("CREATE TABLE t (a integer, b varchar(20))")
+    database.execute("INSERT INTO t VALUES (1, 'x'), (2, 'y'), (3, 'z')")
+    return database
+
+
+class TestVacuum:
+    def test_deleted_rows_reclaimed(self, db):
+        db.execute("DELETE FROM t WHERE a < 3")
+        table = db.get_table("t")
+        assert table.heap.row_count == 3  # versions still physically there
+        removed = db.vacuum("t")
+        assert removed == 2
+        assert table.heap.row_count == 1
+
+    def test_visible_rows_survive(self, db):
+        db.execute("DELETE FROM t WHERE a = 1")
+        db.vacuum("t")
+        assert sorted(db.query("SELECT a FROM t").rows) == [(2,), (3,)]
+
+    def test_update_leaves_one_dead_version(self, db):
+        db.execute("UPDATE t SET b = 'updated' WHERE a = 1")
+        assert db.vacuum("t") == 1
+        assert db.query("SELECT b FROM t WHERE a = 1").scalar() == "updated"
+
+    def test_nothing_dead_nothing_removed(self, db):
+        assert db.vacuum("t") == 0
+
+    def test_active_snapshot_blocks_vacuum(self, db):
+        db.execute("BEGIN")  # session snapshot pins the horizon
+        db.query("SELECT count(*) FROM t")
+        other = Database()  # unrelated; just to be explicit about scoping
+        del other
+        # delete through a second path: use the engine API directly
+        manager = db.txn_manager
+        table = db.get_table("t")
+        deleter = manager.begin()
+        for rid, version in list(table.heap.scan(table._pool)):
+            if version.values[0] == 1 and version.xmax is None:
+                table.delete_version(deleter, rid, version)
+        deleter.commit()
+        # the session txn predates the delete: the version must survive
+        assert table.vacuum(manager) == 0
+        db.execute("COMMIT")
+        assert table.vacuum(manager) == 1
+
+    def test_vacuum_updates_indexes(self, db):
+        db.execute("CREATE INDEX t_a ON t (a)")
+        db.execute("DELETE FROM t WHERE a = 2")
+        index = db.catalog.get_index("t_a")
+        assert len(index.search((2,))) == 1  # dead but indexed
+        db.vacuum("t")
+        assert index.search((2,)) == []
+
+    def test_vacuum_all_tables(self, db):
+        db.execute("CREATE TABLE u (x integer)")
+        db.execute("INSERT INTO u VALUES (1)")
+        db.execute("DELETE FROM t")
+        db.execute("DELETE FROM u")
+        assert db.vacuum() == 4
+
+    def test_replace_channel_churn_reclaimed(self, db):
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        db.execute_script("""
+            CREATE STREAM latest AS SELECT count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'>;
+            CREATE TABLE current (c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM latest INTO current REPLACE;
+        """)
+        for minute in range(5):
+            db.insert_stream("s", [(1, minute * 60.0 + 1)])
+        db.advance_streams(300.0)
+        table = db.get_table("current")
+        assert table.heap.row_count == 5  # four dead + one live
+        assert db.vacuum("current") == 4
+        assert table.heap.row_count == 1
+        assert len(db.query("SELECT * FROM current").rows) == 1

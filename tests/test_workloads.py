@@ -1,0 +1,132 @@
+"""Tests for the synthetic workload generators."""
+
+import pytest
+
+from repro.workloads import (
+    ArrivalProcess,
+    ClickstreamGenerator,
+    SecurityEventGenerator,
+    ZipfGenerator,
+    growth_series,
+)
+
+
+class TestZipf:
+    def test_range(self):
+        gen = ZipfGenerator(100, seed=1)
+        draws = gen.draws(1000)
+        assert all(0 <= d < 100 for d in draws)
+
+    def test_skew(self):
+        gen = ZipfGenerator(1000, s=1.2, seed=1)
+        draws = gen.draws(5000)
+        top = sum(1 for d in draws if d == 0)
+        mid = sum(1 for d in draws if d == 500)
+        assert top > mid * 5
+
+    def test_deterministic(self):
+        assert ZipfGenerator(50, seed=9).draws(100) == \
+            ZipfGenerator(50, seed=9).draws(100)
+
+    def test_different_seeds_differ(self):
+        assert ZipfGenerator(50, seed=1).draws(100) != \
+            ZipfGenerator(50, seed=2).draws(100)
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            ZipfGenerator(0)
+
+
+class TestArrivals:
+    def test_uniform_rate(self):
+        proc = ArrivalProcess(10.0)
+        times = list(proc.times(100))
+        assert times[-1] == pytest.approx(10.0)
+
+    def test_monotone_nondecreasing(self):
+        for kind in ("uniform", "poisson", "bursty"):
+            proc = ArrivalProcess(50.0, kind=kind, seed=3)
+            times = list(proc.times(500))
+            assert all(b >= a for a, b in zip(times, times[1:])), kind
+
+    def test_poisson_mean_rate(self):
+        proc = ArrivalProcess(100.0, kind="poisson", seed=5)
+        times = list(proc.times(5000))
+        assert times[-1] == pytest.approx(50.0, rel=0.15)
+
+    def test_start_time(self):
+        proc = ArrivalProcess(1.0, start_time=1000.0)
+        assert next(proc.times(1)) > 1000.0
+
+    def test_unknown_kind(self):
+        proc = ArrivalProcess(1.0, kind="fractal")
+        with pytest.raises(ValueError):
+            proc.next_time()
+
+    def test_invalid_rate(self):
+        with pytest.raises(ValueError):
+            ArrivalProcess(0.0)
+
+
+class TestGrowthSeries:
+    def test_ten_x_per_year(self):
+        assert growth_series(10_000, 10, 3) == [10_000, 100_000, 1_000_000]
+
+    def test_fractional_factor(self):
+        assert growth_series(100, 2.73, 2) == [100, 273]
+
+
+class TestClickstream:
+    def test_schema_shape(self):
+        gen = ClickstreamGenerator(seed=1)
+        url, atime, ip = gen.batch(1)[0]
+        assert url.startswith("/page/")
+        assert isinstance(atime, float)
+        assert ip.startswith("10.0.")
+
+    def test_time_ordered(self):
+        gen = ClickstreamGenerator(rate_per_second=1000, seed=2)
+        times = [e[1] for e in gen.batch(500)]
+        assert times == sorted(times)
+
+    def test_deterministic(self):
+        assert ClickstreamGenerator(seed=5).batch(50) == \
+            ClickstreamGenerator(seed=5).batch(50)
+
+    def test_feeds_url_stream(self):
+        from repro import Database
+        from repro.workloads.clickstream import URL_STREAM_DDL
+        db = Database()
+        db.execute(URL_STREAM_DDL)
+        gen = ClickstreamGenerator(seed=1)
+        assert db.insert_stream("url_stream", gen.batch(100)) == 100
+
+
+class TestSecurityEvents:
+    def test_schema_shape(self):
+        gen = SecurityEventGenerator(seed=1)
+        etime, src, dst, port, action, severity, nbytes = gen.batch(1)[0]
+        assert isinstance(etime, float)
+        assert src.startswith("192.168.")
+        assert action in ("allow", "block", "alert")
+        assert 1 <= severity <= 5
+        assert nbytes >= 0
+
+    def test_hot_ports_dominate(self):
+        gen = SecurityEventGenerator(seed=2)
+        events = gen.batch(2000)
+        hot = sum(1 for e in events if e[3] in
+                  (22, 23, 80, 443, 445, 3389, 8080, 3306))
+        assert hot > 1400
+
+    def test_feeds_security_stream(self):
+        from repro import Database
+        from repro.workloads.security import SECURITY_STREAM_DDL
+        db = Database()
+        db.execute(SECURITY_STREAM_DDL)
+        gen = SecurityEventGenerator(seed=3)
+        assert db.insert_stream("security_events", gen.batch(200)) == 200
+
+    def test_deterministic(self):
+        assert SecurityEventGenerator(seed=7).batch(20) == \
+            SecurityEventGenerator(seed=7).batch(20)
