@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench examples shell coverage clean
+.PHONY: install test bench chaos examples shell coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -12,6 +12,11 @@ test:
 
 bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
+
+# the chaos suite replays a fixed fault schedule (seed 2009); see
+# docs/FAULTS.md
+chaos:
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py

@@ -13,8 +13,13 @@ commands:
     \\poll [name]    print pending windows of one/all subscriptions
     \\advance T      heartbeat all streams to event time T
     \\flush          flush all streams (drain pending windows)
+    \\supervisor     supervision status of every CQ/stream/channel
+    \\deadletters [N] last N quarantined tuples/windows (default 20)
     \\timing         toggle wall/sim timing output
     \\q              quit
+
+``SET supervision = on`` enables the supervised runtime;
+``SET fault_seed = N`` installs a fault injector (see docs/FAULTS.md).
 """
 
 from __future__ import annotations
@@ -79,6 +84,10 @@ class Shell:
             self.db.flush_streams()
             self.write("flushed all streams")
             self._poll(None)
+        elif command == "\\supervisor":
+            self._supervisor()
+        elif command == "\\deadletters":
+            self._dead_letters(int(args[0]) if args else 20)
         elif command == "\\timing":
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
@@ -116,6 +125,32 @@ class Shell:
                            f"[{window.open_time:g}, {window.close_time:g})")
                 result = ResultSet(sub.columns, window.rows)
                 self.write(result.pretty())
+
+    def _supervisor(self) -> None:
+        if self.db.supervisor is None:
+            self.write("supervision is off; SET supervision = on")
+            return
+        result = self.db.query(
+            "SELECT name, kind, state, failures, restarts, dead_letters "
+            "FROM repro_supervisor_status")
+        if result.rows:
+            self.write(result.pretty())
+        else:
+            self.write("(nothing supervised yet)")
+
+    def _dead_letters(self, limit: int) -> None:
+        if self.db.supervisor is None:
+            self.write("supervision is off; SET supervision = on")
+            return
+        letters = self.db.supervisor.dead_letter_rows()[-limit:]
+        if not letters:
+            self.write("(no dead letters)")
+            return
+        for seq, source, kind, reason, rowcount, _payload, _open, close \
+                in letters:
+            suffix = f" @{close:g}" if close is not None else ""
+            self.write(f"  #{seq} [{kind}] {source}{suffix}: {reason} "
+                       f"({rowcount} row{'' if rowcount == 1 else 's'})")
 
     def _statement(self, sql: str) -> None:
         started = time.perf_counter()

@@ -55,8 +55,13 @@ class Database:
                  emit_empty_windows: bool = True,
                  stream_retention: Optional[float] = None,
                  disorder_policy: str = "raise",
-                 stream_slack: float = 0.0):
-        self.storage = StorageManager(buffer_pages)
+                 stream_slack: float = 0.0,
+                 supervised: bool = False,
+                 fault_injector=None,
+                 backpressure_policy: Optional[str] = None,
+                 high_water_mark: Optional[int] = None):
+        self.faults = fault_injector
+        self.storage = StorageManager(buffer_pages, faults=fault_injector)
         self.txn_manager = TransactionManager(self.storage.wal)
         self.catalog = Catalog()
         self.runtime = StreamingRuntime(
@@ -66,11 +71,42 @@ class Database:
             default_retention=stream_retention,
             disorder_policy=disorder_policy,
             default_slack=stream_slack,
+            backpressure_policy=backpressure_policy,
+            high_water_mark=high_water_mark,
         )
+        self.runtime.faults = fault_injector
+        self.supervisor = None
+        if supervised:
+            self.enable_supervision()
         self._session_txn = None
         self._current_params = None
         from repro.core.system_views import install_system_views
         install_system_views(self)
+
+    def enable_supervision(self, policy=None):
+        """Switch the runtime to supervised mode: every CQ, channel and
+        base stream — existing and future — gets per-window error
+        isolation, dead-letter quarantine, channel-write retry and
+        automatic restart.  Idempotent; returns the supervisor."""
+        if self.supervisor is not None:
+            return self.supervisor
+        from repro.streaming.supervisor import (
+            CQSupervisor,
+            DEAD_LETTER_STREAM,
+        )
+        supervisor = CQSupervisor(self.runtime, wal=self.storage.wal,
+                                  policy=policy)
+        self.supervisor = supervisor
+        self.runtime.supervisor = supervisor
+        supervisor.dead_letter_stream()  # queryable from the start
+        for name, stream in self.catalog.relations(cat.STREAM):
+            if name != DEAD_LETTER_STREAM:
+                supervisor.adopt_stream(stream)
+        for cq in self.runtime.cqs().values():
+            supervisor.adopt_cq(cq)
+        for _name, channel in self.catalog.channels():
+            supervisor.adopt_channel(channel)
+        return supervisor
 
     # ------------------------------------------------------------------
     # statement execution
@@ -154,7 +190,106 @@ class Database:
             return self._commit()
         if isinstance(statement, ast.Rollback):
             return self._rollback()
+        if isinstance(statement, ast.SetOption):
+            return self._set_option(statement)
+        if isinstance(statement, ast.ShowOption):
+            return self._show_option(statement)
         raise ExecutionError(f"unhandled statement {statement!r}")
+
+    # ------------------------------------------------------------------
+    # session options (SET / SHOW)
+    # ------------------------------------------------------------------
+
+    _POLICY_OPTIONS = ("channel_retry_limit", "backoff_base",
+                       "backoff_factor", "restart_limit", "max_restarts",
+                       "dead_letter_capacity")
+
+    def _set_option(self, statement: ast.SetOption) -> ResultSet:
+        name, value = statement.name, statement.value
+        if name == "supervision":
+            if value is True:
+                self.enable_supervision()
+            elif self.supervisor is not None:
+                raise ExecutionError(
+                    "supervision cannot be disabled once enabled")
+            return _ok()
+        if name == "backpressure_policy":
+            from repro.streaming.streams import BACKPRESSURE_POLICIES
+            if value is False:
+                value = None
+            elif value not in BACKPRESSURE_POLICIES:
+                raise ExecutionError(
+                    f"unknown backpressure policy {value!r}; choose one "
+                    f"of {', '.join(BACKPRESSURE_POLICIES)}"
+                )
+            self.runtime.backpressure_policy = value
+            for _name, stream in self.catalog.relations(cat.STREAM):
+                stream.backpressure_policy = value
+            return _ok()
+        if name == "high_water_mark":
+            if value is False:
+                value = None
+            elif not isinstance(value, int) or value <= 0:
+                raise ExecutionError(
+                    "high_water_mark must be a positive integer (or OFF)")
+            self.runtime.high_water_mark = value
+            for _name, stream in self.catalog.relations(cat.STREAM):
+                stream.high_water_mark = value
+            return _ok()
+        if name == "fault_seed":
+            if not isinstance(value, int):
+                raise ExecutionError("fault_seed must be an integer")
+            from repro.faults import FaultInjector
+            self.set_fault_injector(FaultInjector(seed=value))
+            return _ok()
+        if name in self._POLICY_OPTIONS:
+            if self.supervisor is None:
+                raise ExecutionError(
+                    f"option {name!r} needs supervision; "
+                    "run SET supervision = on first"
+                )
+            if not isinstance(value, (int, float)) or value is True:
+                raise ExecutionError(f"option {name!r} takes a number")
+            current = getattr(self.supervisor.policy, name)
+            setattr(self.supervisor.policy, name, type(current)(value))
+            return _ok()
+        raise ExecutionError(f"unknown session option {name!r}")
+
+    def _show_option(self, statement: ast.ShowOption) -> ResultSet:
+        options = {
+            "supervision": self.supervisor is not None,
+            "backpressure_policy": self.runtime.backpressure_policy,
+            "high_water_mark": self.runtime.high_water_mark,
+            "fault_seed": getattr(self.faults, "seed", None),
+        }
+        if self.supervisor is not None:
+            for key in self._POLICY_OPTIONS:
+                options[key] = getattr(self.supervisor.policy, key)
+        if statement.name == "all":
+            rows = [(key, _option_text(value))
+                    for key, value in sorted(options.items())]
+            return ResultSet(["name", "setting"], rows)
+        if statement.name not in options:
+            raise ExecutionError(
+                f"unknown session option {statement.name!r}")
+        return ResultSet([statement.name],
+                         [(_option_text(options[statement.name]),)])
+
+    def set_fault_injector(self, injector) -> None:
+        """Install (or replace) the fault injector on every layer:
+        storage, WAL, buffer pool, and all current streams, CQs and
+        channels.  Future objects inherit it through the runtime."""
+        self.faults = injector
+        self.storage.disk.faults = injector
+        self.storage.pool.faults = injector
+        self.storage.wal.faults = injector
+        self.runtime.faults = injector
+        for _name, stream in self.catalog.relations(cat.STREAM):
+            stream.faults = injector
+        for cq in self.runtime.cqs().values():
+            cq.faults = injector
+        for _name, channel in self.catalog.channels():
+            channel.faults = injector
 
     # ------------------------------------------------------------------
     # SELECT: snapshot vs continuous
@@ -639,6 +774,15 @@ class Database:
 
 def _ok() -> ResultSet:
     return ResultSet([], [], rowcount=0)
+
+
+def _option_text(value) -> str:
+    """SHOW renders options the way psql does: on/off, or the value."""
+    if value is True:
+        return "on"
+    if value is False or value is None:
+        return "off"
+    return str(value)
 
 
 def _count(n: int) -> ResultSet:

@@ -163,5 +163,42 @@ def install_system_views(db) -> None:
         Column("null_frac", DoubleType()),
     ]), stats_rows)
 
-    for view in (streams, channels, tables, indexes, cqs, io, stats):
+    def supervisor_rows():
+        if db.supervisor is None:
+            return []
+        return db.supervisor.status_rows()
+
+    supervisor = VirtualTable("repro_supervisor_status", Schema([
+        _text("name"), _text("kind"), _text("state"), _int("failures"),
+        _int("consecutive_failures"), _int("restarts"), _int("retries"),
+        Column("backoff_seconds", DoubleType()), _int("dead_letters"),
+        _text("last_error"),
+    ]), supervisor_rows)
+
+    def dead_letter_rows():
+        if db.supervisor is None:
+            return []
+        return db.supervisor.dead_letter_rows()
+
+    dead_letters = VirtualTable("repro_dead_letters", Schema([
+        _int("seq"), _text("source"), _text("kind"), _text("reason"),
+        _int("rowcount"), _text("payload"),
+        Column("open_time", TimestampType()),
+        Column("close_time", TimestampType()),
+    ]), dead_letter_rows)
+
+    def crashpoint_rows():
+        if db.faults is None:
+            from repro.faults import CRASHPOINTS
+            return [(name, False, None, 0, 0) for name in sorted(CRASHPOINTS)]
+        return db.faults.stats_rows()
+
+    crashpoints = VirtualTable("repro_crashpoints", Schema([
+        _text("crashpoint"), Column("armed", BooleanType()),
+        Column("probability", DoubleType()),
+        _int("evaluations"), _int("fires"),
+    ]), crashpoint_rows)
+
+    for view in (streams, channels, tables, indexes, cqs, io, stats,
+                 supervisor, dead_letters, crashpoints):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -111,3 +111,20 @@ class WindowError(StreamingError):
 
 class RecoveryError(StreamingError):
     """Runtime state could not be rebuilt after a crash."""
+
+
+class BackpressureError(StreamingError):
+    """A stream's reorder buffer hit its high-water mark under the
+    ``raise`` backpressure policy."""
+
+
+class FaultInjected(TruvisoError):
+    """A deterministic fault fired at an armed crashpoint.
+
+    Raised only by :mod:`repro.faults`; carries the crashpoint name so
+    supervisors and tests can attribute the failure to its site.
+    """
+
+    def __init__(self, message: str, crashpoint: str = ""):
+        super().__init__(message)
+        self.crashpoint = crashpoint

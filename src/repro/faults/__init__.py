@@ -1,0 +1,32 @@
+"""Deterministic fault injection for the stream-relational engine.
+
+A production continuous-analytics deployment "cannot stop the world"
+when one query, one subscriber or one disk write misbehaves (the paper's
+Section 4 recovery argument).  This package supplies the other half of
+that claim: a way to *make* those components misbehave, deterministically,
+so the supervised runtime (:mod:`repro.streaming.supervisor`) can be
+proven to degrade gracefully instead of crashing.
+
+Crashpoints are named sites instrumented throughout the storage and
+streaming layers (``disk.read_page``, ``wal.torn_write``,
+``stream.deliver`` ...).  A seeded :class:`FaultInjector` is armed per
+crashpoint with a probability and an optional fire budget; every armed
+decision is drawn from one seeded RNG, so a chaos run with a fixed seed
+replays the exact same fault schedule every time.
+"""
+
+from repro.faults.injector import (
+    CRASHPOINTS,
+    FaultInjector,
+    FaultPlan,
+    crashpoint_names,
+    register_crashpoint,
+)
+
+__all__ = [
+    "CRASHPOINTS",
+    "FaultInjector",
+    "FaultPlan",
+    "crashpoint_names",
+    "register_crashpoint",
+]

@@ -1,0 +1,183 @@
+"""The crashpoint registry and the seeded fault injector.
+
+Instrumented code sites call :meth:`FaultInjector.check` (raise on fire)
+or :meth:`FaultInjector.should` (boolean, for faults that corrupt rather
+than raise, like a torn WAL write).  The disarmed fast path is a single
+attribute test plus a dict lookup, so a wired-but-idle injector costs
+effectively nothing — the X2 chaos benchmark holds supervision plus an
+idle injector to <= 10% overhead on the E1 workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Optional
+
+from repro.errors import FaultInjected
+
+#: name -> human description of every instrumented site
+CRASHPOINTS: Dict[str, str] = {}
+
+
+def register_crashpoint(name: str, description: str) -> str:
+    """Declare an instrumented site (idempotent); returns ``name``."""
+    CRASHPOINTS.setdefault(name, description)
+    return name
+
+
+def crashpoint_names():
+    return sorted(CRASHPOINTS)
+
+
+# the built-in sites, registered up front so introspection (the
+# repro_crashpoints system view, docs/FAULTS.md) shows the full menu even
+# before any module-level instrumentation has executed
+DISK_READ = register_crashpoint(
+    "disk.read_page", "I/O error on a simulated-disk page read")
+DISK_WRITE = register_crashpoint(
+    "disk.write_page", "I/O error on a simulated-disk page write")
+WAL_TORN_WRITE = register_crashpoint(
+    "wal.torn_write",
+    "partial/torn write of the last WAL record during a flush")
+BUFFER_EVICT = register_crashpoint(
+    "buffer.evict", "write-back failure while evicting a dirty page")
+STREAM_DELIVER = register_crashpoint(
+    "stream.deliver", "a stream subscriber raises during tuple fan-out")
+STREAM_SLOW_CONSUMER = register_crashpoint(
+    "stream.slow_consumer", "a subscriber is slow; delivery lags")
+CQ_WINDOW = register_crashpoint(
+    "cq.window", "a CQ's per-window plan execution fails (poison window)")
+CHANNEL_WRITE = register_crashpoint(
+    "channel.write", "a channel's transactional archive write fails")
+
+
+@dataclass
+class FaultPlan:
+    """How one armed crashpoint misbehaves."""
+
+    probability: float = 1.0
+    count: Optional[int] = None   # remaining fires; None = unlimited
+    after: int = 0                # skip the first N evaluations
+    exc_factory: Optional[object] = None  # callable(detail) -> Exception
+    evaluations: int = 0
+    fires: int = 0
+
+    def exhausted(self) -> bool:
+        return self.count is not None and self.fires >= self.count
+
+
+class FaultInjector:
+    """Seeded, deterministic fault scheduler over the crashpoint registry.
+
+    One injector is shared by a whole :class:`~repro.core.database.Database`
+    (storage and streaming layers); all probabilistic decisions come from
+    its single seeded RNG, in instrumentation-site call order.  Because
+    the engine is single-threaded and event-time driven, a fixed seed
+    replays the identical fault schedule.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+        self._rng = Random(seed)
+        self._plans: Dict[str, FaultPlan] = {}
+        self.total_fires = 0
+        #: plain attribute, not a property: the disarmed fast path is
+        #: tested once per delivered tuple, so it must be a single load
+        self.armed = False
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, crashpoint: str, probability: float = 1.0,
+            count: Optional[int] = None, after: int = 0,
+            exc_factory=None) -> FaultPlan:
+        """Arm ``crashpoint``: fire with ``probability`` per evaluation,
+        at most ``count`` times, skipping the first ``after`` evaluations.
+        """
+        if crashpoint not in CRASHPOINTS:
+            raise ValueError(f"unknown crashpoint {crashpoint!r}; "
+                             f"known: {', '.join(crashpoint_names())}")
+        plan = FaultPlan(probability=float(probability), count=count,
+                         after=int(after), exc_factory=exc_factory)
+        self._plans[crashpoint] = plan
+        self.armed = True
+        return plan
+
+    def disarm(self, crashpoint: Optional[str] = None) -> None:
+        """Disarm one crashpoint (or all of them)."""
+        if crashpoint is None:
+            self._plans.clear()
+        else:
+            self._plans.pop(crashpoint, None)
+        self.armed = bool(self._plans)
+
+    def reset(self) -> None:
+        """Disarm everything and re-seed the RNG (fresh schedule)."""
+        self._plans.clear()
+        self._rng = Random(self.seed)
+        self.total_fires = 0
+        self.armed = False
+
+    def plan(self, crashpoint: str) -> Optional[FaultPlan]:
+        return self._plans.get(crashpoint)
+
+    # -- evaluation --------------------------------------------------------
+
+    def should(self, crashpoint: str) -> bool:
+        """Evaluate one crashpoint; True when the fault fires now.
+
+        Used by sites whose fault is a *corruption* rather than an
+        exception (e.g. the torn WAL write).
+        """
+        plan = self._plans.get(crashpoint)
+        if plan is None:
+            return False
+        plan.evaluations += 1
+        if plan.evaluations <= plan.after or plan.exhausted():
+            return False
+        if plan.probability < 1.0 and self._rng.random() >= plan.probability:
+            return False
+        plan.fires += 1
+        self.total_fires += 1
+        if plan.exhausted():
+            # leave the exhausted plan in place so stats stay queryable
+            pass
+        return True
+
+    def poll(self, crashpoint: str, detail: str = "") -> Optional[Exception]:
+        """Like :meth:`check` but returns the exception instead of raising
+        (for sites that fold injected failures into an error list)."""
+        if not self.should(crashpoint):
+            return None
+        return self._make_exc(crashpoint, detail)
+
+    def check(self, crashpoint: str, detail: str = "") -> None:
+        """Evaluate one crashpoint; raise the injected fault if it fires."""
+        if self.should(crashpoint):
+            raise self._make_exc(crashpoint, detail)
+
+    def _make_exc(self, crashpoint: str, detail: str) -> Exception:
+        plan = self._plans.get(crashpoint)
+        if plan is not None and plan.exc_factory is not None:
+            return plan.exc_factory(detail)
+        suffix = f": {detail}" if detail else ""
+        return FaultInjected(f"injected fault at {crashpoint}{suffix}",
+                             crashpoint=crashpoint)
+
+    # -- introspection -----------------------------------------------------
+
+    def stats_rows(self):
+        """(crashpoint, armed, probability, evaluations, fires) per site."""
+        out = []
+        for name in crashpoint_names():
+            plan = self._plans.get(name)
+            if plan is None:
+                out.append((name, False, None, 0, 0))
+            else:
+                out.append((name, not plan.exhausted(), plan.probability,
+                            plan.evaluations, plan.fires))
+        return out
+
+    def __repr__(self):
+        armed = ", ".join(sorted(self._plans)) or "disarmed"
+        return f"FaultInjector(seed={self.seed}, {armed})"

@@ -414,6 +414,22 @@ class Rollback(Statement):
     pass
 
 
+@dataclass
+class SetOption(Statement):
+    """``SET name [=|TO] value`` — session option (supervision,
+    backpressure, fault injection and supervisor policy knobs)."""
+
+    name: str
+    value: object
+
+
+@dataclass
+class ShowOption(Statement):
+    """``SHOW name`` / ``SHOW ALL`` — read session option(s) back."""
+
+    name: str  # lower-cased; 'all' lists everything
+
+
 def walk_expr(expr):
     """Yield ``expr`` and all its sub-expressions, depth-first."""
     if expr is None:

@@ -159,7 +159,41 @@ class Parser:
             self._advance()
             self._accept_word("TRANSACTION", "WORK")
             return ast.Rollback()
+        if word == "SET":
+            return self._set_option()
+        if word == "SHOW":
+            self._advance()
+            return ast.ShowOption(self._expect_ident().lower())
         self._fail(f"unknown statement {token.text!r}")
+
+    def _set_option(self) -> ast.SetOption:
+        """``SET name [=|TO] value`` where value is a number, a string,
+        ON/OFF/TRUE/FALSE, or a bare word (taken as a string)."""
+        self._expect_word("SET")
+        name = self._expect_ident().lower()
+        if not self._accept_op("="):
+            self._accept_word("TO")
+        token = self._peek()
+        if token.kind == NUMBER:
+            self._advance()
+            text = token.text
+            value = float(text) if ("." in text or "e" in text.lower()) \
+                else int(text)
+        elif token.kind == STRING:
+            self._advance()
+            value = token.text
+        elif token.kind == IDENT:
+            self._advance()
+            upper = token.upper
+            if upper in ("ON", "TRUE"):
+                value = True
+            elif upper in ("OFF", "FALSE"):
+                value = False
+            else:
+                value = token.text.lower()
+        else:
+            self._fail("expected a value for SET")
+        return ast.SetOption(name, value)
 
     def _select(self):
         """A query expression: one SELECT or a chain of set operations,

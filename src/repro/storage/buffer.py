@@ -17,14 +17,17 @@ from repro.storage.disk import SimulatedDisk
 class BufferPool:
     """An LRU cache of (file_id, page_no) frames with dirty tracking."""
 
-    def __init__(self, disk: SimulatedDisk, capacity_pages: int = 256):
+    def __init__(self, disk: SimulatedDisk, capacity_pages: int = 256,
+                 faults=None):
         self.disk = disk
         self.capacity = capacity_pages
+        self.faults = faults
         self._frames: "OrderedDict[tuple, object]" = OrderedDict()
         self._dirty = set()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.eviction_failures = 0
 
     def fetch(self, heap_file, page_no: int):
         """Return the page, charging a disk read on a cache miss."""
@@ -50,11 +53,22 @@ class BufferPool:
         self._frames[key] = page
         self._frames.move_to_end(key)
         while len(self._frames) > self.capacity:
-            old_key, _old_page = self._frames.popitem(last=False)
-            self.evictions += 1
+            old_key, old_page = self._frames.popitem(last=False)
             if old_key in self._dirty:
+                try:
+                    if self.faults is not None:
+                        self.faults.check("buffer.evict", f"page {old_key}")
+                    self.disk.write_page(*old_key)
+                except Exception:
+                    # write-back failed: keep the dirty frame resident (no
+                    # data loss; the pool runs over capacity until a later
+                    # eviction succeeds) and surface the error
+                    self.eviction_failures += 1
+                    self._frames[old_key] = old_page
+                    self._frames.move_to_end(old_key, last=False)
+                    raise
                 self._dirty.discard(old_key)
-                self.disk.write_page(*old_key)
+            self.evictions += 1
 
     def mark_dirty(self, heap_file, page_no: int) -> None:
         """Record that the page must be written before eviction."""

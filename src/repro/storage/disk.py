@@ -49,6 +49,7 @@ class SimulatedDisk:
     seek_time: float = 0.008
     transfer_rate: float = 100 * 1024 * 1024  # bytes/second, sequential
     stats: DiskStats = field(default_factory=DiskStats)
+    faults: object = None  # optional FaultInjector (chaos testing)
 
     def __post_init__(self):
         self._last_access = None  # (file_id, page_no) of last transfer
@@ -68,12 +69,16 @@ class SimulatedDisk:
 
     def read_page(self, file_id: int, page_no: int) -> None:
         """Charge one page read."""
+        if self.faults is not None:
+            self.faults.check("disk.read_page", f"file {file_id} page {page_no}")
         if self._account(file_id, page_no):
             self.stats.sequential_reads += 1
         self.stats.pages_read += 1
 
     def write_page(self, file_id: int, page_no: int) -> None:
         """Charge one page write."""
+        if self.faults is not None:
+            self.faults.check("disk.write_page", f"file {file_id} page {page_no}")
         if self._account(file_id, page_no):
             self.stats.sequential_writes += 1
         self.stats.pages_written += 1

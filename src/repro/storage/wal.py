@@ -9,12 +9,21 @@ The WAL serves two masters, as in the paper (Section 4):
   serialized operator state as ``cq_checkpoint`` records, which
   :mod:`repro.streaming.recovery` contrasts with the paper's preferred
   rebuild-from-active-tables strategy.
+
+Every record carries a CRC32 of its content, computed at append time the
+way a real engine checksums each log record on its way to disk.  A torn
+or partial write (crashpoint ``wal.torn_write``, or a crash mid-flush)
+leaves a record whose stored checksum no longer matches its content;
+recovery *truncates* the log at the first such record — everything before
+it is trusted, everything after it is discarded — instead of failing
+mid-replay.
 """
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional
 
 # record kinds
 INSERT = "insert"
@@ -40,6 +49,18 @@ class LogRecord:
     before: Optional[tuple] = None
     after: Optional[tuple] = None
     payload: Optional[object] = None  # checkpoint state
+    crc: int = 0                      # CRC32 of the content at append time
+    torn: bool = False                # True: the tail of this record was lost
+
+    def content_crc(self) -> int:
+        """CRC32 over the record's logical content (not the stored crc)."""
+        body = repr((self.txid, self.kind, self.table, self.rid,
+                     self.before, self.after, self.payload))
+        return zlib.crc32(body.encode("utf-8", "backslashreplace"))
+
+    def is_valid(self) -> bool:
+        """True when the stored checksum still matches the content."""
+        return not self.torn and self.crc == self.content_crc()
 
 
 class WriteAheadLog:
@@ -53,21 +74,24 @@ class WriteAheadLog:
     #: file id used when charging the simulated disk
     WAL_FILE_ID = 0
 
-    def __init__(self, disk=None, page_size: int = 8192):
+    def __init__(self, disk=None, page_size: int = 8192, faults=None):
         self.disk = disk
         self.page_size = page_size
+        self.faults = faults
         self.records = []
         self._next_lsn = 1
         self._unflushed_bytes = 0
         self._flushed_upto = 0  # index into records
         self._next_wal_page = 0
         self.flush_count = 0
+        self.torn_records = 0
 
     def append(self, txid: int, kind: str, table: str = None, rid=None,
                before=None, after=None, payload=None) -> LogRecord:
         """Add a record to the tail buffer (not yet durable)."""
         record = LogRecord(self._next_lsn, txid, kind, table, rid,
                            before, after, payload)
+        record.crc = record.content_crc()
         self._next_lsn += 1
         self.records.append(record)
         self._unflushed_bytes += _RECORD_OVERHEAD + _value_bytes(before) \
@@ -75,9 +99,19 @@ class WriteAheadLog:
         return record
 
     def flush(self) -> None:
-        """Make all buffered records durable; charges sequential writes."""
+        """Make all buffered records durable; charges sequential writes.
+
+        With the ``wal.torn_write`` crashpoint armed, the flush may tear
+        the last buffered record: it reaches "disk" with its tail missing,
+        so its checksum no longer validates and recovery truncates there.
+        """
         if self._flushed_upto == len(self.records):
             return
+        if self.faults is not None \
+                and self.faults.should("wal.torn_write"):
+            victim = self.records[-1]
+            victim.torn = True
+            self.torn_records += 1
         pages = max(1, -(-self._unflushed_bytes // self.page_size))
         if self.disk is not None:
             for _ in range(pages):
@@ -87,9 +121,32 @@ class WriteAheadLog:
         self._flushed_upto = len(self.records)
         self.flush_count += 1
 
+    # -- validation --------------------------------------------------------
+
+    def _validated(self) -> List[LogRecord]:
+        """The durable prefix that passes checksum validation.
+
+        Stops at the first torn/corrupt record: a record whose checksum
+        fails proves the write tore there, and nothing after it can be
+        trusted to have reached disk intact.
+        """
+        out = []
+        for record in self.records[:self._flushed_upto]:
+            if not record.is_valid():
+                break
+            out.append(record)
+        return out
+
+    def first_corrupt_lsn(self) -> Optional[int]:
+        """LSN of the first torn/corrupt durable record (None when clean)."""
+        for record in self.records[:self._flushed_upto]:
+            if not record.is_valid():
+                return record.lsn
+        return None
+
     def durable_records(self) -> Iterator[LogRecord]:
-        """Records that survived the last flush (what replay sees)."""
-        return iter(self.records[:self._flushed_upto])
+        """Records that survived the last flush intact (what replay sees)."""
+        return iter(self._validated())
 
     def replay(self) -> dict:
         """Reconstruct committed table contents from the durable log.
@@ -97,14 +154,22 @@ class WriteAheadLog:
         Returns ``{table_name: [row_tuple, ...]}`` for all rows inserted
         by committed transactions and not deleted by committed
         transactions — the durable state a restarted engine would load.
+        The log is truncated at the first corrupt/torn record, and a
+        transaction whose abort is on record is never replayed even if a
+        stray commit record precedes it (a commit whose flush failed).
         """
+        durable = self._validated()
         committed = set()
-        for record in self.durable_records():
+        aborted = set()
+        for record in durable:
             if record.kind == COMMIT:
                 committed.add(record.txid)
+            elif record.kind == ABORT:
+                aborted.add(record.txid)
+        committed -= aborted
         tables: dict = {}
         live: dict = {}
-        for record in self.durable_records():
+        for record in durable:
             if record.txid not in committed:
                 continue
             if record.kind == INSERT:
@@ -120,7 +185,7 @@ class WriteAheadLog:
 
     def latest_checkpoint(self, name: str):
         """Most recent durable cq_checkpoint payload for ``name`` (or None)."""
-        for record in reversed(self.records[:self._flushed_upto]):
+        for record in reversed(self._validated()):
             if record.kind == CHECKPOINT and record.table == name:
                 return record.payload
         return None

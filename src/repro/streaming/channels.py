@@ -27,6 +27,7 @@ class ChannelStats:
     batches: int = 0
     rows_written: int = 0
     rows_replaced: int = 0
+    write_failures: int = 0
     last_close: float = None
 
 
@@ -49,6 +50,7 @@ class Channel:
         self._txn_manager = txn_manager
         self.stats = ChannelStats()
         self._attached = False
+        self.faults = None  # optional FaultInjector (channel.write)
 
     def attach(self) -> None:
         if not self._attached:
@@ -64,6 +66,12 @@ class Channel:
 
     def on_batch(self, rows, open_time: float, close_time: float) -> None:
         """Store one window's result transactionally."""
+        if self.faults is not None:
+            try:
+                self.faults.check("channel.write", self.name)
+            except Exception:
+                self.stats.write_failures += 1
+                raise
         txn = self._txn_manager.begin()
         try:
             if self.mode == REPLACE:
@@ -74,6 +82,7 @@ class Channel:
                 self.table.insert(txn, row)
             txn.commit()
         except Exception:
+            self.stats.write_failures += 1
             if txn.is_active():
                 txn.abort()
             raise

@@ -154,10 +154,12 @@ class ContinuousQuery(StreamConsumer):
         self._catalog = catalog
         self._txn_manager = txn_manager
         self.params = params  # bound '?' values, fixed for the CQ's life
+        self.emit_empty = emit_empty  # kept for supervised restarts
         self.stats = CQStats()
         self.view = WindowConsistentView(txn_manager)
         self._sinks = []
         self._running = True
+        self.faults = None  # optional FaultInjector (cq.window crashpoint)
 
         select.from_clause = inline_streaming_views(
             select.from_clause, catalog)
@@ -307,11 +309,15 @@ class ContinuousQuery(StreamConsumer):
         """Window closed: refresh the snapshot and run the plan."""
         if not self._running:
             return
+        if self.faults is not None:
+            self.faults.check("cq.window", self.name)
         self.view.refresh()
         self._batches[0] = rows
         ctx = self._make_ctx(open_time, close_time)
-        out = list(self._plan.execute(ctx))
-        self._batches[0] = []
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._batches[0] = []
         self.stats.windows_evaluated += 1
         self.stats.rows_scanned += len(rows)
         self.stats.rows_out += len(out)
@@ -340,15 +346,19 @@ class ContinuousQuery(StreamConsumer):
         for side in self._pending:
             for stale in [k for k in side if k < key]:
                 del side[stale]
+        if self.faults is not None:
+            self.faults.check("cq.window", self.name)
         self.view.refresh()
         self._batches[0] = left[0]
         self._batches[1] = right[0]
         close_time = max(left[2], right[2])
         open_time = min(left[1], right[1])
         ctx = self._make_ctx(open_time, close_time)
-        out = list(self._plan.execute(ctx))
-        self._batches[0] = []
-        self._batches[1] = []
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._batches[0] = []
+            self._batches[1] = []
         self.stats.windows_evaluated += 1
         self.stats.rows_scanned += len(left[0]) + len(right[0])
         self.stats.rows_out += len(out)
@@ -380,8 +390,10 @@ class ContinuousQuery(StreamConsumer):
         self.view.refresh()
         self._batches[0] = [row]
         ctx = self._make_ctx(event_time, event_time)
-        out = list(self._plan.execute(ctx))
-        self._batches[0] = []
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._batches[0] = []
         self.stats.rows_scanned += 1
         if out:
             self.stats.windows_evaluated += 1

@@ -32,7 +32,9 @@ class StreamingRuntime:
                  emit_empty_windows: bool = True,
                  default_retention: Optional[float] = None,
                  disorder_policy: str = "raise",
-                 default_slack: float = 0.0):
+                 default_slack: float = 0.0,
+                 backpressure_policy: Optional[str] = None,
+                 high_water_mark: Optional[int] = None):
         self.catalog = catalog
         self.txn_manager = txn_manager
         self.share_slices = share_slices
@@ -40,6 +42,10 @@ class StreamingRuntime:
         self.default_retention = default_retention
         self.disorder_policy = disorder_policy
         self.default_slack = default_slack
+        self.backpressure_policy = backpressure_policy
+        self.high_water_mark = high_water_mark
+        self.supervisor = None  # set by Database.enable_supervision
+        self.faults = None      # optional FaultInjector, set by Database
         self._cqs: Dict[str, object] = {}
         self._aggregators: Dict[str, list] = {}
         self._derived_order: List[DerivedStream] = []
@@ -56,8 +62,13 @@ class StreamingRuntime:
             retention=retention if retention is not None
             else self.default_retention,
             slack=slack if slack is not None else self.default_slack,
+            backpressure_policy=self.backpressure_policy,
+            high_water_mark=self.high_water_mark,
         )
+        stream.faults = self.faults
         self.catalog.add_relation(name, cat.STREAM, stream)
+        if self.supervisor is not None:
+            self.supervisor.adopt_stream(stream)
         return stream
 
     def create_derived_stream(self, name: str, select: ast.Select,
@@ -72,6 +83,8 @@ class StreamingRuntime:
         self.catalog.add_relation(name, cat.DERIVED_STREAM, derived)
         self._cqs[cq.name] = cq
         self._derived_order.append(derived)
+        if self.supervisor is not None:
+            self.supervisor.adopt_cq(cq)
         return derived
 
     def drop_stream(self, name: str) -> None:
@@ -92,6 +105,8 @@ class StreamingRuntime:
         cq = self._make_cq(select, name, params)
         cq.attach()
         self._cqs[cq.name] = cq
+        if self.supervisor is not None:
+            self.supervisor.adopt_cq(cq)
         return cq
 
     def _make_cq(self, select: ast.Select, name: Optional[str] = None,
@@ -105,8 +120,10 @@ class StreamingRuntime:
             analysis = sharing_signature(select, self.catalog)
             if analysis is not None:
                 return self._make_shared_cq(name, select, analysis)
-        return ContinuousQuery(name, select, self.catalog, self.txn_manager,
-                               self.emit_empty_windows, params=params)
+        cq = ContinuousQuery(name, select, self.catalog, self.txn_manager,
+                             self.emit_empty_windows, params=params)
+        cq.faults = self.faults
+        return cq
 
     def _make_shared_cq(self, name, select, analysis):
         stream = self.catalog.get_relation(analysis.stream_name)
@@ -147,8 +164,11 @@ class StreamingRuntime:
                 f"channel source {source_name!r} is not a stream")
         source = self.catalog.get_relation(source_name)
         channel = Channel(name, source, table, self.txn_manager, mode)
+        channel.faults = self.faults
         channel.attach()
         self.catalog.add_channel(name, channel)
+        if self.supervisor is not None:
+            self.supervisor.adopt_channel(channel)
         return channel
 
     def drop_channel(self, name: str) -> None:

@@ -19,10 +19,16 @@ from collections import deque
 from typing import Optional
 
 from repro.catalog.schema import Schema
-from repro.errors import OutOfOrderError, StreamingError
+from repro.errors import BackpressureError, OutOfOrderError, StreamingError
 
 RAISE = "raise"
 DROP = "drop"
+
+# backpressure policies for a full reorder buffer (high-water mark hit)
+BP_BLOCK = "block"
+BP_SHED_OLDEST = "shed-oldest"
+BP_RAISE = "raise"
+BACKPRESSURE_POLICIES = (BP_BLOCK, BP_SHED_OLDEST, BP_RAISE)
 
 
 class StreamConsumer:
@@ -52,7 +58,9 @@ class BaseStream:
     def __init__(self, name: str, schema: Schema,
                  disorder_policy: str = RAISE,
                  retention: Optional[float] = None,
-                 slack: float = 0.0):
+                 slack: float = 0.0,
+                 backpressure_policy: Optional[str] = None,
+                 high_water_mark: Optional[int] = None):
         self.name = name
         self.schema = schema
         cqtime = schema.cqtime_index()
@@ -60,20 +68,38 @@ class BaseStream:
             raise StreamingError(
                 f"stream {name!r} has no CQTIME column"
             )
+        if backpressure_policy is not None \
+                and backpressure_policy not in BACKPRESSURE_POLICIES:
+            raise StreamingError(
+                f"unknown backpressure policy {backpressure_policy!r}; "
+                f"choose one of {', '.join(BACKPRESSURE_POLICIES)}"
+            )
         self.cqtime_index = cqtime
         self.cqtime_mode = schema.columns[cqtime].cqtime or "user"
         self.disorder_policy = disorder_policy
         self.retention = retention
         self.slack = float(slack)
+        self.backpressure_policy = backpressure_policy
+        self.high_water_mark = high_water_mark
         self.watermark = float("-inf")   # delivered (post-reorder) clock
         self.raw_watermark = float("-inf")  # max event time ever seen
         self.tuples_in = 0
         self.tuples_dropped = 0
         self.tuples_reordered = 0
+        self.tuples_shed = 0       # dropped by the shed-oldest policy
+        self.forced_releases = 0   # tuples force-delivered by block policy
+        self.delivery_errors = 0   # subscriber exceptions seen in fan-out
+        self.slow_deliveries = 0   # stream.slow_consumer crashpoint fires
         self._consumers = []
         self._pending = []  # reorder buffer: heap of (time, seq, row)
         self._seq = 0
         self._tail = deque()  # (event_time, row) kept for replay
+        # supervision hooks (set by CQSupervisor.adopt_stream); when
+        # error_handler is set, subscriber exceptions are routed there
+        # instead of propagating to the inserter
+        self.error_handler = None   # fn(row, event_time, [(consumer, exc)])
+        self.shed_handler = None    # fn(row, event_time, reason)
+        self.faults = None          # optional FaultInjector
 
     # -- subscription ---------------------------------------------------------
 
@@ -119,6 +145,10 @@ class BaseStream:
         if self.slack > 0:
             if event_time < self.raw_watermark:
                 self.tuples_reordered += 1
+            if self.high_water_mark is not None \
+                    and len(self._pending) >= self.high_water_mark:
+                if not self._relieve_pressure(final, event_time):
+                    return False  # the new tuple itself was shed
             self.raw_watermark = max(self.raw_watermark, event_time)
             heapq.heappush(self._pending, (event_time, self._seq, final))
             self._seq += 1
@@ -131,10 +161,72 @@ class BaseStream:
         self._deliver(final, event_time)
         return True
 
+    # -- backpressure -----------------------------------------------------------
+
+    def _relieve_pressure(self, row: tuple, event_time: float) -> bool:
+        """The reorder buffer is at its high-water mark; apply the
+        configured policy.  Returns False when the incoming tuple should
+        be discarded instead of buffered (shed-oldest, incoming oldest).
+        """
+        policy = self.backpressure_policy
+        if policy == BP_RAISE or policy is None:
+            raise BackpressureError(
+                f"stream {self.name!r}: reorder buffer at high-water mark "
+                f"({self.high_water_mark} tuples)"
+            )
+        if policy == BP_SHED_OLDEST:
+            # drop the oldest queued tuple — or the incoming one, if it is
+            # older than everything queued (it would be popped first anyway)
+            if self._pending and self._pending[0][0] <= event_time:
+                when, _seq, shed = heapq.heappop(self._pending)
+            else:
+                when, shed = event_time, row
+            self.tuples_shed += 1
+            if self.shed_handler is not None:
+                self.shed_handler(shed, when, "load-shed")
+            return shed is not row
+        # BP_BLOCK: the inserter "waits" for the consumers — in this
+        # synchronous engine that means force-draining the oldest buffered
+        # tuples now, trading slack headroom for bounded memory
+        while len(self._pending) >= self.high_water_mark:
+            when, _seq, oldest = heapq.heappop(self._pending)
+            self.watermark = max(self.watermark, when)
+            self.forced_releases += 1
+            self._deliver(oldest, when)
+        return True
+
+    # -- delivery ---------------------------------------------------------------
+
     def _deliver(self, row: tuple, event_time: float) -> None:
         self._retain(event_time, row)
-        for consumer in self._consumers:
-            consumer.on_tuple(row, event_time)
+        errors = None
+        faults = self.faults
+        if faults is not None and faults.armed:
+            if faults.should("stream.slow_consumer"):
+                self.slow_deliveries += 1
+            injected = faults.poll("stream.deliver", self.name)
+            if injected is not None:
+                errors = [(None, injected)]
+        # snapshot: a supervised restart may unsubscribe/resubscribe
+        # a consumer from inside its own on_tuple
+        for consumer in tuple(self._consumers):
+            try:
+                consumer.on_tuple(row, event_time)
+            except Exception as exc:
+                # keep fanning out: one raising subscriber must not starve
+                # the others; errors are reported after full delivery
+                if errors is None:
+                    errors = []
+                errors.append((consumer, exc))
+        if errors is not None:
+            self._report_delivery_errors(row, event_time, errors)
+
+    def _report_delivery_errors(self, row, event_time, errors) -> None:
+        self.delivery_errors += len(errors)
+        if self.error_handler is not None:
+            self.error_handler(row, event_time, errors)
+            return
+        raise errors[0][1]
 
     def _release(self, threshold: float) -> None:
         """Deliver buffered tuples with event time <= ``threshold``,
@@ -165,20 +257,30 @@ class BaseStream:
             if threshold <= self.watermark:
                 return
             self.watermark = threshold
-            for consumer in self._consumers:
-                consumer.on_heartbeat(threshold)
+            self._broadcast_heartbeat(threshold)
             return
         if event_time < self.watermark:
             return
         self.watermark = event_time
         self.raw_watermark = max(self.raw_watermark, event_time)
-        for consumer in self._consumers:
-            consumer.on_heartbeat(event_time)
+        self._broadcast_heartbeat(event_time)
+
+    def _broadcast_heartbeat(self, event_time: float) -> None:
+        errors = None
+        for consumer in tuple(self._consumers):
+            try:
+                consumer.on_heartbeat(event_time)
+            except Exception as exc:
+                if errors is None:
+                    errors = []
+                errors.append((consumer, exc))
+        if errors is not None:
+            self._report_delivery_errors(None, event_time, errors)
 
     def flush(self) -> None:
         """End-of-stream: force pending windows out (tests, benches)."""
         self._release(float("inf"))
-        for consumer in self._consumers:
+        for consumer in tuple(self._consumers):
             consumer.on_flush()
 
     # -- replay tail ------------------------------------------------------------

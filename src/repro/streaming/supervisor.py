@@ -1,0 +1,519 @@
+"""CQSupervisor: per-window error isolation, quarantine and restart.
+
+The paper's operational claim is that continuous queries are *always on*
+(Sections 3.1, 4): a production stream-relational engine cannot let one
+poison tuple, one raising subscriber or one failed archive write take the
+pipeline down.  The supervisor is the runtime's answer:
+
+- **Dead-letter quarantine.**  A failing window, tuple or archive batch
+  is captured as a :class:`DeadLetter` — queryable through the
+  ``repro_dead_letters`` system view and republished on a real stream
+  (``repro_dead_letter_stream``) so a CQ can watch failures like any
+  other feed.  The affected CQ keeps producing subsequent windows.
+
+- **Bounded retry with exponential backoff** for channel writes: a
+  transient storage fault (the simulated disk hiccuping) is retried up
+  to ``policy.channel_retry_limit`` times with delays
+  ``backoff_base * backoff_factor^attempt`` before the batch is
+  quarantined.
+
+- **Automatic restart** of a CQ that keeps failing: after
+  ``policy.restart_limit`` consecutive window failures the supervisor
+  rebuilds the CQ and recovers its runtime state through the existing
+  :mod:`repro.streaming.recovery` paths — WAL checkpoint when one
+  exists, else the paper's rebuild-from-active-table, else a cold start.
+  After ``policy.max_restarts`` unsuccessful restarts the CQ is
+  quarantined (detached) instead of flapping forever.
+
+Supervision state machine (per supervised entity)::
+
+    RUNNING --failure--> DEGRADED --restart_limit--> RESTARTING
+       ^                     |                            |
+       |<----next success----+            RUNNING <-------+
+       |                                       (recovery ok)
+       +--- QUARANTINED <--- max_restarts exceeded / restart failed
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from repro.catalog import catalog as cat
+from repro.catalog.schema import Column, Schema
+from repro.errors import RecoveryError
+from repro.streaming.cq import ContinuousQuery
+from repro.streaming.recovery import (
+    CheckpointManager,
+    recover_from_active_table,
+)
+from repro.streaming.streams import BaseStream
+from repro.types.datatypes import (
+    IntegerType,
+    TimestampType,
+    VarcharType,
+)
+
+# supervision states
+RUNNING = "running"
+DEGRADED = "degraded"
+RESTARTING = "restarting"
+QUARANTINED = "quarantined"
+
+# dead-letter kinds
+POISON_WINDOW = "poison-window"
+POISON_TUPLE = "poison-tuple"
+SUBSCRIBER_ERROR = "subscriber-error"
+CHANNEL_WRITE = "channel-write"
+LOAD_SHED = "load-shed"
+RESTART_LOSS = "restart-loss"
+
+#: catalog name of the stream dead letters are republished on
+DEAD_LETTER_STREAM = "repro_dead_letter_stream"
+
+
+@dataclass
+class SupervisorPolicy:
+    """Tunables; every field is reachable through ``SET`` session options."""
+
+    channel_retry_limit: int = 3     # retries before a batch is quarantined
+    backoff_base: float = 0.01       # seconds; first retry delay
+    backoff_factor: float = 2.0      # delay multiplier per retry
+    restart_limit: int = 2           # consecutive window failures -> restart
+    max_restarts: int = 3            # restarts before quarantine
+    dead_letter_capacity: int = 10000
+
+
+@dataclass
+class DeadLetter:
+    """One quarantined unit of work."""
+
+    seq: int
+    source: str          # CQ / stream / channel name
+    kind: str            # POISON_WINDOW, SUBSCRIBER_ERROR, ...
+    reason: str          # stringified exception
+    rows: list           # the quarantined payload
+    open_time: Optional[float] = None
+    close_time: Optional[float] = None
+
+
+@dataclass
+class _Entry:
+    """Supervision record for one CQ, channel or stream."""
+
+    name: str
+    kind: str            # 'cq' | 'channel' | 'stream'
+    target: object
+    state: str = RUNNING
+    failures: int = 0
+    consecutive_failures: int = 0
+    restarts: int = 0
+    retries: int = 0
+    dead_letters: int = 0
+    backoff_seconds: float = 0.0
+    last_error: Optional[str] = None
+    # cq-only recovery wiring
+    active_table: object = None
+    stime_column: Optional[str] = None
+    checkpointer: object = None
+
+
+class CQSupervisor:
+    """Owns the dead-letter log and the supervision wrappers.
+
+    One supervisor per database; the runtime hands it every CQ, channel
+    and base stream as they are created (and any that already exist when
+    supervision is switched on mid-session).
+    """
+
+    def __init__(self, runtime, wal=None,
+                 policy: Optional[SupervisorPolicy] = None,
+                 sleep_fn: Optional[Callable[[float], None]] = None):
+        self.runtime = runtime
+        self.wal = wal
+        self.policy = policy if policy is not None else SupervisorPolicy()
+        # backoff delays are *accounted* by default rather than slept:
+        # the engine is simulated-time driven, and chaos tests should not
+        # wall-block.  Pass sleep_fn=time.sleep for real pauses.
+        self._sleep_fn = sleep_fn
+        self._entries: List[_Entry] = []
+        self._by_target = {}
+        self.dead_letter_log: List[DeadLetter] = []
+        self._dl_seq = 0
+        self._dl_stream: Optional[BaseStream] = None
+        self._in_dead_letter = False
+
+    # ------------------------------------------------------------------
+    # dead letters
+    # ------------------------------------------------------------------
+
+    def _dead_letter_schema(self) -> Schema:
+        return Schema([
+            Column("source", VarcharType(None, "text")),
+            Column("kind", VarcharType(None, "text")),
+            Column("reason", VarcharType(None, "text")),
+            Column("rowcount", IntegerType("bigint")),
+            Column("payload", VarcharType(None, "text")),
+            Column("qtime", TimestampType(), cqtime="system"),
+        ])
+
+    def dead_letter_stream(self) -> BaseStream:
+        """The live stream dead letters are republished on (created and
+        registered in the catalog on first use)."""
+        if self._dl_stream is None:
+            stream = BaseStream(DEAD_LETTER_STREAM,
+                                self._dead_letter_schema(),
+                                disorder_policy="drop")
+            # the quarantine sink must never itself take the engine down
+            stream.error_handler = lambda row, t, errors: None
+            self.runtime.catalog.add_relation(
+                DEAD_LETTER_STREAM, cat.STREAM, stream)
+            self._dl_stream = stream
+        return self._dl_stream
+
+    def quarantine(self, source: str, kind: str, reason: str, rows,
+                   open_time: Optional[float] = None,
+                   close_time: Optional[float] = None) -> DeadLetter:
+        """Record one dead letter and republish it on the dead-letter
+        stream.  Re-entrant quarantines (a dead-letter consumer failing)
+        are absorbed without recursion."""
+        self._dl_seq += 1
+        letter = DeadLetter(self._dl_seq, source, kind, reason,
+                            list(rows), open_time, close_time)
+        self.dead_letter_log.append(letter)
+        if len(self.dead_letter_log) > self.policy.dead_letter_capacity:
+            del self.dead_letter_log[0]
+        entry = self._by_target.get(id(self._target_for(source)))
+        if entry is not None:
+            entry.dead_letters += 1
+        if not self._in_dead_letter:
+            self._in_dead_letter = True
+            try:
+                stream = self.dead_letter_stream()
+                stream.insert(
+                    (source, kind, reason, len(letter.rows),
+                     repr(letter.rows)[:2048], None),
+                    at=float(self._dl_seq))
+            except Exception:
+                pass  # quarantine must be unconditionally safe
+            finally:
+                self._in_dead_letter = False
+        return letter
+
+    def _target_for(self, source: str):
+        for entry in self._entries:
+            if entry.name == source:
+                return entry.target
+        return None
+
+    # ------------------------------------------------------------------
+    # adoption
+    # ------------------------------------------------------------------
+
+    def adopt_cq(self, cq, active_table=None, stime_column: str = None,
+                 checkpointer=None) -> Optional[_Entry]:
+        """Supervise one CQ: window failures are quarantined, repeated
+        failures restart it through the recovery paths."""
+        if id(cq) in self._by_target:
+            return self._by_target[id(cq)]
+        if getattr(cq, "shared", False):
+            # shared-slice CQs multiplex one aggregator across consumers;
+            # they are tracked (visible in the status view) but their
+            # fan-in is guarded at the stream level only
+            entry = _Entry(cq.name, "cq", cq, state=RUNNING)
+            entry.last_error = "shared CQ: stream-level supervision only"
+            self._register(entry)
+            return entry
+        entry = _Entry(cq.name, "cq", cq, active_table=active_table,
+                       stime_column=stime_column, checkpointer=checkpointer)
+        self._register(entry)
+        self._wrap_cq(entry)
+        return entry
+
+    def adopt_channel(self, channel) -> _Entry:
+        """Supervise one channel: bounded retry with exponential backoff,
+        then quarantine of the failed batch."""
+        if id(channel) in self._by_target:
+            return self._by_target[id(channel)]
+        entry = _Entry(channel.name, "channel", channel)
+        self._register(entry)
+        self._wrap_channel(entry)
+        # give the channel's source CQ an active table to recover from
+        source_cq = getattr(channel.source, "cq", None)
+        if source_cq is not None:
+            cq_entry = self._by_target.get(id(source_cq))
+            if cq_entry is not None and cq_entry.active_table is None:
+                cq_entry.active_table = channel.table
+                cq_entry.stime_column = _guess_stime_column(channel.table)
+        return entry
+
+    def adopt_stream(self, stream: BaseStream) -> _Entry:
+        """Supervise one base stream: subscriber errors during fan-out are
+        quarantined per tuple instead of propagating to the inserter, and
+        shed tuples are dead-lettered."""
+        if id(stream) in self._by_target:
+            return self._by_target[id(stream)]
+        entry = _Entry(stream.name, "stream", stream)
+        self._register(entry)
+
+        def on_errors(row, event_time, errors):
+            entry.failures += len(errors)
+            entry.state = DEGRADED
+            for consumer, exc in errors:
+                entry.last_error = f"{type(exc).__name__}: {exc}"
+                who = type(consumer).__name__ if consumer is not None \
+                    else "injected"
+                self.quarantine(
+                    stream.name, SUBSCRIBER_ERROR,
+                    f"{who}: {exc}",
+                    [row] if row is not None else [],
+                    open_time=event_time, close_time=event_time)
+
+        def on_shed(row, event_time, reason):
+            self.quarantine(stream.name, LOAD_SHED, reason, [row],
+                            open_time=event_time, close_time=event_time)
+
+        stream.error_handler = on_errors
+        stream.shed_handler = on_shed
+        return entry
+
+    def release_stream(self, stream: BaseStream) -> None:
+        stream.error_handler = None
+        stream.shed_handler = None
+
+    def _register(self, entry: _Entry) -> None:
+        self._entries.append(entry)
+        self._by_target[id(entry.target)] = entry
+
+    # ------------------------------------------------------------------
+    # CQ wrapping and restart
+    # ------------------------------------------------------------------
+
+    def _wrap_cq(self, entry: _Entry) -> None:
+        cq = entry.target
+
+        def guard(original):
+            def guarded(rows, open_time, close_time):
+                try:
+                    original(rows, open_time, close_time)
+                except Exception as exc:
+                    self._cq_failure(entry, rows, open_time, close_time, exc)
+                else:
+                    if entry.consecutive_failures:
+                        entry.consecutive_failures = 0
+                    if entry.state == DEGRADED:
+                        entry.state = RUNNING
+            return guarded
+
+        if cq._ports is not None:
+            # two-stream join: the port lambdas resolve _on_joint at call
+            # time, so an instance attribute intercepts every evaluation
+            original_joint = cq._on_joint
+
+            def guarded_joint(index, rows, open_time, close_time):
+                try:
+                    original_joint(index, rows, open_time, close_time)
+                except Exception as exc:
+                    self._cq_failure(entry, rows, open_time, close_time, exc)
+                else:
+                    if entry.consecutive_failures:
+                        entry.consecutive_failures = 0
+                    if entry.state == DEGRADED:
+                        entry.state = RUNNING
+            cq._on_joint = guarded_joint
+        elif cq._window_op is not None:
+            cq._window_op.sink = guard(cq._window_op.sink)
+        else:
+            # window-less transform: the stream calls cq.on_tuple per row
+            original_tuple = cq.on_tuple
+
+            def guarded_tuple(row, event_time):
+                try:
+                    original_tuple(row, event_time)
+                except Exception as exc:
+                    self._cq_failure(entry, [row], event_time, event_time,
+                                     exc, kind=POISON_TUPLE)
+                else:
+                    if entry.consecutive_failures:
+                        entry.consecutive_failures = 0
+                    if entry.state == DEGRADED:
+                        entry.state = RUNNING
+            cq.on_tuple = guarded_tuple
+
+    def _cq_failure(self, entry: _Entry, rows, open_time, close_time, exc,
+                    kind: str = POISON_WINDOW) -> None:
+        entry.failures += 1
+        entry.consecutive_failures += 1
+        entry.state = DEGRADED
+        entry.last_error = f"{type(exc).__name__}: {exc}"
+        self.quarantine(entry.name, kind, entry.last_error, rows,
+                        open_time, close_time)
+        if entry.consecutive_failures >= self.policy.restart_limit:
+            self._restart_cq(entry)
+
+    def _restart_cq(self, entry: _Entry) -> None:
+        """Rebuild a repeatedly-failing CQ through the recovery paths."""
+        if entry.restarts >= self.policy.max_restarts:
+            self._quarantine_cq(entry, "max_restarts exceeded")
+            return
+        entry.state = RESTARTING
+        entry.restarts += 1
+        old = entry.target
+        try:
+            old.stop()
+            fresh = self._build_replacement(old)
+            try:
+                recovered = self._recover(entry, fresh)
+            except Exception as exc:
+                # replaying the tail re-executed the very failure that
+                # forced the restart (a poison window in the replay
+                # range); give up on recovery and start cold instead of
+                # flapping forever on the same data
+                self.quarantine(
+                    entry.name, POISON_WINDOW,
+                    f"failure replayed during recovery: {exc}", [])
+                fresh = self._build_replacement(old)
+                recovered = False
+            fresh.attach()
+        except Exception as exc:  # restart itself failed
+            self._quarantine_cq(entry, f"restart failed: {exc}")
+            return
+        self._rebind(entry, old, fresh)
+        if not recovered:
+            self.quarantine(
+                entry.name, RESTART_LOSS,
+                "cold restart: no checkpoint or active table to recover "
+                "from; in-flight window state was lost", [])
+        entry.target = fresh
+        entry.consecutive_failures = 0
+        entry.state = RUNNING
+        self._by_target.pop(id(old), None)
+        self._by_target[id(fresh)] = entry
+        self._wrap_cq(entry)
+
+    def _build_replacement(self, old) -> ContinuousQuery:
+        fresh = ContinuousQuery(
+            old.name, old.select, self.runtime.catalog,
+            self.runtime.txn_manager, emit_empty=old.emit_empty,
+            params=old.params)
+        fresh.faults = old.faults
+        fresh._sinks = old._sinks  # keep subscriptions/derived/channels
+        return fresh
+
+    def _recover(self, entry: _Entry, fresh: ContinuousQuery) -> bool:
+        """Recover runtime state: checkpoint first, then active table."""
+        if self.wal is not None \
+                and self.wal.latest_checkpoint(fresh.name) is not None:
+            try:
+                CheckpointManager.recover(fresh, self.wal)
+                return True
+            except RecoveryError:
+                pass
+        if entry.active_table is not None and entry.stime_column is not None:
+            try:
+                recover_from_active_table(
+                    fresh, entry.active_table, self.runtime.txn_manager,
+                    entry.stime_column)
+                return True
+            except RecoveryError:
+                pass
+        return False
+
+    def _rebind(self, entry: _Entry, old, fresh) -> None:
+        """Point everything that referenced the old CQ at the fresh one."""
+        if old.name in self.runtime._cqs:
+            self.runtime._cqs[old.name] = fresh
+        for derived in self.runtime._derived_order:
+            if derived.cq is old:
+                derived.cq = fresh
+        if entry.checkpointer is not None:
+            # its _on_window sink travelled over with old._sinks
+            entry.checkpointer.cq = fresh
+
+    def _quarantine_cq(self, entry: _Entry, reason: str) -> None:
+        entry.state = QUARANTINED
+        entry.last_error = reason
+        try:
+            entry.target.stop()
+        except Exception:
+            pass
+        self.quarantine(entry.name, POISON_WINDOW,
+                        f"CQ quarantined: {reason}", [])
+
+    # ------------------------------------------------------------------
+    # channel wrapping
+    # ------------------------------------------------------------------
+
+    def _wrap_channel(self, entry: _Entry) -> None:
+        channel = entry.target
+        original = channel.on_batch
+        policy = self.policy
+
+        def guarded(rows, open_time, close_time):
+            delay = policy.backoff_base
+            for attempt in range(policy.channel_retry_limit + 1):
+                try:
+                    original(rows, open_time, close_time)
+                except Exception as exc:
+                    entry.last_error = f"{type(exc).__name__}: {exc}"
+                    if attempt == policy.channel_retry_limit:
+                        entry.failures += 1
+                        entry.state = DEGRADED
+                        self.quarantine(
+                            entry.name, CHANNEL_WRITE,
+                            f"gave up after {attempt + 1} attempts: {exc}",
+                            rows, open_time, close_time)
+                        return
+                    entry.retries += 1
+                    entry.backoff_seconds += delay
+                    if self._sleep_fn is not None:
+                        self._sleep_fn(delay)
+                    delay *= policy.backoff_factor
+                else:
+                    if entry.state == DEGRADED:
+                        entry.state = RUNNING
+                    return
+        channel.on_batch = guarded
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def entries(self) -> List[_Entry]:
+        return list(self._entries)
+
+    def entry_for(self, target) -> Optional[_Entry]:
+        return self._by_target.get(id(target))
+
+    def status_rows(self) -> List[tuple]:
+        """Rows of the ``repro_supervisor_status`` system view."""
+        out = []
+        for e in self._entries:
+            out.append((
+                e.name, e.kind, e.state, e.failures,
+                e.consecutive_failures, e.restarts, e.retries,
+                round(e.backoff_seconds, 6), e.dead_letters, e.last_error,
+            ))
+        return out
+
+    def dead_letter_rows(self) -> List[tuple]:
+        """Rows of the ``repro_dead_letters`` system view."""
+        out = []
+        for letter in self.dead_letter_log:
+            out.append((
+                letter.seq, letter.source, letter.kind, letter.reason,
+                len(letter.rows), repr(letter.rows)[:2048],
+                letter.open_time, letter.close_time,
+            ))
+        return out
+
+
+def _guess_stime_column(table) -> Optional[str]:
+    """Best-effort window-close column of an active table: the last
+    timestamp column (channels archive ``cq_close(*)`` there by
+    convention in every example and benchmark)."""
+    candidate = None
+    for column in table.schema:
+        if isinstance(column.datatype, TimestampType):
+            candidate = column.name
+    return candidate

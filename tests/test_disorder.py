@@ -130,3 +130,88 @@ class TestSlackWithWindows:
         db = Database(stream_slack=15.0)
         db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
         assert db.get_stream("s").slack == 15.0
+
+
+class TestDisorderUnderFaults:
+    """Slack and disorder policies must hold while the supervisor is
+    quarantining windows and restarting CQs underneath the stream."""
+
+    JITTERED = [(i, float(t)) for i, t in enumerate(
+        [12, 5, 48, 33, 61, 55, 70, 68, 125, 118, 190, 182, 250, 248])]
+
+    def pipeline(self, injector=None, policy="drop"):
+        from repro.faults import FaultInjector  # noqa: F401 (doc pointer)
+        db = Database(supervised=injector is not None, stream_slack=30.0,
+                      disorder_policy=policy, stream_retention=3600.0,
+                      fault_injector=injector)
+        db.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        db.execute_script("""
+            CREATE STREAM agg AS SELECT count(*) c, cq_close(*)
+                FROM s <VISIBLE '1 minute'>;
+            CREATE TABLE arch (c bigint, ts timestamp);
+            CREATE CHANNEL ch FROM agg INTO arch APPEND;
+        """)
+        return db
+
+    def test_restart_under_jitter_matches_fault_free_run(self):
+        from repro.faults import FaultInjector
+
+        def run(injector):
+            db = self.pipeline(injector)
+            db.insert_stream("s", self.JITTERED)
+            db.advance_streams(400.0)
+            return db
+
+        injector = FaultInjector()
+        # two consecutive poison windows force a supervised restart;
+        # recovery replays the tail, so the archive converges anyway
+        injector.arm("cq.window", after=1, count=2)
+        faulted = run(injector)
+        reference = run(None)
+        assert sorted(faulted.table_rows("arch")) \
+            == sorted(reference.table_rows("arch"))
+        entry = faulted.supervisor.entry_for(
+            faulted.runtime.cqs()["derived:agg"])
+        assert entry.restarts == 1
+
+    def test_no_double_counting_across_restart(self):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector()
+        injector.arm("cq.window", after=1, count=2)
+        db = self.pipeline(injector)
+        db.insert_stream("s", self.JITTERED)
+        db.advance_streams(400.0)
+        stream = db.get_stream("s")
+        counted = sum(c for c, _ts in db.table_rows("arch"))
+        accepted = stream.tuples_in - stream.tuples_dropped
+        assert counted == accepted
+        closes = [ts for _c, ts in db.table_rows("arch")]
+        assert len(closes) == len(set(closes))
+
+    def test_late_tuple_after_restart_still_dropped(self):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector()
+        injector.arm("cq.window", after=1, count=2)
+        db = self.pipeline(injector, policy="drop")
+        db.insert_stream("s", self.JITTERED)
+        db.advance_streams(400.0)
+        dropped_before = db.get_stream("s").tuples_dropped
+        # far beyond slack: the disorder policy applies, restart or not
+        assert db.insert_stream("s", [(99, 10.0)]) == 0
+        assert db.get_stream("s").tuples_dropped == dropped_before + 1
+
+    def test_late_tuple_after_restart_still_raises(self):
+        from repro.faults import FaultInjector
+
+        injector = FaultInjector()
+        injector.arm("cq.window", after=1, count=2)
+        db = self.pipeline(injector, policy="raise")
+        events = [e for e in self.JITTERED]
+        db.insert_stream("s", events)
+        db.advance_streams(400.0)
+        # disorder violations are an *inserter* error, not a subscriber
+        # fault: supervision must not swallow them
+        with pytest.raises(OutOfOrderError):
+            db.insert_stream("s", [(99, 10.0)])

@@ -112,6 +112,54 @@ class TestSubscriptionLifecycle:
         db.advance_streams(60.0)
         # the good CQ saw both tuples (first delivery preceded the bomb)
         assert good.rows() == [(2,)]
+        assert stream.delivery_errors == 1
+
+    def test_fan_out_completes_before_error_is_reported(self, db):
+        """A raising subscriber must not starve subscribers after it:
+        delivery reaches everyone first, the error is reported last."""
+        stream = db.get_stream("s")
+
+        class Bomb:
+            def on_tuple(self, row, t):
+                raise RuntimeError("boom")
+
+            def on_heartbeat(self, t):
+                pass
+
+            def on_flush(self):
+                pass
+
+        bomb = Bomb()
+        stream.subscribe(bomb)  # BEFORE the good CQ in fan-out order
+        late = db.subscribe("SELECT count(*) FROM s <VISIBLE '1 minute'>")
+        with pytest.raises(RuntimeError):
+            db.insert_stream("s", [("a", 1, 5.0)])
+        stream.unsubscribe(bomb)
+        db.advance_streams(60.0)
+        # the CQ subscribed *after* the bomb still received the tuple
+        assert late.rows() == [(1,)]
+
+    def test_all_subscriber_errors_collected_first_raised(self, db):
+        stream = db.get_stream("s")
+
+        class Bomb:
+            def __init__(self, tag):
+                self.tag = tag
+
+            def on_tuple(self, row, t):
+                raise RuntimeError(self.tag)
+
+            def on_heartbeat(self, t):
+                pass
+
+            def on_flush(self):
+                pass
+
+        stream.subscribe(Bomb("first"))
+        stream.subscribe(Bomb("second"))
+        with pytest.raises(RuntimeError, match="first"):
+            db.insert_stream("s", [("a", 1, 5.0)])
+        assert stream.delivery_errors == 2
 
 
 class TestDeepPipelines:
