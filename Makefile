@@ -2,7 +2,7 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos examples shell coverage clean
+.PHONY: install test bench chaos examples shell server smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -26,6 +26,13 @@ examples:
 
 shell:
 	$(PYTHON) -m repro.cli
+
+server:
+	$(PYTHON) -m repro.server
+
+# end-to-end check of the network layer: real subprocess, real socket
+smoke:
+	$(PYTHON) scripts/server_smoke.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -1,0 +1,153 @@
+"""X3 — the loopback tax: network service vs embedded engine.
+
+The paper's product shipped as a server (TruCQ fronting PostgreSQL);
+our reproduction embeds the engine.  ``repro.server`` restores the
+client/server deployment shape, and this experiment measures what that
+costs on the E1 security workload:
+
+1. **Bulk ingest.**  Micro-batched framed ingest over a loopback TCP
+   socket vs embedded ``insert_many`` of the same rows, same batch
+   size.  The acceptance bar is <= 3x: JSON framing, two scheduler
+   crossings (event loop -> engine thread -> back) and the socket must
+   not swamp the engine work.
+2. **Subscription fan-out.**  One derived-stream CQ, several
+   subscriber connections; measures how long a burst takes to reach
+   every subscriber as pushed windows, end to end.
+
+Printed table: rows/s each side, the ratio, and per-subscriber window
+delivery latency.
+"""
+
+import time
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.client import connect
+from repro.server import ServerThread
+from repro.workloads import SecurityEventGenerator
+from repro.workloads.security import SECURITY_STREAM_DDL
+
+ROLLUP_DDL = """
+CREATE STREAM blocked_rollup AS
+    SELECT severity, count(*) AS hits, sum(bytes_sent) AS bytes,
+           cq_close(*)
+    FROM security_events <VISIBLE '1 minute'>
+    WHERE action = 'block'
+    GROUP BY severity
+"""
+
+N_EVENTS = 20_000
+BATCH = 2_000
+N_SUBSCRIBERS = 6
+FANOUT_EVENTS = 5_000
+MAX_RATIO = 3.0
+
+
+def _batches(events):
+    for start in range(0, len(events), BATCH):
+        yield events[start:start + BATCH]
+
+
+def embedded_ingest(events):
+    db = Database()
+    db.execute(SECURITY_STREAM_DDL)
+    stream = db.get_stream("security_events")
+    started = time.perf_counter()
+    accepted = 0
+    for chunk in _batches(events):
+        accepted += stream.insert_many(chunk)
+    wall = time.perf_counter() - started
+    assert accepted == len(events)
+    return wall
+
+
+def server_ingest(events):
+    with ServerThread() as server:
+        with connect(server.host, server.port) as conn:
+            conn.execute(SECURITY_STREAM_DDL)
+            started = time.perf_counter()
+            accepted = 0
+            for chunk in _batches(events):
+                accepted += conn.ingest("security_events", chunk)
+            wall = time.perf_counter() - started
+            assert accepted == len(events)
+    return wall
+
+
+def fanout(events):
+    """Returns (ingest_wall, [per-subscriber delivery wall])."""
+    with ServerThread() as server:
+        feeder = connect(server.host, server.port)
+        feeder.execute(SECURITY_STREAM_DDL)
+        feeder.execute(ROLLUP_DDL)
+        subscribers = [connect(server.host, server.port)
+                       for _ in range(N_SUBSCRIBERS)]
+        try:
+            subs = [c.subscribe("blocked_rollup") for c in subscribers]
+            last_time = events[-1][0]
+            n_windows = int(last_time // 60.0) + 1
+            started = time.perf_counter()
+            for chunk in _batches(events):
+                feeder.ingest("security_events", chunk)
+            feeder.advance(last_time + 60.0)
+            ingest_wall = time.perf_counter() - started
+            walls = []
+            for sub in subs:
+                got = []
+                while len(got) < n_windows:
+                    got.extend(sub.wait_windows(1, timeout=10.0))
+                walls.append(time.perf_counter() - started)
+            # every subscriber saw the identical window sequence
+            return ingest_wall, walls, n_windows
+        finally:
+            for c in subscribers:
+                c.close()
+            feeder.close()
+
+
+def test_x3_server_loopback_tax(benchmark, report):
+    report.experiment_id = "X3_server"
+    gen = SecurityEventGenerator(rate_per_second=1000.0, seed=1)
+    events = gen.batch(N_EVENTS)
+
+    # warm both paths once (imports, allocator), then measure
+    embedded_ingest(events[:BATCH])
+    server_ingest(events[:BATCH])
+    emb_wall = min(embedded_ingest(events) for _ in range(3))
+    srv_wall = min(server_ingest(events) for _ in range(3))
+    ratio = srv_wall / emb_wall
+
+    rows = [
+        ["embedded insert_many", N_EVENTS, BATCH,
+         round(emb_wall * 1000, 1),
+         round(N_EVENTS / emb_wall), "1.0"],
+        ["loopback framed ingest", N_EVENTS, BATCH,
+         round(srv_wall * 1000, 1),
+         round(N_EVENTS / srv_wall), f"{ratio:.2f}"],
+    ]
+    text = format_table(
+        ["path", "events", "batch", "wall ms", "rows/s", "x embedded"],
+        rows,
+        title="X3a: micro-batched bulk ingest, E1 security workload "
+              f"(bar: <= {MAX_RATIO:.0f}x embedded)")
+    print("\n" + text)
+    report.add(text)
+
+    fan_events = gen.batch(FANOUT_EVENTS)
+    ingest_wall, walls, n_windows = fanout(fan_events)
+    fan_rows = [[i + 1, n_windows, round(w * 1000, 1)]
+                for i, w in enumerate(walls)]
+    fan_text = format_table(
+        ["subscriber", "windows received", "all delivered by (ms)"],
+        fan_rows,
+        title=f"X3b: fan-out of one CQ to {N_SUBSCRIBERS} subscribers "
+              f"({FANOUT_EVENTS} events, ingest {ingest_wall * 1000:.1f} ms)")
+    print("\n" + fan_text)
+    report.add(fan_text)
+
+    assert ratio <= MAX_RATIO, (
+        f"loopback ingest is {ratio:.2f}x embedded (bar {MAX_RATIO}x)")
+    assert len(walls) == N_SUBSCRIBERS
+
+    benchmark.pedantic(lambda: server_ingest(events[:BATCH]),
+                       rounds=3, iterations=1)

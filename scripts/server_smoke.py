@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""CI smoke test for the network server.
+
+Starts ``repro-server`` as a real subprocess, connects with the client
+library, ingests a micro-batch, subscribes to a derived stream, asserts
+one correct window arrives, asks the server to shut down gracefully,
+and checks that the process exits 0.  Exercises the full stack the way
+a deployment would: separate processes, a real TCP socket, signal-free
+shutdown over the protocol.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/server_smoke.py
+"""
+
+import re
+import subprocess
+import sys
+import time
+
+
+def fail(message):
+    print(f"SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    try:
+        banner = proc.stdout.readline()
+        match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+        if not match:
+            fail(f"no banner, got {banner!r}")
+        host, port = match.group(1), int(match.group(2))
+        print(f"server up at {host}:{port}")
+
+        import repro.client
+        with repro.client.connect(host, port) as conn:
+            conn.execute(
+                "CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+            conn.execute("CREATE STREAM agg AS SELECT sum(v) total, "
+                         "cq_close(*) FROM s <VISIBLE '10 seconds'>")
+            sub = conn.subscribe("agg")
+
+            accepted = conn.ingest(
+                "s", [(i, float(i)) for i in range(1, 9)])
+            if accepted != 8:
+                fail(f"ingest accepted {accepted}, wanted 8")
+            conn.advance(10.0)
+
+            windows = sub.wait_windows(1, timeout=10.0)
+            if windows[0].rows != [(36, 10.0)]:
+                fail(f"wrong window rows: {windows[0].rows}")
+            print(f"window ok: {windows[0].rows}")
+
+            conn.shutdown_server()
+            deadline = time.monotonic() + 10.0
+            while conn.server_goodbye is None \
+                    and time.monotonic() < deadline:
+                sub.poll(timeout=0.2)
+            if conn.server_goodbye is None:
+                fail("no goodbye frame from graceful shutdown")
+            print(f"goodbye: {conn.server_goodbye}")
+
+        code = proc.wait(timeout=10)
+        if code != 0:
+            fail(f"server exited {code}")
+        print("SMOKE OK")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait()
+
+
+if __name__ == "__main__":
+    main()

@@ -4,6 +4,8 @@ Run::
 
     python -m repro.cli
     echo "SELECT 1 + 1;" | python -m repro.cli
+    python -m repro.cli -c "SELECT 1 + 1"        # one-shot, exits nonzero on error
+    python -m repro.cli --connect 127.0.0.1:5433 # drive a repro-server
 
 Statements end with ``;``.  Continuous queries become named
 subscriptions whose windows are printed by ``\\poll``.  Backslash
@@ -24,6 +26,7 @@ commands:
 
 from __future__ import annotations
 
+import argparse
 import sys
 import time
 
@@ -45,6 +48,7 @@ class Shell:
         self.subscriptions = {}
         self._sub_counter = 0
         self.timing = False
+        self.errors = 0  # statements that failed (drives -c exit code)
 
     # -- output ---------------------------------------------------------------
 
@@ -159,6 +163,7 @@ class Shell:
             result = self.db.execute(sql)
         except TruvisoError as exc:
             self.write(f"ERROR: {exc}")
+            self.errors += 1
             return
         elapsed = time.perf_counter() - started
         if isinstance(result, Subscription):
@@ -203,8 +208,153 @@ class Shell:
             self.handle_line(leftover)
 
 
+class RemoteShell(Shell):
+    """The same shell, speaking to a ``repro-server`` over a socket.
+
+    Statements go through :class:`repro.client.Connection`; continuous
+    queries become remote subscriptions polled with ``\\poll``.
+    Engine-introspection commands that need in-process objects
+    (``\\supervisor``, ``\\deadletters``) work here too — they are
+    plain queries over system views, which travel fine.
+    """
+
+    def __init__(self, connection, out=None):
+        # deliberately no super().__init__: there is no embedded Database
+        self.conn = connection
+        self.db = None
+        self.out = out if out is not None else sys.stdout
+        self.subscriptions = {}
+        self._sub_counter = 0
+        self.timing = False
+        self.errors = 0
+
+    def _command(self, text: str) -> bool:
+        parts = text.split()
+        command, args = parts[0], parts[1:]
+        if command in ("\\q", "\\quit"):
+            return False
+        if command == "\\poll":
+            self._poll(args[0] if args else None)
+        elif command == "\\advance":
+            if not args:
+                self.write("usage: \\advance <event-time-seconds>")
+            else:
+                self.conn.advance(float(args[0]))
+                self.write(f"advanced all streams to t={args[0]}")
+                self._poll(None)
+        elif command == "\\flush":
+            self.conn.flush()
+            self.write("flushed all streams")
+            self._poll(None)
+        elif command == "\\d":
+            self._describe()
+        elif command in ("\\h", "\\help", "\\?"):
+            self.write(__doc__.strip())
+        else:
+            self.write(f"command {command} is not available over a "
+                       "connection; try \\help")
+        return True
+
+    def _describe(self) -> None:
+        from repro.errors import RemoteError
+        rows = []
+        try:
+            for name, kind, *_rest in self.conn.query(
+                    "SELECT name, kind FROM repro_streams").rows:
+                rows.append(f"  {name:<28} {kind} stream")
+            for (name, *_rest) in self.conn.query(
+                    "SELECT name FROM repro_tables").rows:
+                rows.append(f"  {name:<28} table")
+            for (name, *_rest) in self.conn.query(
+                    "SELECT name FROM repro_cqs").rows:
+                rows.append(f"  {name:<28} cq")
+        except RemoteError as exc:
+            self.write(f"ERROR: {exc}")
+            return
+        self.write("\n".join(sorted(rows)) if rows else "(empty catalog)")
+
+    def _poll(self, name) -> None:
+        targets = ([(name, self.subscriptions[name])]
+                   if name else sorted(self.subscriptions.items()))
+        if name and name not in self.subscriptions:
+            self.write(f"no subscription named {name!r}")
+            return
+        for sub_name, sub in targets:
+            for window in sub.poll(timeout=0.2):
+                self.write(f"-- {sub_name}: window "
+                           f"[{window.open_time:g}, {window.close_time:g})")
+                result = ResultSet(sub.columns, window.rows)
+                self.write(result.pretty())
+
+    def _statement(self, sql: str) -> None:
+        from repro.client import RemoteSubscription
+        from repro.errors import NetworkError
+        started = time.perf_counter()
+        try:
+            result = self.conn.execute(sql)
+        except (TruvisoError, NetworkError) as exc:
+            self.write(f"ERROR: {exc}")
+            self.errors += 1
+            return
+        elapsed = time.perf_counter() - started
+        if isinstance(result, RemoteSubscription):
+            self._sub_counter += 1
+            sub_name = f"sub{self._sub_counter}"
+            self.subscriptions[sub_name] = result
+            self.write(f"continuous query running as {sub_name!r} "
+                       f"({', '.join(result.columns)}); use \\poll")
+        elif result.columns:
+            self.write(result.pretty())
+            self.write(f"({len(result.rows)} row"
+                       f"{'' if len(result.rows) == 1 else 's'})")
+        else:
+            self.write(f"OK (rowcount={result.rowcount})")
+        if self.timing:
+            self.write(f"Time: {elapsed * 1000:.2f} ms wall (remote)")
+
+
+def _build_shell(args, out=None):
+    if args.connect:
+        from repro.client import connect
+        host, _, port = args.connect.rpartition(":")
+        if not port.isdigit():
+            raise SystemExit(
+                f"--connect wants HOST:PORT, got {args.connect!r}")
+        return RemoteShell(connect(host or "127.0.0.1", int(port)), out=out)
+    return Shell(out=out)
+
+
+def _run_one_shot(shell, chunks) -> int:
+    """-c/--execute: run statements, print results, report success."""
+    for chunk in chunks:
+        for statement in chunk.split(";"):
+            statement = statement.strip()
+            if statement and not shell.handle_line(statement):
+                break
+    return 1 if shell.errors else 0
+
+
 def main(argv=None) -> int:
-    shell = Shell()
+    parser = argparse.ArgumentParser(
+        prog="repro", description="TruSQL shell (embedded or remote)")
+    parser.add_argument("-c", "--execute", action="append", metavar="STMT",
+                        help="run this ;-separated statement list and "
+                             "exit (nonzero on any error)")
+    parser.add_argument("--connect", metavar="HOST:PORT",
+                        help="drive a repro-server instead of an "
+                             "embedded database")
+    args = parser.parse_args(argv)
+    shell = _build_shell(args)
+    try:
+        if args.execute:
+            return _run_one_shot(shell, args.execute)
+        return _repl(shell)
+    finally:
+        if isinstance(shell, RemoteShell):
+            shell.conn.close()
+
+
+def _repl(shell) -> int:
     interactive = sys.stdin.isatty()
     if interactive:
         print("repro — Continuous Analytics shell; \\help for commands")

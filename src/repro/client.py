@@ -1,0 +1,341 @@
+"""A synchronous TruSQL client.
+
+The blocking counterpart of :mod:`repro.server`: one TCP connection,
+the length-prefixed JSON frame protocol, and an API that mirrors the
+embedded :class:`~repro.core.database.Database` so code moves between
+embedded and client/server mode with minimal edits::
+
+    import repro.client
+
+    with repro.client.connect("127.0.0.1", 5433) as conn:
+        conn.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        sub = conn.execute("SELECT count(*) c FROM s <VISIBLE '1 minute'>")
+        conn.ingest("s", [(7, 5.0)])
+        conn.advance(60.0)
+        for window in sub.poll(timeout=2.0):
+            print(window.close_time, window.rows)
+
+Window/tuple pushes arrive whenever the socket is read; the connection
+routes them to their :class:`RemoteSubscription` while it waits for
+request responses, so a second subscription never blocks the first.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.results import ResultSet, WindowResult
+from repro.errors import ProtocolError, RemoteError
+from repro.server.protocol import FrameDecoder, encode_frame
+
+
+def connect(host: str = "127.0.0.1", port: int = 5433,
+            timeout: float = 10.0) -> "Connection":
+    """Open a client connection and perform the hello handshake."""
+    return Connection(host, port, timeout)
+
+
+@dataclass
+class ReplayedTuple:
+    """One tuple pushed for a base-stream subscription."""
+
+    time: float
+    row: tuple
+    replayed: bool = False
+
+
+class RemoteSubscription:
+    """A handle on a server-side subscription.
+
+    Mirrors :class:`~repro.core.results.Subscription`: window results
+    accumulate as the server pushes them; :meth:`poll` drains.  Base-
+    stream subscriptions receive per-tuple pushes instead — drain those
+    with :meth:`tuples`.
+    """
+
+    def __init__(self, connection: "Connection", sub_id: int, name: str,
+                 columns, kind: str):
+        self._connection = connection
+        self.sub = sub_id
+        self.name = name
+        self.columns = list(columns)
+        self.kind = kind
+        self.closed = False
+        self.close_reason: Optional[str] = None
+        self.sheds = 0
+        self._windows = deque()
+        self._tuples = deque()
+
+    # -- push routing (called by the connection) ---------------------------
+
+    def _on_push(self, frame: dict) -> None:
+        kind = frame.get("push")
+        if kind == "window":
+            self._windows.append(WindowResult(
+                [tuple(row) for row in frame["rows"]],
+                frame["open"], frame["close"]))
+        elif kind == "tuple":
+            self._tuples.append(ReplayedTuple(
+                frame["time"], tuple(frame["row"]),
+                bool(frame.get("replayed"))))
+        elif kind == "shed":
+            self.sheds += frame.get("count", 0)
+        elif kind == "sub_closed":
+            self.closed = True
+            self.close_reason = frame.get("reason")
+
+    # -- draining ----------------------------------------------------------
+
+    def poll(self, timeout: float = 0.0) -> List[WindowResult]:
+        """Drain windows pushed since the last poll, reading the socket
+        for up to ``timeout`` seconds while none are pending."""
+        self._connection._pump_until(
+            lambda: self._windows or self.closed, timeout)
+        drained = list(self._windows)
+        self._windows.clear()
+        return drained
+
+    def tuples(self, timeout: float = 0.0) -> List[ReplayedTuple]:
+        """Drain tuple pushes (base-stream subscriptions)."""
+        self._connection._pump_until(
+            lambda: self._tuples or self.closed, timeout)
+        drained = list(self._tuples)
+        self._tuples.clear()
+        return drained
+
+    def wait_windows(self, count: int = 1,
+                     timeout: float = 5.0) -> List[WindowResult]:
+        """Block until ``count`` windows arrived (or raise on timeout)."""
+        self._connection._pump_until(
+            lambda: len(self._windows) >= count or self.closed, timeout)
+        if len(self._windows) < count and not self.closed:
+            raise TimeoutError(
+                f"subscription {self.name!r}: {len(self._windows)} of "
+                f"{count} windows after {timeout}s")
+        drained = list(self._windows)
+        self._windows.clear()
+        return drained
+
+    def unsubscribe(self) -> None:
+        if not self.closed:
+            self._connection._request("unsubscribe", sub=self.sub)
+            self.closed = True
+            self.close_reason = "unsubscribed"
+
+    def __repr__(self):
+        state = "closed" if self.closed else "open"
+        return (f"RemoteSubscription({self.name}, {state}, "
+                f"{len(self._windows)} windows pending)")
+
+
+class Connection:
+    """One synchronous client connection to a TruSQL server."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self.timeout = timeout
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self._decoder = FrameDecoder()
+        self._request_counter = 0
+        self._responses = {}
+        self._subs = {}
+        self._orphans = {}   # pushes for a sub id not registered yet
+        self.closed = False
+        self.server_goodbye: Optional[str] = None
+        hello = self._request("hello", client="repro.client")
+        self.session_id = hello.get("session")
+        self.protocol_version = hello.get("protocol")
+
+    # ------------------------------------------------------------------
+    # Database-shaped API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params=None):
+        """Run one TruSQL statement remotely.
+
+        Returns a :class:`ResultSet` for snapshot queries/DML/DDL, or a
+        :class:`RemoteSubscription` when the statement is a continuous
+        query.  Engine errors raise :class:`RemoteError` carrying the
+        server-side exception type name.
+        """
+        fields = {"sql": sql}
+        if params is not None:
+            fields["params"] = list(params)
+        response = self._request("execute", **fields)
+        return self._materialize(response)
+
+    def query(self, sql: str, params=None) -> ResultSet:
+        result = self.execute(sql, params)
+        if not isinstance(result, ResultSet):
+            raise RemoteError(
+                "query() got a continuous query; use subscribe()",
+                "PlanningError")
+        return result
+
+    def subscribe(self, name: str,
+                  since: Optional[float] = None) -> RemoteSubscription:
+        """Attach to a named stream, derived stream or running CQ.
+
+        ``since`` asks for a replay of the stream's retained tail from
+        that event time before live delivery begins (late-subscriber
+        catch-up; the stream needs ``retention`` configured).
+        """
+        fields = {"name": name}
+        if since is not None:
+            fields["since"] = since
+        response = self._request("subscribe", **fields)
+        return self._materialize(response)
+
+    def ingest(self, stream: str, rows,
+               at: Optional[float] = None) -> int:
+        """Micro-batched bulk ingest: one frame, many rows.  Returns how
+        many rows the stream actually accepted (net of load shedding)."""
+        fields = {"stream": stream, "rows": [list(row) for row in rows]}
+        if at is not None:
+            fields["at"] = at
+        response = self._request("ingest", **fields)
+        return response["accepted"]
+
+    def advance(self, event_time: float) -> None:
+        """Heartbeat every stream to ``event_time`` (closes windows)."""
+        self._request("advance", time=event_time)
+
+    def flush(self) -> None:
+        """End-of-input: force all pending windows out."""
+        self._request("flush")
+
+    def ping(self) -> bool:
+        self._request("ping")
+        return True
+
+    def shutdown_server(self) -> None:
+        """Ask the server to shut down gracefully."""
+        self._request("shutdown")
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        try:
+            self._request("goodbye")
+        except (ConnectionError, ProtocolError, OSError):
+            pass
+        self.closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "Connection":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    # ------------------------------------------------------------------
+    # wire mechanics
+    # ------------------------------------------------------------------
+
+    def _request(self, op: str, **fields) -> dict:
+        if self.closed:
+            raise ProtocolError("connection is closed")
+        self._request_counter += 1
+        request_id = self._request_counter
+        frame = {"id": request_id, "op": op}
+        frame.update(fields)
+        self._sock.sendall(encode_frame(frame))
+        deadline = time.monotonic() + self.timeout
+        while request_id not in self._responses:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise ProtocolError(
+                    f"no response to {op!r} within {self.timeout}s")
+            self._read_some(remaining)
+        response = self._responses.pop(request_id)
+        if not response.get("ok", False):
+            error = response.get("error") or {}
+            raise RemoteError(error.get("message", "unknown server error"),
+                              error.get("type", "TruvisoError"))
+        return response
+
+    def _materialize(self, response: dict):
+        subscription = response.get("subscription")
+        if subscription is not None:
+            sub = RemoteSubscription(
+                self, subscription["sub"], subscription["name"],
+                subscription["columns"], subscription["kind"])
+            self._subs[sub.sub] = sub
+            for frame in self._orphans.pop(sub.sub, []):
+                sub._on_push(frame)
+            return sub
+        result = response.get("result") or {}
+        return ResultSet(
+            result.get("columns", []),
+            [tuple(row) for row in result.get("rows", [])],
+            result.get("rowcount"))
+
+    def _read_some(self, timeout: float) -> bool:
+        """Read one chunk off the socket (blocking up to ``timeout``)
+        and dispatch whatever frames completed.  Returns False when the
+        wait timed out with nothing read."""
+        self._sock.settimeout(max(timeout, 0.001))
+        try:
+            data = self._sock.recv(65536)
+        except socket.timeout:
+            return False
+        except OSError as exc:
+            raise ConnectionError(f"socket error: {exc}") from None
+        if not data:
+            self.closed = True
+            if self.server_goodbye is None:
+                raise ConnectionError("server closed the connection")
+            return False
+        for frame in self._decoder.feed(data):
+            self._dispatch(frame)
+        return True
+
+    def _dispatch(self, frame: dict) -> None:
+        if "push" in frame:
+            if frame["push"] == "goodbye":
+                self.server_goodbye = frame.get("reason", "goodbye")
+                return
+            sub = self._subs.get(frame.get("sub"))
+            if sub is not None:
+                sub._on_push(frame)
+            else:
+                self._orphans.setdefault(
+                    frame.get("sub"), []).append(frame)
+            return
+        if "id" in frame:
+            self._responses[frame["id"]] = frame
+            return
+        raise ProtocolError(f"unroutable frame: {frame!r}")
+
+    def _pump_until(self, ready, timeout: float) -> None:
+        """Read pushes until ``ready()`` or the timeout lapses.  A zero
+        timeout still drains whatever already sits in the socket."""
+        deadline = time.monotonic() + timeout
+        while True:
+            if ready():
+                # drain anything else already buffered, without blocking
+                while not self.closed and self._read_some(0.001):
+                    pass
+                return
+            if self.closed:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                if timeout > 0:
+                    return
+                remaining = 0.001
+            try:
+                got = self._read_some(min(remaining, 0.25)
+                                      if timeout > 0 else remaining)
+            except ConnectionError:
+                return
+            if timeout <= 0 and not got:
+                return

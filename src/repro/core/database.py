@@ -80,6 +80,10 @@ class Database:
             self.enable_supervision()
         self._session_txn = None
         self._current_params = None
+        # set by the network server (repro.server): a zero-argument
+        # callable returning one row per live client connection, exposed
+        # through the repro_connections system view
+        self.connection_registry = None
         from repro.core.system_views import install_system_views
         install_system_views(self)
 

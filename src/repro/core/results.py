@@ -130,6 +130,16 @@ class Subscription:
             lambda rows, open_time, close_time: callback(
                 WindowResult(list(rows), open_time, close_time)))
 
+    def stream_to(self, sink) -> None:
+        """Switch to pure push mode: stop buffering windows for
+        :meth:`poll` and deliver every window to
+        ``sink(rows, open_time, close_time)`` instead.  Long-lived
+        forwarders (the network server) use this so an unpolled
+        subscription does not accumulate windows forever."""
+        self._cq.remove_sink(self._on_window)
+        self._pending.clear()
+        self._cq.add_sink(sink)
+
     def poll(self) -> List[WindowResult]:
         """Drain and return the windows that closed since the last poll."""
         drained, self._pending = self._pending, []

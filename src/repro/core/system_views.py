@@ -187,6 +187,19 @@ def install_system_views(db) -> None:
         Column("close_time", TimestampType()),
     ]), dead_letter_rows)
 
+    def connections_rows():
+        provider = getattr(db, "connection_registry", None)
+        if provider is None:
+            return []
+        return provider()
+
+    connections = VirtualTable("repro_connections", Schema([
+        _int("session_id"), _text("peer"), _text("state"),
+        _int("statements"), _int("rows_ingested"), _int("subscriptions"),
+        _int("windows_pushed"), _int("tuples_pushed"), _int("sheds"),
+        Column("connected_seconds", DoubleType()),
+    ]), connections_rows)
+
     def crashpoint_rows():
         if db.faults is None:
             from repro.faults import CRASHPOINTS
@@ -200,5 +213,5 @@ def install_system_views(db) -> None:
     ]), crashpoint_rows)
 
     for view in (streams, channels, tables, indexes, cqs, io, stats,
-                 supervisor, dead_letters, crashpoints):
+                 supervisor, dead_letters, crashpoints, connections):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -118,6 +118,26 @@ class BackpressureError(StreamingError):
     ``raise`` backpressure policy."""
 
 
+class NetworkError(TruvisoError):
+    """Base class for client/server wire-boundary failures."""
+
+
+class ProtocolError(NetworkError):
+    """A malformed, oversized or out-of-sequence protocol frame."""
+
+
+class RemoteError(NetworkError):
+    """An engine error reported by the server over the wire.
+
+    ``remote_type`` carries the server-side exception class name so
+    clients can branch on it without importing engine internals.
+    """
+
+    def __init__(self, message: str, remote_type: str = "TruvisoError"):
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
 class FaultInjected(TruvisoError):
     """A deterministic fault fired at an armed crashpoint.
 

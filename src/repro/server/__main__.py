@@ -1,0 +1,8 @@
+"""``python -m repro.server`` starts the TruSQL network server."""
+
+import sys
+
+from repro.server.server import main
+
+if __name__ == "__main__":
+    sys.exit(main())

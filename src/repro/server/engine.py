@@ -1,0 +1,92 @@
+"""The single-writer executor: many connections, one engine thread.
+
+The embedded :class:`~repro.core.database.Database` is single-threaded
+by construction — MVCC bookkeeping, the buffer pool and the streaming
+runtime all assume one caller at a time.  Rather than sprinkle locks
+through the engine, the server funnels *every* engine touch (statements,
+ingest batches, heartbeats, subscription attach/detach) through one
+dedicated worker thread.  Connections submit closures and await the
+result; the queue is the serialization point, so the engine sees the
+same world it sees embedded.
+
+This is also where subscription pushes originate: window sinks fire on
+the engine thread during ingest/advance, hand their frames to the
+owning session's outbound buffer, and wake that session's asyncio
+writer with ``loop.call_soon_threadsafe``.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+from concurrent.futures import Future
+
+_STOP = object()
+
+
+class EngineClosed(RuntimeError):
+    """Submit was called after the executor shut down."""
+
+
+class SingleWriterExecutor:
+    """A one-thread job queue with Future-based results."""
+
+    def __init__(self, name: str = "repro-engine"):
+        self._jobs = queue.Queue()
+        self._closed = False
+        self.jobs_run = 0
+        self._thread = threading.Thread(
+            target=self._run, name=name, daemon=True)
+        self._thread.start()
+
+    # -- submission --------------------------------------------------------
+
+    def submit(self, fn, *args, **kwargs) -> Future:
+        """Queue ``fn(*args, **kwargs)`` for the engine thread; the
+        returned Future resolves with its result or exception."""
+        if self._closed:
+            raise EngineClosed("engine executor is shut down")
+        future = Future()
+        self._jobs.put((fn, args, kwargs, future))
+        return future
+
+    def run_sync(self, fn, *args, timeout: float = 30.0, **kwargs):
+        """Submit and block for the result (tests, synchronous callers)."""
+        return self.submit(fn, *args, **kwargs).result(timeout)
+
+    def depth(self) -> int:
+        """Jobs waiting (a rough busyness signal for the status view)."""
+        return self._jobs.qsize()
+
+    # -- worker ------------------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            job = self._jobs.get()
+            if job is _STOP:
+                return
+            fn, args, kwargs, future = job
+            if not future.set_running_or_notify_cancel():
+                continue
+            try:
+                result = fn(*args, **kwargs)
+            except BaseException as exc:
+                future.set_exception(exc)
+            else:
+                future.set_result(result)
+            self.jobs_run += 1
+
+    # -- shutdown ----------------------------------------------------------
+
+    def shutdown(self, timeout: float = 10.0) -> None:
+        """Stop accepting work, drain what was already queued, join.
+
+        Draining (rather than discarding) matters for graceful server
+        shutdown: the final flush job must actually run so in-flight
+        windows reach their subscribers before sockets close.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._jobs.put(_STOP)
+        self._thread.join(timeout)

@@ -1,0 +1,198 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+Every frame on the socket is a 4-byte big-endian unsigned length
+followed by that many bytes of UTF-8 JSON.  Requests carry an ``id``
+(per-connection, client-chosen, monotonically increasing) and an ``op``;
+the server answers each request with exactly one frame echoing the
+``id``.  Server-initiated frames (window/tuple pushes, shed notices,
+shutdown notices) carry a ``push`` key and no ``id``, and may arrive
+between any request and its response — clients must route by shape,
+not by ordering.
+
+Request ops::
+
+    hello        {"id", "op", "client"?}          -> session id + version
+    execute      {"id", "op", "sql", "params"?}   -> result | subscription
+    subscribe    {"id", "op", "name", "since"?}   -> subscription
+    unsubscribe  {"id", "op", "sub"}              -> ok
+    ingest       {"id", "op", "stream", "rows", "at"?} -> accepted count
+    advance      {"id", "op", "time"}             -> ok (heartbeat)
+    flush        {"id", "op"}                     -> ok (drain windows)
+    ping         {"id", "op"}                     -> ok
+    goodbye      {"id", "op"}                     -> ok, then close
+    shutdown     {"id", "op"}                     -> ok, then server stops
+
+Push frames::
+
+    {"push": "window", "sub", "open", "close", "rows"}
+    {"push": "tuple",  "sub", "time", "row", "replayed"?}
+    {"push": "shed",   "sub", "count"}            slow-client load shed
+    {"push": "sub_closed", "sub", "reason"}       subscription cancelled
+    {"push": "goodbye", "reason"}                 server is closing
+
+Error responses: ``{"id": n, "ok": false, "error": {"type", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+
+from repro.errors import ProtocolError, TruvisoError
+
+#: bump when the frame vocabulary changes incompatibly
+PROTOCOL_VERSION = 1
+
+#: refuse frames larger than this (a corrupt length prefix would
+#: otherwise make the reader try to allocate gigabytes)
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def _json_default(value):
+    # rows occasionally carry engine-side objects (Decimal-ish wrappers,
+    # dates); degrade to their text form rather than failing the frame
+    return str(value)
+
+
+def encode_frame(payload: dict) -> bytes:
+    """One frame, ready for the socket: length prefix + JSON body."""
+    body = json.dumps(payload, separators=(",", ":"),
+                      default=_json_default).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame body: {exc}") from None
+    if not isinstance(payload, dict):
+        raise ProtocolError(
+            f"frame body must be a JSON object, got {type(payload).__name__}")
+    return payload
+
+
+class FrameDecoder:
+    """Incremental decoder for a byte stream of frames.
+
+    Feed it whatever the transport produced; it yields complete frames
+    and buffers partial ones.  Used by the synchronous client; the
+    asyncio server reads exact lengths instead.
+    """
+
+    def __init__(self):
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> list:
+        self._buffer.extend(data)
+        frames = []
+        while True:
+            if len(self._buffer) < _LENGTH.size:
+                return frames
+            (length,) = _LENGTH.unpack_from(self._buffer)
+            if length > MAX_FRAME_BYTES:
+                raise ProtocolError(
+                    f"incoming frame claims {length} bytes "
+                    f"(limit {MAX_FRAME_BYTES}); stream is corrupt")
+            end = _LENGTH.size + length
+            if len(self._buffer) < end:
+                return frames
+            body = bytes(self._buffer[_LENGTH.size:end])
+            del self._buffer[:end]
+            frames.append(decode_body(body))
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+async def read_frame(reader) -> dict:
+    """Read one frame from an ``asyncio.StreamReader``.
+
+    Returns ``None`` on clean EOF at a frame boundary; raises
+    :class:`ProtocolError` on a truncated or oversized frame.
+    """
+    import asyncio
+
+    try:
+        prefix = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed mid-frame") from None
+    (length,) = _LENGTH.unpack(prefix)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); stream is corrupt")
+    try:
+        body = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed mid-frame") from None
+    return decode_body(body)
+
+
+# ---------------------------------------------------------------------------
+# frame constructors (the single place response shapes are defined)
+# ---------------------------------------------------------------------------
+
+
+def ok_response(request_id, **fields) -> dict:
+    frame = {"id": request_id, "ok": True}
+    frame.update(fields)
+    return frame
+
+
+def error_response(request_id, exc: BaseException) -> dict:
+    remote_type = (type(exc).__name__ if isinstance(exc, TruvisoError)
+                   else "ExecutionError")
+    return {"id": request_id, "ok": False,
+            "error": {"type": remote_type,
+                      "message": str(exc) or type(exc).__name__}}
+
+
+def result_response(request_id, columns, rows, rowcount) -> dict:
+    return ok_response(request_id, result={
+        "columns": list(columns),
+        "rows": [list(row) for row in rows],
+        "rowcount": rowcount,
+    })
+
+
+def subscription_response(request_id, sub_id, name, columns,
+                          kind: str) -> dict:
+    return ok_response(request_id, subscription={
+        "sub": sub_id, "name": name,
+        "columns": list(columns), "kind": kind,
+    })
+
+
+def window_push(sub_id, rows, open_time, close_time) -> dict:
+    return {"push": "window", "sub": sub_id,
+            "open": open_time, "close": close_time,
+            "rows": [list(row) for row in rows]}
+
+
+def tuple_push(sub_id, row, event_time, replayed: bool = False) -> dict:
+    frame = {"push": "tuple", "sub": sub_id,
+             "time": event_time, "row": list(row)}
+    if replayed:
+        frame["replayed"] = True
+    return frame
+
+
+def shed_push(sub_id, count) -> dict:
+    return {"push": "shed", "sub": sub_id, "count": count}
+
+
+def sub_closed_push(sub_id, reason) -> dict:
+    return {"push": "sub_closed", "sub": sub_id, "reason": reason}
+
+
+def goodbye_push(reason) -> dict:
+    return {"push": "goodbye", "reason": reason}

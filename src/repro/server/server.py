@@ -1,0 +1,379 @@
+"""The asyncio TCP server: accept loop, dispatch, graceful shutdown.
+
+One :class:`TruSQLServer` owns one embedded
+:class:`~repro.core.database.Database`, one single-writer engine
+executor, and any number of client sessions.  The event loop only ever
+parses frames and shuttles bytes; every engine touch crosses into the
+engine thread through :meth:`TruSQLServer.on_engine`.
+
+Run standalone::
+
+    python -m repro.server --host 127.0.0.1 --port 5433
+
+or embed in tests with :class:`ServerThread`, which runs the whole
+server (loop included) on a background thread and blocks until it is
+accepting connections.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import sys
+import threading
+from typing import Dict, Optional
+
+from repro.core.database import Database
+from repro.errors import ProtocolError, TruvisoError
+from repro.server import protocol
+from repro.server.engine import SingleWriterExecutor
+from repro.server.session import Session
+
+_BANNER = "repro-server listening on {host}:{port}"
+
+
+class TruSQLServer:
+    """A TruSQL server bound to one embedded Database."""
+
+    def __init__(self, db: Optional[Database] = None,
+                 host: str = "127.0.0.1", port: int = 0,
+                 **db_options):
+        self.db = db if db is not None else Database(**db_options)
+        self.requested_host = host
+        self.requested_port = port
+        self.executor = SingleWriterExecutor()
+        self.sessions: Dict[int, Session] = {}
+        self._session_counter = 0
+        self._handlers = set()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._shutdown_event: Optional[asyncio.Event] = None
+        self._stopped = False
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self.db.connection_registry = self.connection_rows
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        self._loop = asyncio.get_running_loop()
+        self._shutdown_event = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._on_connection, self.requested_host, self.requested_port)
+        sockname = self._server.sockets[0].getsockname()
+        self.host, self.port = sockname[0], sockname[1]
+
+    def request_shutdown(self) -> None:
+        """Ask the serve loop to stop (safe from any thread)."""
+        if self._loop is None or self._shutdown_event is None:
+            return
+        try:
+            self._loop.call_soon_threadsafe(self._shutdown_event.set)
+        except RuntimeError:
+            pass  # loop already closed: nothing left to stop
+
+    async def serve_until_shutdown(self) -> None:
+        """Serve until :meth:`request_shutdown`, then shut down cleanly."""
+        await self._shutdown_event.wait()
+        await self.shutdown()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Graceful stop: no new connections, drain in-flight windows
+        (a final engine flush pushes pending windows through derived
+        streams and channels to every subscriber), flush each session's
+        outbound buffer, say goodbye, then close sockets and the engine.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if drain and self.sessions:
+            try:
+                await self.on_engine(self.db.flush_streams)
+            except Exception:
+                pass  # a poisoned stream must not wedge shutdown
+        for session in list(self.sessions.values()):
+            session.state = "closing"
+            writer = getattr(session, "_writer", None)
+            if writer is None:
+                continue
+            try:
+                for frame in session.drain_frames():
+                    writer.write(protocol.encode_frame(frame))
+                writer.write(protocol.encode_frame(
+                    protocol.goodbye_push("server shutdown")))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+            writer.close()
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+        self.executor.shutdown()
+
+    # ------------------------------------------------------------------
+    # engine bridge
+    # ------------------------------------------------------------------
+
+    async def on_engine(self, fn, *args, **kwargs):
+        """Run ``fn`` on the single-writer engine thread and await it."""
+        return await asyncio.wrap_future(
+            self.executor.submit(fn, *args, **kwargs))
+
+    def schedule_detach(self, session: Session, entries) -> None:
+        """Fire-and-forget detach of broken subscriptions (raise policy).
+        Submitted, not awaited: callers sit on the writer path."""
+        def detach_all():
+            for entry in entries:
+                session.subs.pop(entry.sub_id, None)
+                if entry.detach is not None:
+                    try:
+                        entry.detach()
+                    except Exception:
+                        pass
+        try:
+            self.executor.submit(detach_all)
+        except Exception:
+            pass
+
+    def connection_rows(self):
+        """Rows of the ``repro_connections`` system view."""
+        return [s.connection_row() for s in list(self.sessions.values())]
+
+    # ------------------------------------------------------------------
+    # per-connection handling
+    # ------------------------------------------------------------------
+
+    async def _on_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._handlers.add(task)
+        try:
+            await self._serve_connection(reader, writer)
+        finally:
+            self._handlers.discard(task)
+
+    async def _serve_connection(self, reader, writer) -> None:
+        peername = writer.get_extra_info("peername")
+        peer = f"{peername[0]}:{peername[1]}" if peername else "?"
+        self._session_counter += 1
+        session = Session(self._session_counter, self, peer)
+        session._writer = writer
+        loop = asyncio.get_running_loop()
+        wake = asyncio.Event()
+        session.notify = lambda: loop.call_soon_threadsafe(wake.set)
+        writer_task = asyncio.ensure_future(
+            self._writer_loop(session, writer, wake))
+        self.sessions[session.session_id] = session
+        try:
+            while True:
+                frame = await protocol.read_frame(reader)
+                if frame is None:
+                    break
+                response = await self._dispatch(session, frame)
+                if response is not None:
+                    writer.write(protocol.encode_frame(response))
+                    await writer.drain()
+                op = frame.get("op")
+                if op == "goodbye" or self._stopped:
+                    break
+                if op == "shutdown":
+                    # keep this connection open: the graceful shutdown
+                    # path drains its subscriptions and says goodbye
+                    self.request_shutdown()
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except ProtocolError as exc:
+            try:
+                writer.write(protocol.encode_frame(
+                    protocol.error_response(None, exc)))
+                await writer.drain()
+            except (ConnectionError, RuntimeError):
+                pass
+        finally:
+            session.state = "closed"
+            self.sessions.pop(session.session_id, None)
+            writer_task.cancel()
+            try:
+                await writer_task
+            except (asyncio.CancelledError, ConnectionError):
+                pass
+            try:
+                self.executor.submit(session.detach_all_on_engine)
+            except Exception:
+                pass
+            with session._space:
+                session._space.notify_all()  # unblock a waiting engine
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    async def _dispatch(self, session: Session, frame: dict):
+        request_id = frame.get("id")
+        op = frame.get("op")
+        try:
+            if op == "execute":
+                return await session.handle_execute(frame)
+            if op == "subscribe":
+                return await session.handle_subscribe(frame)
+            if op == "unsubscribe":
+                return await session.handle_unsubscribe(frame)
+            if op == "ingest":
+                return await session.handle_ingest(frame)
+            if op == "advance":
+                return await session.handle_advance(frame)
+            if op == "flush":
+                return await session.handle_flush(frame)
+            if op == "hello":
+                return protocol.ok_response(
+                    request_id, server="repro",
+                    protocol=protocol.PROTOCOL_VERSION,
+                    session=session.session_id)
+            if op in ("ping", "goodbye"):
+                return protocol.ok_response(request_id)
+            if op == "shutdown":
+                return protocol.ok_response(request_id, stopping=True)
+            raise ProtocolError(f"unknown op {op!r}")
+        except TruvisoError as exc:
+            return protocol.error_response(request_id, exc)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # engine bug: report, keep serving
+            return protocol.error_response(request_id, exc)
+
+    async def _writer_loop(self, session: Session, writer, wake) -> None:
+        """Drains the session's outbound push buffer to the socket.
+        ``writer.drain()`` is where a slow client's TCP window pushes
+        back; while this coroutine waits there, the engine-side buffer
+        fills and the session's slow-client policy kicks in."""
+        try:
+            while True:
+                await wake.wait()
+                wake.clear()
+                frames = session.drain_frames()
+                if not frames:
+                    continue
+                for frame in frames:
+                    writer.write(protocol.encode_frame(frame))
+                await writer.drain()
+        except (ConnectionError, asyncio.CancelledError):
+            for entry in session.subs.values():
+                entry.broken = True
+            raise
+
+
+class ServerThread:
+    """A server on a background thread, for tests and benchmarks.
+
+    Starts the whole asyncio world off-thread and blocks until the
+    socket is listening::
+
+        with ServerThread() as server:
+            conn = repro.client.connect(server.host, server.port)
+    """
+
+    def __init__(self, db: Optional[Database] = None,
+                 host: str = "127.0.0.1", port: int = 0, **db_options):
+        self._db = db
+        self._db_options = db_options
+        self._requested = (host, port)
+        self.server: Optional[TruSQLServer] = None
+        self.host: Optional[str] = None
+        self.port: Optional[int] = None
+        self._ready = threading.Event()
+        self._error: Optional[BaseException] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def db(self) -> Database:
+        return self.server.db
+
+    def start(self, timeout: float = 10.0) -> "ServerThread":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-server", daemon=True)
+        self._thread.start()
+        if not self._ready.wait(timeout):
+            raise RuntimeError("server did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self) -> None:
+        try:
+            asyncio.run(self._amain())
+        except BaseException as exc:  # startup failures surface in start()
+            self._error = exc
+            self._ready.set()
+
+    async def _amain(self) -> None:
+        host, port = self._requested
+        self.server = TruSQLServer(
+            db=self._db, host=host, port=port, **self._db_options)
+        await self.server.start()
+        self.host, self.port = self.server.host, self.server.port
+        self._ready.set()
+        await self.server.serve_until_shutdown()
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self.server is not None:
+            self.server.request_shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
+    def __enter__(self) -> "ServerThread":
+        return self.start()
+
+    def __exit__(self, *exc) -> bool:
+        self.stop()
+        return False
+
+
+def main(argv=None) -> int:
+    """Entry point of the ``repro-server`` console script."""
+    parser = argparse.ArgumentParser(
+        prog="repro-server",
+        description="TruSQL network server (Continuous Analytics repro)")
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=5433,
+                        help="TCP port (0 picks a free one)")
+    parser.add_argument("--init", metavar="FILE",
+                        help="TruSQL script to execute before serving")
+    parser.add_argument("--supervised", action="store_true",
+                        help="enable the supervised runtime at boot")
+    parser.add_argument("--retention", type=float, default=None,
+                        help="default stream retention seconds "
+                             "(enables late-subscriber replay)")
+    args = parser.parse_args(argv)
+
+    db = Database(supervised=args.supervised,
+                  stream_retention=args.retention)
+    if args.init:
+        with open(args.init, "r", encoding="utf-8") as handle:
+            db.execute_script(handle.read())
+
+    async def amain() -> None:
+        server = TruSQLServer(db=db, host=args.host, port=args.port)
+        await server.start()
+        print(_BANNER.format(host=server.host, port=server.port),
+              flush=True)
+        loop = asyncio.get_running_loop()
+        try:
+            import signal
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.add_signal_handler(signum, server.request_shutdown)
+        except (ImportError, NotImplementedError):  # pragma: no cover
+            pass
+        await server.serve_until_shutdown()
+
+    asyncio.run(amain())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

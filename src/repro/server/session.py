@@ -1,0 +1,455 @@
+"""Per-connection sessions: options, subscriptions, slow-client policy.
+
+A session owns everything one client connection can see: its session-
+scoped ``SET`` options, its live subscriptions, and a bounded outbound
+buffer of push frames.  Engine-side window/tuple sinks run on the
+single-writer engine thread (:mod:`repro.server.engine`) and append to
+that buffer; an asyncio writer task drains it to the socket.  When a
+client reads slower than its subscriptions produce, the buffer hits the
+session's high-water mark and the engine's backpressure vocabulary
+applies (PR 1's policies, surfaced as protocol frames):
+
+- ``shed-oldest`` — drop the oldest buffered push, tell the client with
+  a ``shed`` frame, and (under supervision) quarantine the dropped
+  payload as a ``slow-consumer`` dead letter;
+- ``block`` — the engine thread waits (bounded by ``block_timeout``)
+  for the writer to drain: real backpressure, propagated to every
+  producer on the engine thread.  On timeout it degrades to shedding so
+  one dead client cannot freeze the server;
+- ``raise`` (alias ``error``) — the subscription is cancelled and the
+  client told with a ``sub_closed`` frame.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional
+
+from repro.catalog import catalog as cat
+from repro.core.results import ResultSet, Subscription
+from repro.errors import (
+    ExecutionError,
+    StreamingError,
+    UnknownObjectError,
+)
+from repro.server import protocol
+from repro.sql import ast, parse_statement
+from repro.streaming.streams import StreamConsumer
+
+#: slow-client policies (the engine's backpressure vocabulary + an alias)
+POLICY_BLOCK = "block"
+POLICY_SHED = "shed-oldest"
+POLICY_RAISE = "raise"
+SESSION_POLICIES = (POLICY_BLOCK, POLICY_SHED, POLICY_RAISE)
+
+#: options owned by the session, not the shared engine
+SESSION_OPTIONS = ("subscribe_policy", "subscribe_high_water",
+                   "block_timeout")
+
+
+class SubscriptionEntry:
+    """One live subscription: its sink, counters, and detach hook."""
+
+    def __init__(self, sub_id: int, name: str, kind: str, columns):
+        self.sub_id = sub_id
+        self.name = name
+        self.kind = kind              # 'stream' | 'derived' | 'cq' | 'query'
+        self.columns = list(columns)
+        self.detach: Optional[Callable[[], None]] = None
+        self.sink: Optional[SessionSink] = None
+        self.windows_pushed = 0
+        self.tuples_pushed = 0
+        self.sheds = 0
+        self.broken = False
+        self.close_reason: Optional[str] = None
+
+
+class SessionSink(StreamConsumer):
+    """The engine-side consumer that forwards to one session.
+
+    Never raises out of a callback: a broken or slow client must not
+    poison delivery to the engine's other subscribers.
+    """
+
+    def __init__(self, session: "Session", entry: SubscriptionEntry):
+        self.session = session
+        self.entry = entry
+
+    # base streams call these -------------------------------------------------
+
+    def on_tuple(self, row, event_time) -> None:
+        entry = self.entry
+        if entry.broken:
+            return
+        entry.tuples_pushed += 1
+        self.session.enqueue_push(
+            entry, protocol.tuple_push(entry.sub_id, row, event_time))
+
+    def on_heartbeat(self, event_time) -> None:  # time flows via windows
+        return
+
+    def on_flush(self) -> None:
+        return
+
+    # derived streams / CQ sinks call these -----------------------------------
+
+    def on_batch(self, rows, open_time, close_time) -> None:
+        entry = self.entry
+        if entry.broken:
+            return
+        entry.windows_pushed += 1
+        self.session.enqueue_push(
+            entry,
+            protocol.window_push(entry.sub_id, rows, open_time, close_time))
+
+    def window_sink(self, rows, open_time, close_time) -> None:
+        """The ``fn(rows, open, close)`` shape CQ sinks expect."""
+        self.on_batch(rows, open_time, close_time)
+
+
+class Session:
+    """State and op handlers for one client connection.
+
+    The async handler methods run on the event loop; anything touching
+    the engine is submitted to the server's single-writer executor.
+    """
+
+    def __init__(self, session_id: int, server, peer: str):
+        self.session_id = session_id
+        self.server = server
+        self.peer = peer
+        self.state = "active"
+        self.started_monotonic = time.monotonic()
+        # session-scoped options
+        self.options = {
+            "subscribe_policy": POLICY_BLOCK,
+            "subscribe_high_water": 256,
+            "block_timeout": 2.0,
+        }
+        # counters for the repro_connections view
+        self.statements = 0
+        self.rows_ingested = 0
+        self.subs: Dict[int, SubscriptionEntry] = {}
+        self._sub_counter = 0
+        # outbound push buffer: engine thread appends, writer task drains
+        self._lock = threading.Lock()
+        self._space = threading.Condition(self._lock)
+        self._out = deque()
+        self._pending_detach: List[SubscriptionEntry] = []
+        self.notify: Callable[[], None] = lambda: None  # set by server
+
+    # ------------------------------------------------------------------
+    # outbound buffer (engine thread side)
+    # ------------------------------------------------------------------
+
+    def enqueue_push(self, entry: SubscriptionEntry, frame: dict) -> None:
+        """Called on the engine thread by sinks; applies the session's
+        slow-client policy when the buffer is at its high-water mark."""
+        high_water = self.options["subscribe_high_water"]
+        policy = self.options["subscribe_policy"]
+        with self._space:
+            if len(self._out) >= high_water and policy == POLICY_BLOCK:
+                deadline = time.monotonic() + self.options["block_timeout"]
+                while len(self._out) >= high_water:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._space.wait(remaining):
+                        break
+            if len(self._out) >= high_water:
+                if policy == POLICY_RAISE:
+                    entry.broken = True
+                    entry.close_reason = (
+                        f"client too slow: {len(self._out)} frames "
+                        f"buffered (subscribe_policy = raise)")
+                    self._pending_detach.append(entry)
+                    self._wake()
+                    return
+                # shed-oldest (and block's timeout fallback): drop the
+                # oldest buffered push to make room for the new one
+                shed = self._out.popleft()
+                self._count_shed(shed)
+            self._out.append(frame)
+        self._wake()
+
+    def _count_shed(self, frame: dict) -> None:
+        victim = self.subs.get(frame.get("sub"))
+        if victim is not None:
+            victim.sheds += 1
+        supervisor = self.server.db.supervisor
+        if supervisor is not None:
+            from repro.streaming.supervisor import SLOW_CONSUMER
+            rows = frame.get("rows")
+            if rows is None:
+                rows = [frame.get("row")] if frame.get("row") else []
+            source = (victim.name if victim is not None
+                      else f"session:{self.session_id}")
+            supervisor.quarantine(
+                source, SLOW_CONSUMER,
+                f"session {self.session_id} fell behind; frame dropped",
+                rows, frame.get("open"), frame.get("close"))
+
+    def _wake(self) -> None:
+        try:
+            self.notify()
+        except RuntimeError:
+            pass  # event loop already gone (shutdown race)
+
+    # ------------------------------------------------------------------
+    # outbound buffer (event loop side)
+    # ------------------------------------------------------------------
+
+    def drain_frames(self) -> List[dict]:
+        """Take everything buffered; wakes engine threads blocked on
+        the high-water mark.  Appends shed notices and sub_closed
+        frames for anything that broke since the last drain."""
+        with self._space:
+            frames = list(self._out)
+            self._out.clear()
+            detached = list(self._pending_detach)
+            self._pending_detach.clear()
+            self._space.notify_all()
+        for entry in self.subs.values():
+            if entry.sheds and not getattr(entry, "_sheds_reported", 0) == \
+                    entry.sheds:
+                unreported = entry.sheds - getattr(entry, "_sheds_reported", 0)
+                entry._sheds_reported = entry.sheds
+                frames.append(protocol.shed_push(entry.sub_id, unreported))
+        for entry in detached:
+            frames.append(protocol.sub_closed_push(
+                entry.sub_id, entry.close_reason or "cancelled"))
+        if detached:
+            self.server.schedule_detach(self, detached)
+        return frames
+
+    # ------------------------------------------------------------------
+    # op handlers (event loop side; engine work goes through the server)
+    # ------------------------------------------------------------------
+
+    async def handle_execute(self, frame: dict) -> dict:
+        sql = frame.get("sql")
+        if not isinstance(sql, str):
+            raise ExecutionError("execute needs a 'sql' string")
+        params = frame.get("params")
+        request_id = frame.get("id")
+        self.statements += 1
+        local = self._try_session_option(sql)
+        if local is not None:
+            if local.get("_show_all"):
+                result = await self.server.on_engine(
+                    self.server.db.query, sql)
+                rows = [list(r) for r in result.rows]
+                rows.extend(list(r) for r in self.session_option_rows())
+                rows.sort()
+                return protocol.result_response(
+                    request_id, result.columns, rows, len(rows))
+            return {**local, "id": request_id}
+        sub_id = self._next_sub_id()
+        outcome = await self.server.on_engine(
+            self._execute_on_engine, sql, params, sub_id)
+        if outcome[0] == "subscription":
+            entry = outcome[1]
+            self.subs[entry.sub_id] = entry
+            return protocol.subscription_response(
+                request_id, entry.sub_id, entry.name, entry.columns,
+                entry.kind)
+        _tag, columns, rows, rowcount = outcome
+        return protocol.result_response(request_id, columns, rows, rowcount)
+
+    def _execute_on_engine(self, sql, params, sub_id):
+        """Engine thread: run the statement; adopt a CQ if one results."""
+        result = self.server.db.execute(sql, params)
+        if isinstance(result, Subscription):
+            entry = SubscriptionEntry(
+                sub_id, result.cq.name, "query", result.columns)
+            sink = SessionSink(self, entry)
+            entry.sink = sink
+            result.stream_to(sink.window_sink)
+            entry.detach = result.close  # session-owned CQ: closing stops it
+            return ("subscription", entry)
+        if isinstance(result, ResultSet):
+            return ("result", result.columns, result.rows, result.rowcount)
+        return ("result", [], [], 0)
+
+    def _try_session_option(self, sql: str) -> Optional[dict]:
+        """SET/SHOW of a *session* option is handled without touching
+        the engine; returns None when the statement is engine business."""
+        try:
+            statement = parse_statement(sql)
+        except Exception:
+            return None  # let the engine produce the real error
+        if isinstance(statement, ast.SetOption) \
+                and statement.name in SESSION_OPTIONS:
+            self._set_session_option(statement.name, statement.value)
+            return protocol.ok_response(None)
+        if isinstance(statement, ast.ShowOption):
+            if statement.name in SESSION_OPTIONS:
+                value = self.options[statement.name]
+                return protocol.result_response(
+                    None, [statement.name], [[_render_option(value)]], 1)
+            if statement.name == "all":
+                # engine's SHOW all, with the session's rows merged in
+                return {"_show_all": True}
+        return None
+
+    def _set_session_option(self, name: str, value) -> None:
+        if name == "subscribe_policy":
+            if value == "error":
+                value = POLICY_RAISE
+            if value not in SESSION_POLICIES:
+                raise ExecutionError(
+                    f"unknown subscribe_policy {value!r}; choose one of "
+                    f"{', '.join(SESSION_POLICIES)} (or 'error')")
+        elif name == "subscribe_high_water":
+            if not isinstance(value, int) or value <= 0:
+                raise ExecutionError(
+                    "subscribe_high_water must be a positive integer")
+        elif name == "block_timeout":
+            if not isinstance(value, (int, float)) or value is True \
+                    or value < 0:
+                raise ExecutionError("block_timeout takes seconds >= 0")
+            value = float(value)
+        with self._space:
+            self.options[name] = value
+            self._space.notify_all()
+
+    async def handle_subscribe(self, frame: dict) -> dict:
+        name = frame.get("name")
+        if not isinstance(name, str):
+            raise ExecutionError("subscribe needs a 'name' string")
+        since = frame.get("since")
+        if since is not None and not isinstance(since, (int, float)):
+            raise ExecutionError("'since' must be an event time (seconds)")
+        sub_id = self._next_sub_id()
+        entry = await self.server.on_engine(
+            self._subscribe_on_engine, name, since, sub_id)
+        self.subs[entry.sub_id] = entry
+        return protocol.subscription_response(
+            frame.get("id"), entry.sub_id, entry.name, entry.columns,
+            entry.kind)
+
+    def _subscribe_on_engine(self, name, since, sub_id) -> SubscriptionEntry:
+        """Engine thread: attach a sink to a stream, derived stream or
+        named CQ.  Replay (late subscriber) and live attach happen in
+        one engine job, so no tuple can slip between them."""
+        db = self.server.db
+        kind = db.catalog.relation_kind(name)
+        if kind == cat.STREAM:
+            stream = db.catalog.get_relation(name)
+            entry = SubscriptionEntry(
+                sub_id, stream.name, "stream",
+                [c.name for c in stream.schema])
+            sink = SessionSink(self, entry)
+            entry.sink = sink
+            if since is not None:
+                for when, row in stream.replay_since(since):
+                    entry.tuples_pushed += 1
+                    self.enqueue_push(entry, protocol.tuple_push(
+                        entry.sub_id, row, when, replayed=True))
+            stream.subscribe(sink)
+            entry.detach = lambda: stream.unsubscribe(sink)
+            return entry
+        if kind == cat.DERIVED_STREAM:
+            derived = db.catalog.get_relation(name)
+            entry = SubscriptionEntry(
+                sub_id, derived.name, "derived",
+                [c.name for c in derived.schema])
+            sink = SessionSink(self, entry)
+            entry.sink = sink
+            derived.subscribe(sink)
+            entry.detach = lambda: derived.unsubscribe(sink)
+            return entry
+        cq = db.runtime.cqs().get(name)
+        if cq is not None:
+            entry = SubscriptionEntry(sub_id, cq.name, "cq", cq.output_names)
+            sink = SessionSink(self, entry)
+            entry.sink = sink
+            cq.add_sink(sink.window_sink)
+            entry.detach = lambda: cq.remove_sink(sink.window_sink)
+            return entry
+        raise UnknownObjectError(
+            f"nothing named {name!r} to subscribe to (expected a stream, "
+            "derived stream, or running CQ)")
+
+    async def handle_unsubscribe(self, frame: dict) -> dict:
+        sub_id = frame.get("sub")
+        entry = self.subs.pop(sub_id, None)
+        if entry is None:
+            raise UnknownObjectError(f"no subscription {sub_id!r}")
+        entry.broken = True
+        await self.server.on_engine(entry.detach)
+        return protocol.ok_response(frame.get("id"))
+
+    async def handle_ingest(self, frame: dict) -> dict:
+        stream_name = frame.get("stream")
+        rows = frame.get("rows")
+        if not isinstance(stream_name, str) or not isinstance(rows, list):
+            raise ExecutionError(
+                "ingest needs a 'stream' name and a 'rows' list")
+        at = frame.get("at")
+        accepted = await self.server.on_engine(
+            self._ingest_on_engine, stream_name, rows, at)
+        self.rows_ingested += accepted
+        return protocol.ok_response(frame.get("id"), accepted=accepted)
+
+    def _ingest_on_engine(self, stream_name, rows, at) -> int:
+        stream = self.server.db.runtime.get_stream(stream_name)
+        return stream.insert_many([tuple(row) for row in rows], at)
+
+    async def handle_advance(self, frame: dict) -> dict:
+        event_time = frame.get("time")
+        if not isinstance(event_time, (int, float)):
+            raise StreamingError("advance needs a numeric 'time'")
+        await self.server.on_engine(
+            self.server.db.advance_streams, float(event_time))
+        return protocol.ok_response(frame.get("id"))
+
+    async def handle_flush(self, frame: dict) -> dict:
+        await self.server.on_engine(self.server.db.flush_streams)
+        return protocol.ok_response(frame.get("id"))
+
+    # ------------------------------------------------------------------
+    # teardown
+    # ------------------------------------------------------------------
+
+    def detach_all_on_engine(self) -> None:
+        """Engine thread: drop every subscription this session holds."""
+        for entry in self.subs.values():
+            entry.broken = True
+            if entry.detach is not None:
+                try:
+                    entry.detach()
+                except Exception:
+                    pass  # already-dropped source etc.; must not block exit
+        self.subs.clear()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    def _next_sub_id(self) -> int:
+        self._sub_counter += 1
+        return self._sub_counter
+
+    def connection_row(self) -> tuple:
+        windows = sum(e.windows_pushed for e in self.subs.values())
+        tuples_out = sum(e.tuples_pushed for e in self.subs.values())
+        sheds = sum(e.sheds for e in self.subs.values())
+        return (
+            self.session_id, self.peer, self.state, self.statements,
+            self.rows_ingested, len(self.subs), windows, tuples_out,
+            sheds, round(time.monotonic() - self.started_monotonic, 3),
+        )
+
+    def session_option_rows(self) -> List[tuple]:
+        """Rows merged into a remote ``SHOW all``."""
+        return [(name, _render_option(self.options[name]))
+                for name in SESSION_OPTIONS]
+
+
+def _render_option(value) -> str:
+    if value is True:
+        return "on"
+    if value is False or value is None:
+        return "off"
+    return str(value)

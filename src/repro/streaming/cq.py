@@ -258,6 +258,11 @@ class ContinuousQuery(StreamConsumer):
         """``sink(rows, open_time, close_time)`` called per window."""
         self._sinks.append(sink)
 
+    def remove_sink(self, sink) -> None:
+        """Detach one sink (no-op when it was never added)."""
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
     def _build_plan(self):
         holder = self
 

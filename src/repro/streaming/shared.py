@@ -386,6 +386,10 @@ class SharedContinuousQuery:
     def add_sink(self, sink) -> None:
         self._sinks.append(sink)
 
+    def remove_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
     def _on_aggregated(self, rows, open_time: float, close_time: float) -> None:
         self._holder = rows
         ctx = {"cq_close": close_time, "cq_open": open_time}

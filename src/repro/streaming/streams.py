@@ -237,12 +237,30 @@ class BaseStream:
             self._deliver(row, event_time)
 
     def insert_many(self, rows, at: Optional[float] = None) -> int:
-        """Ingest a batch; returns how many were accepted."""
-        accepted = 0
+        """Ingest a batch; returns how many rows were actually accepted.
+
+        Under the shed-oldest backpressure policy a row can be stored and
+        then displaced by a later row of the same batch (or displace an
+        older buffered tuple).  The return value is net acceptance: rows
+        stored minus tuples the batch forced out of the reorder buffer,
+        so a caller can tell shed from stored.
+        """
+        stored = 0
+        submitted = 0
+        shed_before = self.tuples_shed
+        dropped_before = self.tuples_dropped
         for row in rows:
+            submitted += 1
             if self.insert(row, at):
-                accepted += 1
-        return accepted
+                stored += 1
+        rejected = submitted - stored
+        dropped_late = self.tuples_dropped - dropped_before
+        shed_total = self.tuples_shed - shed_before
+        # sheds of incoming rows already show up as insert() == False;
+        # only subtract the *buffered* tuples this batch displaced
+        shed_incoming = rejected - dropped_late
+        shed_buffered = shed_total - shed_incoming
+        return max(stored - shed_buffered, 0)
 
     def advance_to(self, event_time: float) -> None:
         """Heartbeat: assert no tuple before ``event_time`` will arrive.

@@ -67,6 +67,7 @@ SUBSCRIBER_ERROR = "subscriber-error"
 CHANNEL_WRITE = "channel-write"
 LOAD_SHED = "load-shed"
 RESTART_LOSS = "restart-loss"
+SLOW_CONSUMER = "slow-consumer"   # a network subscriber fell behind
 
 #: catalog name of the stream dead letters are republished on
 DEAD_LETTER_STREAM = "repro_dead_letter_stream"

@@ -101,3 +101,101 @@ class TestShell:
     def test_statement_without_trailing_semicolon_runs_at_eof(self):
         output, _shell = run_script(["SELECT 40 + 2"])
         assert "42" in output
+
+
+class TestOneShot:
+    """The -c/--execute flag: run statements, exit nonzero on error."""
+
+    def test_success_exit_code(self, capsys):
+        from repro.cli import main
+        code = main(["-c", "SELECT 40 + 2"])
+        assert code == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_error_exit_code(self, capsys):
+        from repro.cli import main
+        code = main(["-c", "SELECT * FROM missing"])
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_semicolon_separated_statements(self, capsys):
+        from repro.cli import main
+        code = main(["-c", "CREATE TABLE t (a integer); "
+                           "INSERT INTO t VALUES (1), (2); "
+                           "SELECT sum(a) FROM t"])
+        assert code == 0
+        assert "3" in capsys.readouterr().out
+
+    def test_repeated_flags_share_one_session(self, capsys):
+        from repro.cli import main
+        code = main(["-c", "CREATE TABLE t (a integer)",
+                     "-c", "SELECT count(*) FROM t"])
+        assert code == 0
+        assert "0" in capsys.readouterr().out
+
+    def test_error_mid_script_still_nonzero(self, capsys):
+        from repro.cli import main
+        code = main(["-c", "SELECT 1; SELECT * FROM missing; SELECT 2"])
+        assert code == 1
+
+    def test_backslash_commands_allowed(self, capsys):
+        from repro.cli import main
+        code = main(["-c",
+                     "CREATE STREAM s (v integer, ts timestamp CQTIME USER);"
+                     "SELECT count(*) c FROM s <VISIBLE '1 minute'>;"
+                     "INSERT INTO s VALUES (7, 5.0);"
+                     "\\advance 60"])
+        assert code == 0
+        assert "window [0, 60)" in capsys.readouterr().out
+
+
+class TestRemoteShell:
+    """The --connect flag: same shell over a live server."""
+
+    @pytest.fixture
+    def server(self):
+        from repro.server import ServerThread
+        with ServerThread() as st:
+            yield st
+
+    def test_one_shot_against_server(self, server, capsys):
+        from repro.cli import main
+        code = main(["--connect", f"{server.host}:{server.port}",
+                     "-c", "CREATE TABLE t (a integer); "
+                           "INSERT INTO t VALUES (41); "
+                           "SELECT a + 1 FROM t"])
+        assert code == 0
+        assert "42" in capsys.readouterr().out
+
+    def test_one_shot_error_against_server(self, server, capsys):
+        from repro.cli import main
+        code = main(["--connect", f"{server.host}:{server.port}",
+                     "-c", "SELECT * FROM missing"])
+        assert code == 1
+        assert "ERROR" in capsys.readouterr().out
+
+    def test_remote_cq_and_poll(self, server, capsys):
+        from repro.cli import main
+        code = main(["--connect", f"{server.host}:{server.port}",
+                     "-c",
+                     "CREATE STREAM s (v integer, ts timestamp CQTIME USER);"
+                     "SELECT count(*) c FROM s <VISIBLE '1 minute'>;"
+                     "INSERT INTO s VALUES (7, 5.0);"
+                     "\\advance 60"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "continuous query running as 'sub1'" in out
+        assert "window [0, 60)" in out
+
+    def test_remote_describe(self, server, capsys):
+        from repro.cli import main
+        code = main(["--connect", f"{server.host}:{server.port}",
+                     "-c", "CREATE TABLE t (a integer); \\d"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "t " in out and "table" in out
+
+    def test_bad_connect_spec(self):
+        from repro.cli import main
+        with pytest.raises(SystemExit):
+            main(["--connect", "nonsense", "-c", "SELECT 1"])

@@ -125,6 +125,46 @@ class TestBaseStream:
             [("/a", 1.0), ("/b", 5.0), ("/late", 2.0)])
         assert accepted == 2
 
+    def test_insert_many_net_of_shed_incoming(self):
+        # shed-oldest with a deep reorder buffer: incoming tuples past
+        # the mark are shed and must not count as accepted
+        stream = BaseStream("s", click_schema(), slack=1000.0,
+                            backpressure_policy="shed-oldest",
+                            high_water_mark=3)
+        accepted = stream.insert_many(
+            [(f"/p{i}", float(i)) for i in range(8)])
+        assert accepted == 3
+        assert stream.tuples_shed == 5
+
+    def test_insert_many_net_of_displaced_buffered(self):
+        # rows accepted by an earlier batch get displaced by a later
+        # one; the later batch's count must subtract them, not only
+        # its own rejections
+        stream = BaseStream("s", click_schema(), slack=1000.0,
+                            backpressure_policy="shed-oldest",
+                            high_water_mark=4)
+        first = stream.insert_many([(f"/a{i}", float(i)) for i in range(4)])
+        assert first == 4
+        second = stream.insert_many(
+            [(f"/b{i}", float(10 + i)) for i in range(4)])
+        # four new rows in, four old rows shed out: net zero gain but
+        # the batch itself landed all four of its rows minus the four
+        # buffered casualties
+        assert second == 0
+        assert stream.tuples_shed == 4
+
+    def test_insert_many_counts_late_drops_once(self):
+        # a dropped-late row must not be double-counted against the
+        # shed ledger
+        stream = BaseStream("s", click_schema(), disorder_policy="drop",
+                            backpressure_policy="shed-oldest",
+                            high_water_mark=100)
+        stream.insert(("/head", 50.0))
+        accepted = stream.insert_many([("/late", 1.0), ("/ok", 60.0)])
+        assert accepted == 1
+        assert stream.tuples_dropped == 1
+        assert stream.tuples_shed == 0
+
 
 class TestRetention:
     def test_replay_since(self):
@@ -149,6 +189,41 @@ class TestRetention:
     def test_replay_horizon_empty(self):
         stream = BaseStream("s", click_schema(), retention=10.0)
         assert stream.replay_horizon() == float("inf")
+
+    def test_mid_stream_subscriber_catches_up(self):
+        """A consumer arriving mid-stream replays the retained tail,
+        then sees live tuples exactly once — no gap, no overlap."""
+        stream = BaseStream("s", click_schema(), retention=100.0)
+        for t in (1.0, 2.0, 3.0):
+            stream.insert((f"/p{t}", t))
+        sink = Recorder()
+        # the late-subscriber protocol: replay, then attach
+        replayed = [(when, row)
+                    for when, row in stream.replay_since(2.0)]
+        stream.subscribe(sink)
+        stream.insert(("/live", 4.0))
+        assert [when for when, _ in replayed] == [2.0, 3.0]
+        assert sink.tuples == [(4.0, ("/live", 4.0))]
+        seen = [when for when, _ in replayed] + \
+            [when for when, _ in sink.tuples]
+        assert seen == sorted(set(seen))   # once each, in order
+
+    def test_replay_horizon_tracks_trim(self):
+        stream = BaseStream("s", click_schema(), retention=10.0)
+        stream.insert(("/a", 0.0))
+        assert stream.replay_horizon() <= 0.0
+        stream.insert(("/b", 50.0))
+        horizon = stream.replay_horizon()
+        assert horizon >= 40.0
+        # asking for earlier than the horizon yields only what is kept
+        assert [when for when, _ in stream.replay_since(0.0)] == [50.0]
+
+    def test_replay_since_boundary_inclusive(self):
+        stream = BaseStream("s", click_schema(), retention=100.0)
+        stream.insert(("/a", 5.0))
+        stream.insert(("/b", 6.0))
+        assert [when for when, _ in stream.replay_since(5.0)] == [5.0, 6.0]
+        assert [when for when, _ in stream.replay_since(5.5)] == [6.0]
 
 
 class BatchRecorder:
