@@ -2,7 +2,8 @@
 
 PYTHON ?= python
 
-.PHONY: install test bench chaos examples shell server smoke coverage clean
+.PHONY: install test bench chaos examples shell server smoke \
+	failover-smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -14,9 +15,11 @@ bench:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only -s
 
 # the chaos suite replays a fixed fault schedule (seed 2009); see
-# docs/FAULTS.md
+# docs/FAULTS.md.  The replication/restart files exercise the
+# replication.ship, replication.apply and server.boot_recovery
+# crashpoints.
 chaos:
-	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py -q
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -33,6 +36,11 @@ server:
 # end-to-end check of the network layer: real subprocess, real socket
 smoke:
 	$(PYTHON) scripts/server_smoke.py
+
+# high availability end to end: SIGKILL the primary mid-window, the
+# standby auto-promotes, a subscribed client fails over gap-free
+failover-smoke:
+	$(PYTHON) scripts/failover_smoke.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

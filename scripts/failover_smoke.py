@@ -1,0 +1,157 @@
+#!/usr/bin/env python
+"""CI smoke test for high availability: SIGKILL the primary mid-window.
+
+Boots a primary and a warm standby as real subprocesses on a shared
+loopback, subscribes a client with ``failover_targets`` pointing at the
+standby, ingests two full windows, then SIGKILLs the primary while the
+third window is in flight.  The standby must auto-promote after missed
+heartbeats, the client must fail over and resume its subscription, and
+the delivered window sequence must be gap-free and duplicate-free —
+identical closes to an uninterrupted run.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/failover_smoke.py
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print(f"FAILOVER SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def boot(args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    banner = proc.stdout.readline()
+    match = re.search(r"listening on ([\d.]+):(\d+)", banner)
+    if not match:
+        proc.kill()
+        fail(f"no banner, got {banner!r}")
+    return proc, match.group(1), int(match.group(2))
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-failover-")
+    prim = stby = None
+    try:
+        prim, host, pport = boot(
+            ["--data-dir", os.path.join(workdir, "primary"),
+             "--retention", "600"])
+        print(f"primary up at {host}:{pport}")
+
+        import repro.client as client
+        pconn = client.connect(host, pport)
+        pconn.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+        pconn.execute("CREATE STREAM totals AS SELECT count(*) c, "
+                      "cq_close(*) FROM s "
+                      "<VISIBLE '10 seconds' ADVANCE '10 seconds'>")
+        pconn.execute("CREATE TABLE archive (c bigint, ts timestamp)")
+        pconn.execute("CREATE CHANNEL arch FROM totals INTO archive APPEND")
+
+        stby, _shost, sport = boot(
+            ["--data-dir", os.path.join(workdir, "standby"),
+             "--standby-of", f"{host}:{pport}",
+             "--heartbeat-interval", "0.2", "--miss-limit", "3",
+             "--retention", "600"])
+        print(f"standby up at {host}:{sport}")
+
+        watcher = client.connect(host, pport,
+                                 failover_targets=[(host, sport)],
+                                 reconnect_max_backoff=0.5)
+        sub = watcher.subscribe("totals")
+
+        # two full windows, then tuples of the in-flight third window
+        pconn.ingest("s", [(i, float(i)) for i in range(1, 10)])
+        pconn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)])
+        pconn.ingest("s", [(0, 21.0)])    # closes (10,20]; 21.0 in flight
+
+        got = list(sub.wait_windows(2, timeout=15.0))
+        print(f"pre-crash windows: {[(w.close_time, w.rows) for w in got]}")
+
+        # wait for the standby to be fully caught up
+        sconn = client.connect(host, sport)
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            rows = sconn.query(
+                "SELECT lag FROM repro_replication_status").rows
+            if rows and rows[0][0] == 0:
+                break
+            time.sleep(0.2)
+        else:
+            fail(f"standby never caught up: {rows}")
+        print("standby lag: 0")
+
+        # kill -9 the primary mid-window
+        prim.send_signal(signal.SIGKILL)
+        prim.wait(timeout=10)
+        print("primary SIGKILLed")
+
+        # the standby promotes itself after missed heartbeats
+        deadline = time.monotonic() + 30.0
+        role = None
+        while time.monotonic() < deadline:
+            try:
+                role = sconn.query(
+                    "SELECT role FROM repro_replication_status").scalar()
+            except Exception:
+                role = None
+            if role == "primary":
+                break
+            time.sleep(0.3)
+        if role != "primary":
+            fail(f"standby never promoted (role={role!r})")
+        print("standby promoted")
+
+        # continue the stream on the new primary
+        nconn = client.connect(host, sport)
+        nconn.ingest("s", [(i, 20.0 + i) for i in range(2, 8)])
+        nconn.ingest("s", [(0, 31.0)])    # closes (20,30]
+
+        deadline = time.monotonic() + 30.0
+        while len(got) < 3 and time.monotonic() < deadline:
+            got.extend(sub.poll(timeout=0.5))
+        if len(got) < 3:
+            fail(f"missing post-failover window: "
+                 f"{[(w.close_time, w.rows) for w in got]}")
+        if watcher.failovers < 1:
+            fail("client never failed over")
+
+        closes = [w.close_time for w in got]
+        if closes != sorted(set(closes)):
+            fail(f"duplicate or out-of-order windows: {closes}")
+        if closes[:3] != [10.0, 20.0, 30.0]:
+            fail(f"gap in window sequence: {closes}")
+        # (20,30] = 0@21 (shipped pre-crash, rebuilt from the active
+        # table at promotion) + 2..7@22..27 (post-failover) = 7 tuples
+        third = got[2]
+        if third.rows != [(7, 30.0)]:
+            fail(f"wrong post-failover window: {third.rows}")
+        print(f"all windows: {[(w.close_time, w.rows) for w in got]}")
+        print(f"client failovers: {watcher.failovers}")
+
+        watcher.close()
+        sconn.close()
+        nconn.close()
+        pconn.close()
+        print("FAILOVER SMOKE OK")
+    finally:
+        for proc in (prim, stby):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -17,8 +17,12 @@ commands:
     \\flush          flush all streams (drain pending windows)
     \\supervisor     supervision status of every CQ/stream/channel
     \\deadletters [N] last N quarantined tuples/windows (default 20)
+    \\replication    replication role, shipped/applied LSNs, lag
     \\timing         toggle wall/sim timing output
     \\q              quit
+
+``repro --standby-of HOST:PORT`` starts a warm standby server of that
+primary instead of a shell (see docs/REPLICATION.md).
 
 ``SET supervision = on`` enables the supervised runtime;
 ``SET fault_seed = N`` installs a fault injector (see docs/FAULTS.md).
@@ -44,6 +48,7 @@ class Shell:
 
     def __init__(self, db: Database = None, out=None):
         self.db = db if db is not None else Database()
+        self.conn = None
         self.out = out if out is not None else sys.stdout
         self.subscriptions = {}
         self._sub_counter = 0
@@ -92,6 +97,8 @@ class Shell:
             self._supervisor()
         elif command == "\\deadletters":
             self._dead_letters(int(args[0]) if args else 20)
+        elif command == "\\replication":
+            self._replication()
         elif command == "\\timing":
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
@@ -141,6 +148,12 @@ class Shell:
             self.write(result.pretty())
         else:
             self.write("(nothing supervised yet)")
+
+    def _replication(self) -> None:
+        result = (self.db or self.conn).query(
+            "SELECT role, peer, state, shipped_lsn, applied_lsn, lag, "
+            "last_error FROM repro_replication_status")
+        self.write(result.pretty())
 
     def _dead_letters(self, limit: int) -> None:
         if self.db.supervisor is None:
@@ -248,6 +261,8 @@ class RemoteShell(Shell):
             self._poll(None)
         elif command == "\\d":
             self._describe()
+        elif command == "\\replication":
+            self._replication()
         elif command in ("\\h", "\\help", "\\?"):
             self.write(__doc__.strip())
         else:
@@ -343,7 +358,21 @@ def main(argv=None) -> int:
     parser.add_argument("--connect", metavar="HOST:PORT",
                         help="drive a repro-server instead of an "
                              "embedded database")
+    parser.add_argument("--standby-of", metavar="HOST:PORT",
+                        help="start a warm standby server of that "
+                             "primary instead of a shell")
+    parser.add_argument("--port", type=int, default=5434,
+                        help="listen port for --standby-of")
+    parser.add_argument("--data-dir", default=None,
+                        help="WAL directory for --standby-of")
     args = parser.parse_args(argv)
+    if args.standby_of:
+        from repro.server.server import main as server_main
+        server_argv = ["--port", str(args.port),
+                       "--standby-of", args.standby_of]
+        if args.data_dir:
+            server_argv += ["--data-dir", args.data_dir]
+        return server_main(server_argv)
     shell = _build_shell(args)
     try:
         if args.execute:

@@ -1,4 +1,4 @@
-"""A synchronous TruSQL client.
+"""A synchronous TruSQL client with automatic failover.
 
 The blocking counterpart of :mod:`repro.server`: one TCP connection,
 the length-prefixed JSON frame protocol, and an API that mirrors the
@@ -9,7 +9,7 @@ embedded and client/server mode with minimal edits::
 
     with repro.client.connect("127.0.0.1", 5433) as conn:
         conn.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
-        sub = conn.execute("SELECT count(*) c FROM s <VISIBLE '1 minute'>")
+        sub = conn.subscribe("totals")
         conn.ingest("s", [(7, 5.0)])
         conn.advance(60.0)
         for window in sub.poll(timeout=2.0):
@@ -18,25 +18,68 @@ embedded and client/server mode with minimal edits::
 Window/tuple pushes arrive whenever the socket is read; the connection
 routes them to their :class:`RemoteSubscription` while it waits for
 request responses, so a second subscription never blocks the first.
+
+**Failover.** Give the connection ``failover_targets`` (or ``SET
+failover_targets = 'host:port,...'``) and a dropped socket triggers
+reconnection — to the original server first, then each target in turn,
+with exponential backoff capped at ``reconnect_max_backoff`` — until a
+server answering ``role: primary`` is found (a standby mid-promotion is
+retried, not accepted).  Named subscriptions made with
+:meth:`Connection.subscribe` are *resumable*: each tracks the last
+window close (or tuple time) it delivered, and re-subscribes with
+``since=`` so the promoted primary replays exactly the missed windows —
+no gap, and a close-time guard drops any overlap, so no duplicate.
+Ad-hoc CQ subscriptions (from ``execute``) cannot be resumed and are
+closed with reason ``failover``.
 """
 
 from __future__ import annotations
 
+import random
 import socket
 import time
 from collections import deque
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from repro.core.results import ResultSet, WindowResult
-from repro.errors import ProtocolError, RemoteError
+from repro.errors import ConnectionTimeoutError, ProtocolError, RemoteError
 from repro.server.protocol import FrameDecoder, encode_frame
+
+#: SET/SHOW options the client handles locally, never sent to a server
+CLIENT_OPTIONS = ("failover_targets", "reconnect_max_backoff")
 
 
 def connect(host: str = "127.0.0.1", port: int = 5433,
-            timeout: float = 10.0) -> "Connection":
+            timeout: float = 10.0,
+            connect_timeout: Optional[float] = None,
+            failover_targets=None,
+            reconnect_max_backoff: float = 5.0) -> "Connection":
     """Open a client connection and perform the hello handshake."""
-    return Connection(host, port, timeout)
+    return Connection(host, port, timeout,
+                      connect_timeout=connect_timeout,
+                      failover_targets=failover_targets,
+                      reconnect_max_backoff=reconnect_max_backoff)
+
+
+def _parse_targets(value) -> List[Tuple[str, int]]:
+    """Accept ``[(host, port), ...]``, ``["host:port", ...]``, or a
+    comma-separated string."""
+    if value is None:
+        return []
+    if isinstance(value, str):
+        value = [part.strip() for part in value.split(",") if part.strip()]
+    out = []
+    for item in value:
+        if isinstance(item, (tuple, list)) and len(item) == 2:
+            out.append((str(item[0]), int(item[1])))
+            continue
+        host, _, port = str(item).rpartition(":")
+        if not host or not port.isdigit():
+            raise ProtocolError(
+                f"failover target must be HOST:PORT, got {item!r}")
+        out.append((host, int(port)))
+    return out
 
 
 @dataclass
@@ -58,30 +101,54 @@ class RemoteSubscription:
     """
 
     def __init__(self, connection: "Connection", sub_id: int, name: str,
-                 columns, kind: str):
+                 columns, kind: str, since: Optional[float] = None):
         self._connection = connection
         self.sub = sub_id
         self.name = name
         self.columns = list(columns)
-        self.kind = kind
+        self.kind = kind              # 'stream' | 'derived' | 'cq' | 'query'
         self.closed = False
         self.close_reason: Optional[str] = None
         self.sheds = 0
+        #: the user's original ``since=`` (inclusive) — resume fallback
+        #: when nothing has been delivered yet.
+        self._since = since
+        #: resume cursor: last delivered window close / tuple time.
+        #: Survives failover — the re-subscribe sends it as ``since=``
+        #: and anything at or before it is dropped as a duplicate.
+        self.last_close: Optional[float] = None
+        self.last_time: Optional[float] = None
         self._windows = deque()
         self._tuples = deque()
+
+    @property
+    def resumable(self) -> bool:
+        """Named subscriptions resume across failover; ad-hoc CQs from
+        ``execute`` don't (their CQ died with the old server)."""
+        return self.kind in ("stream", "derived", "cq")
 
     # -- push routing (called by the connection) ---------------------------
 
     def _on_push(self, frame: dict) -> None:
         kind = frame.get("push")
         if kind == "window":
+            close = frame["close"]
+            if self.last_close is not None \
+                    and close <= self.last_close + 1e-9:
+                return  # duplicate from a resume overlap
+            self.last_close = close
             self._windows.append(WindowResult(
                 [tuple(row) for row in frame["rows"]],
-                frame["open"], frame["close"]))
+                frame["open"], close))
         elif kind == "tuple":
+            when = frame["time"]
+            if frame.get("replayed") and self.last_time is not None \
+                    and when <= self.last_time:
+                return  # already delivered before the failover
+            if self.last_time is None or when > self.last_time:
+                self.last_time = when
             self._tuples.append(ReplayedTuple(
-                frame["time"], tuple(frame["row"]),
-                bool(frame.get("replayed"))))
+                when, tuple(frame["row"]), bool(frame.get("replayed"))))
         elif kind == "shed":
             self.sheds += frame.get("count", 0)
         elif kind == "sub_closed":
@@ -135,20 +202,126 @@ class RemoteSubscription:
 class Connection:
     """One synchronous client connection to a TruSQL server."""
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
+    def __init__(self, host: str, port: int, timeout: float = 10.0,
+                 connect_timeout: Optional[float] = None,
+                 failover_targets=None,
+                 reconnect_max_backoff: float = 5.0):
         self.timeout = timeout
-        self._sock = socket.create_connection((host, port), timeout=timeout)
-        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        self.connect_timeout = connect_timeout
+        self.failover_targets = _parse_targets(failover_targets)
+        self.reconnect_max_backoff = float(reconnect_max_backoff)
+        self.failovers = 0
+        self.role: Optional[str] = None
+        self._address = (host, port)
+        self._rng = random.Random()
+        self._sock: Optional[socket.socket] = None
         self._decoder = FrameDecoder()
         self._request_counter = 0
         self._responses = {}
         self._subs = {}
         self._orphans = {}   # pushes for a sub id not registered yet
-        self.closed = False
+        self.closed = True
         self.server_goodbye: Optional[str] = None
-        hello = self._request("hello", client="repro.client")
+        self._connect_to(host, port)
+
+    # ------------------------------------------------------------------
+    # connection establishment / failover
+    # ------------------------------------------------------------------
+
+    def _connect_to(self, host: str, port: int) -> None:
+        """Dial and handshake; on *any* failure the socket is closed
+        before the error propagates (no descriptor leak)."""
+        deadline = (self.connect_timeout if self.connect_timeout is not None
+                    else self.timeout)
+        try:
+            sock = socket.create_connection((host, port), timeout=deadline)
+        except socket.timeout:
+            raise ConnectionTimeoutError(
+                f"connect to {host}:{port} timed out after {deadline}s",
+                host=host, port=port) from None
+        try:
+            sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            self._sock = sock
+            self._decoder = FrameDecoder()
+            self._responses = {}
+            self.server_goodbye = None
+            self.closed = False
+            self._address = (host, port)
+            hello = self._request("hello", client="repro.client")
+        except BaseException:
+            self.closed = True
+            self._sock = None
+            try:
+                sock.close()
+            except OSError:
+                pass
+            raise
         self.session_id = hello.get("session")
         self.protocol_version = hello.get("protocol")
+        self.role = hello.get("role", "primary")
+
+    def _failover(self) -> None:
+        """Reconnect to the first target answering as a *primary*, then
+        resume every named subscription from its cursor."""
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
+        self.closed = True
+        candidates = [self._address] + [
+            t for t in self.failover_targets if t != self._address]
+        overall = time.monotonic() + max(self.timeout, 10.0)
+        backoff = 0.1
+        last_error: Optional[Exception] = None
+        while time.monotonic() < overall:
+            for host, port in candidates:
+                try:
+                    self._connect_to(host, port)
+                except (ConnectionError, ConnectionTimeoutError,
+                        ProtocolError, OSError) as exc:
+                    last_error = exc
+                    continue
+                if self.role != "primary":
+                    # a standby mid-promotion: close, give it time
+                    last_error = ProtocolError(
+                        f"{host}:{port} is a {self.role}, not a primary")
+                    self.close()
+                    self.closed = True
+                    continue
+                self.failovers += 1
+                self._resume_subscriptions()
+                return
+            time.sleep(backoff * (1.0 + self._rng.random() * 0.25))
+            backoff = min(backoff * 2, self.reconnect_max_backoff)
+        raise ConnectionError(
+            f"failover exhausted: no primary among "
+            f"{['%s:%s' % c for c in candidates]} ({last_error})")
+
+    def _resume_subscriptions(self) -> None:
+        """Re-attach surviving subscriptions on the new primary."""
+        old_subs = list(self._subs.values())
+        self._subs = {}
+        self._orphans = {}
+        for sub in old_subs:
+            if sub.closed:
+                continue
+            if not sub.resumable:
+                sub.closed = True
+                sub.close_reason = "failover"
+                continue
+            cursor = (sub.last_time if sub.kind == "stream"
+                      else sub.last_close)
+            since = cursor if cursor is not None else sub._since
+            fields = {"name": sub.name}
+            if since is not None:
+                fields["since"] = since
+            response = self._request("subscribe", **fields)
+            sub.sub = response["subscription"]["sub"]
+            self._subs[sub.sub] = sub
+            for frame in self._orphans.pop(sub.sub, []):
+                sub._on_push(frame)
 
     # ------------------------------------------------------------------
     # Database-shaped API
@@ -162,11 +335,44 @@ class Connection:
         query.  Engine errors raise :class:`RemoteError` carrying the
         server-side exception type name.
         """
+        local = self._try_client_option(sql)
+        if local is not None:
+            return local
         fields = {"sql": sql}
         if params is not None:
             fields["params"] = list(params)
         response = self._request("execute", **fields)
         return self._materialize(response)
+
+    def _try_client_option(self, sql: str) -> Optional[ResultSet]:
+        """SET/SHOW of a *client* option (failover_targets,
+        reconnect_max_backoff) never touches the server."""
+        try:
+            from repro.sql import ast, parse_statement
+            statement = parse_statement(sql)
+        except Exception:
+            return None
+        if isinstance(statement, ast.SetOption) \
+                and statement.name in CLIENT_OPTIONS:
+            if statement.name == "failover_targets":
+                self.failover_targets = _parse_targets(statement.value)
+            else:
+                value = statement.value
+                if not isinstance(value, (int, float)) \
+                        or value is True or value <= 0:
+                    raise ProtocolError(
+                        "reconnect_max_backoff takes seconds > 0")
+                self.reconnect_max_backoff = float(value)
+            return ResultSet([], [], None)
+        if isinstance(statement, ast.ShowOption) \
+                and statement.name in CLIENT_OPTIONS:
+            if statement.name == "failover_targets":
+                rendered = ",".join(
+                    f"{h}:{p}" for h, p in self.failover_targets) or "off"
+            else:
+                rendered = str(self.reconnect_max_backoff)
+            return ResultSet([statement.name], [(rendered,)], 1)
+        return None
 
     def query(self, sql: str, params=None) -> ResultSet:
         result = self.execute(sql, params)
@@ -180,15 +386,17 @@ class Connection:
                   since: Optional[float] = None) -> RemoteSubscription:
         """Attach to a named stream, derived stream or running CQ.
 
-        ``since`` asks for a replay of the stream's retained tail from
-        that event time before live delivery begins (late-subscriber
-        catch-up; the stream needs ``retention`` configured).
+        ``since`` asks for a replay of what the source retained from
+        that event time on before live delivery begins (late-subscriber
+        catch-up).  The returned subscription is resumable: it survives
+        a server failover by re-subscribing from its last delivered
+        position.
         """
         fields = {"name": name}
         if since is not None:
             fields["since"] = since
         response = self._request("subscribe", **fields)
-        return self._materialize(response)
+        return self._materialize(response, since=since)
 
     def ingest(self, stream: str, rows,
                at: Optional[float] = None) -> int:
@@ -212,6 +420,14 @@ class Connection:
         self._request("ping")
         return True
 
+    def promote(self, reason: str = "") -> dict:
+        """Ask a standby server to promote itself to primary."""
+        response = self._request("promote", reason=reason)
+        return response.get("promotion", {})
+
+    def replication_status(self) -> ResultSet:
+        return self.query("SELECT * FROM repro_replication_status")
+
     def shutdown_server(self) -> None:
         """Ask the server to shut down gracefully."""
         self._request("shutdown")
@@ -220,14 +436,16 @@ class Connection:
         if self.closed:
             return
         try:
-            self._request("goodbye")
+            self._request("goodbye", _no_failover=True)
         except (ConnectionError, ProtocolError, OSError):
             pass
         self.closed = True
-        try:
-            self._sock.close()
-        except OSError:
-            pass
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:
+                pass
+            self._sock = None
 
     def __enter__(self) -> "Connection":
         return self
@@ -240,9 +458,19 @@ class Connection:
     # wire mechanics
     # ------------------------------------------------------------------
 
-    def _request(self, op: str, **fields) -> dict:
+    def _request(self, op: str, _no_failover: bool = False,
+                 **fields) -> dict:
         if self.closed:
             raise ProtocolError("connection is closed")
+        try:
+            return self._request_once(op, fields)
+        except (ConnectionError, OSError):
+            if _no_failover or op == "hello" or not self.failover_targets:
+                raise
+            self._failover()
+            return self._request_once(op, fields)
+
+    def _request_once(self, op: str, fields: dict) -> dict:
         self._request_counter += 1
         request_id = self._request_counter
         frame = {"id": request_id, "op": op}
@@ -250,6 +478,11 @@ class Connection:
         self._sock.sendall(encode_frame(frame))
         deadline = time.monotonic() + self.timeout
         while request_id not in self._responses:
+            if self.closed:
+                detail = (f" (server said goodbye: {self.server_goodbye})"
+                          if self.server_goodbye else "")
+                raise ConnectionError(
+                    f"connection lost awaiting {op!r} response{detail}")
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 raise ProtocolError(
@@ -262,12 +495,13 @@ class Connection:
                               error.get("type", "TruvisoError"))
         return response
 
-    def _materialize(self, response: dict):
+    def _materialize(self, response: dict, since: Optional[float] = None):
         subscription = response.get("subscription")
         if subscription is not None:
             sub = RemoteSubscription(
                 self, subscription["sub"], subscription["name"],
-                subscription["columns"], subscription["kind"])
+                subscription["columns"], subscription["kind"],
+                since=since)
             self._subs[sub.sub] = sub
             for frame in self._orphans.pop(sub.sub, []):
                 sub._on_push(frame)
@@ -317,16 +551,23 @@ class Connection:
 
     def _pump_until(self, ready, timeout: float) -> None:
         """Read pushes until ``ready()`` or the timeout lapses.  A zero
-        timeout still drains whatever already sits in the socket."""
+        timeout still drains whatever already sits in the socket.  A
+        dead socket triggers failover (when targets are configured) so
+        a subscriber blocked in ``poll`` rides through a primary crash.
+        """
         deadline = time.monotonic() + timeout
         while True:
             if ready():
                 # drain anything else already buffered, without blocking
-                while not self.closed and self._read_some(0.001):
-                    pass
+                try:
+                    while not self.closed and self._read_some(0.001):
+                        pass
+                except ConnectionError:
+                    self._maybe_failover()
                 return
             if self.closed:
-                return
+                if not self._maybe_failover():
+                    return
             remaining = deadline - time.monotonic()
             if remaining <= 0:
                 if timeout > 0:
@@ -336,6 +577,18 @@ class Connection:
                 got = self._read_some(min(remaining, 0.25)
                                       if timeout > 0 else remaining)
             except ConnectionError:
-                return
+                if not self._maybe_failover():
+                    return
+                got = False
             if timeout <= 0 and not got:
                 return
+
+    def _maybe_failover(self) -> bool:
+        """Failover from inside the pump; False when not possible."""
+        if not self.failover_targets or self.server_goodbye is not None:
+            return False
+        try:
+            self._failover()
+            return True
+        except (ConnectionError, ProtocolError, OSError):
+            return False

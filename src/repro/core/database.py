@@ -59,9 +59,12 @@ class Database:
                  supervised: bool = False,
                  fault_injector=None,
                  backpressure_policy: Optional[str] = None,
-                 high_water_mark: Optional[int] = None):
+                 high_water_mark: Optional[int] = None,
+                 wal_path: Optional[str] = None,
+                 replication_logging: bool = True):
         self.faults = fault_injector
-        self.storage = StorageManager(buffer_pages, faults=fault_injector)
+        self.storage = StorageManager(buffer_pages, faults=fault_injector,
+                                      wal_path=wal_path)
         self.txn_manager = TransactionManager(self.storage.wal)
         self.catalog = Catalog()
         self.runtime = StreamingRuntime(
@@ -80,12 +83,105 @@ class Database:
             self.enable_supervision()
         self._session_txn = None
         self._current_params = None
+        # True while boot recovery / standby apply replays logged DDL:
+        # suppresses re-logging so the log stays duplicate-free
+        self._recovering = False
         # set by the network server (repro.server): a zero-argument
         # callable returning one row per live client connection, exposed
         # through the repro_connections system view
         self.connection_registry = None
+        # set by the replication layer: a zero-argument callable
+        # returning rows for the repro_replication_status system view
+        self.replication_registry = None
         from repro.core.system_views import install_system_views
         install_system_views(self)
+        if wal_path is not None and replication_logging:
+            # file-backed logs carry streaming DDL and the stream tail,
+            # not just table rows — log those from the start.  A standby
+            # passes replication_logging=False: its WAL must stay a
+            # verbatim prefix of the primary's, so nothing may append to
+            # it locally until promotion.
+            self.enable_replication_logging()
+
+    def enable_replication_logging(self) -> None:
+        """Start logging stream traffic and streaming DDL into the WAL.
+
+        Base-stream tuples and heartbeats become ``stream_insert`` /
+        ``stream_advance`` records, and every CREATE/DROP of a streaming
+        object becomes a ``ddl_obj`` record — the extra record kinds a
+        WAL-shipping standby (or a crash-consistent restart) needs to
+        mirror runtime state, not just durable tables.  Idempotent.
+        """
+        if self.runtime.stream_logger is not None:
+            return
+        wal = self.storage.wal
+
+        def logger(name, kind, row, event_time):
+            wal.append(0, "stream_" + kind, name, after=row,
+                       payload=event_time)
+
+        self.runtime.stream_logger = logger
+        from repro.streaming.supervisor import DEAD_LETTER_STREAM
+        for name, stream in self.catalog.relations(cat.STREAM):
+            if name != DEAD_LETTER_STREAM:
+                stream.replication_log = logger
+        self._backfill_ddl_log()
+
+    def _backfill_ddl_log(self) -> None:
+        """Log ``ddl_obj`` records for objects that predate logging.
+
+        Recovery applies creates idempotently, so re-logging an object
+        that is already on record is harmless; what matters is that no
+        live object is *missing* from the log when a standby attaches.
+        """
+        from repro.core.dump import _column_spec
+        from repro.sql.render import render_statement
+        from repro.streaming.supervisor import DEAD_LETTER_STREAM
+        for name, stream in self.catalog.relations(cat.STREAM):
+            if name == DEAD_LETTER_STREAM:
+                continue
+            self._log_ddl({
+                "op": "create", "kind": "stream", "name": name,
+                "columns": [_column_spec(c) for c in stream.schema],
+                "retention": stream.retention, "slack": stream.slack,
+                "disorder_policy": stream.disorder_policy,
+            })
+        for name, view in self.catalog.relations(cat.VIEW):
+            self._log_ddl({
+                "op": "create", "kind": "view", "name": name,
+                "query": render_statement(view.query),
+            })
+        for name, derived in self.catalog.relations(cat.DERIVED_STREAM):
+            self._log_ddl({
+                "op": "create", "kind": "derived_stream", "name": name,
+                "query": render_statement(derived.cq.select),
+            })
+        for name, channel in self.catalog.channels():
+            self._log_ddl({
+                "op": "create", "kind": "channel", "name": name,
+                "source": channel.source.name,
+                "target": channel.table.name, "mode": channel.mode,
+            })
+        for name, index in self.catalog.indexes():
+            self._log_ddl({
+                "op": "create", "kind": "index", "name": name,
+                "table": index.table_name,
+                "columns": list(index.column_names),
+                "unique": index.unique,
+            })
+
+    def _log_ddl(self, payload: dict) -> None:
+        """Durably log one streaming-DDL action as a ``ddl_obj`` record.
+
+        A no-op until :meth:`enable_replication_logging` turns the extra
+        record kinds on — a plain embedded database keeps the seed WAL
+        byte-for-byte (and the seeded chaos fault schedule with it).
+        """
+        if self._recovering or self.runtime.stream_logger is None:
+            return
+        self.storage.wal.append(0, "ddl_obj", payload.get("name"),
+                                payload=payload)
+        self.storage.wal.flush()
 
     def enable_supervision(self, policy=None):
         """Switch the runtime to supervised mode: every CQ, channel and
@@ -167,8 +263,7 @@ class Database:
         if isinstance(statement, ast.CreateStream):
             return self._create_stream(statement)
         if isinstance(statement, ast.CreateDerivedStream):
-            self.runtime.create_derived_stream(statement.name, statement.query)
-            return _ok()
+            return self._create_derived_stream(statement)
         if isinstance(statement, ast.CreateView):
             return self._create_view(statement)
         if isinstance(statement, ast.CreateChannel):
@@ -391,24 +486,48 @@ class Database:
         :meth:`recover_from_wal` can rebuild the schema after a crash."""
         table = self.storage.create_table(name, schema)
         self.catalog.add_relation(name, cat.TABLE, table)
-        from repro.core.dump import _column_spec
-        self.storage.wal.append(
-            0, "ddl", name,
-            payload=[_column_spec(c) for c in schema])
-        self.storage.wal.flush()
+        if not self._recovering:
+            from repro.core.dump import _column_spec
+            self.storage.wal.append(
+                0, "ddl", name,
+                payload=[_column_spec(c) for c in schema])
+            self.storage.wal.flush()
         return table
 
     def _create_stream(self, statement: ast.CreateStream) -> ResultSet:
         if statement.if_not_exists and self.catalog.has_relation(statement.name):
             return _ok()
         schema = _schema_from_defs(statement.columns, for_stream=True)
-        self.runtime.create_base_stream(statement.name, schema)
+        stream = self.runtime.create_base_stream(statement.name, schema)
+        from repro.core.dump import _column_spec
+        self._log_ddl({
+            "op": "create", "kind": "stream", "name": statement.name,
+            "columns": [_column_spec(c) for c in schema],
+            "retention": stream.retention, "slack": stream.slack,
+            "disorder_policy": stream.disorder_policy,
+        })
+        return _ok()
+
+    def _create_derived_stream(
+            self, statement: ast.CreateDerivedStream) -> ResultSet:
+        from repro.sql.render import render_statement
+        self.runtime.create_derived_stream(statement.name, statement.query)
+        self._log_ddl({
+            "op": "create", "kind": "derived_stream",
+            "name": statement.name,
+            "query": render_statement(statement.query),
+        })
         return _ok()
 
     def _create_view(self, statement: ast.CreateView) -> ResultSet:
         references = self._query_references_streams(statement.query)
         view = StreamingView(statement.name, statement.query, references)
         self.catalog.add_relation(statement.name, cat.VIEW, view)
+        from repro.sql.render import render_statement
+        self._log_ddl({
+            "op": "create", "kind": "view", "name": statement.name,
+            "query": render_statement(statement.query),
+        })
         return _ok()
 
     def _create_table_as(self, statement: ast.CreateTableAs) -> ResultSet:
@@ -431,6 +550,11 @@ class Database:
         table = self.catalog.get_relation(statement.target, cat.TABLE)
         self.runtime.create_channel(
             statement.name, statement.source, table, statement.mode)
+        self._log_ddl({
+            "op": "create", "kind": "channel", "name": statement.name,
+            "source": statement.source, "target": statement.target,
+            "mode": statement.mode,
+        })
         return _ok()
 
     def _create_index(self, statement: ast.CreateIndex) -> ResultSet:
@@ -438,6 +562,11 @@ class Database:
         index = self.storage.create_index(
             statement.name, table, statement.columns, statement.unique)
         self.catalog.add_index(statement.name, index)
+        self._log_ddl({
+            "op": "create", "kind": "index", "name": statement.name,
+            "table": statement.table, "columns": list(statement.columns),
+            "unique": statement.unique,
+        })
         return _ok()
 
     def _analyze(self, statement: ast.Analyze) -> ResultSet:
@@ -480,6 +609,8 @@ class Database:
             if statement.if_exists:
                 return _ok()
             raise
+        if kind in ("stream", "view", "channel", "index"):
+            self._log_ddl({"op": "drop", "kind": kind, "name": name})
         return _ok()
 
     # ------------------------------------------------------------------

@@ -198,7 +198,22 @@ def install_system_views(db) -> None:
         _int("statements"), _int("rows_ingested"), _int("subscriptions"),
         _int("windows_pushed"), _int("tuples_pushed"), _int("sheds"),
         Column("connected_seconds", DoubleType()),
+        Column("last_seen", DoubleType()),
     ]), connections_rows)
+
+    def replication_rows():
+        provider = getattr(db, "replication_registry", None)
+        if provider is not None:
+            return provider()
+        # standalone: no peers, but the local WAL head is still useful
+        return [("standalone", None, "standalone",
+                 db.storage.wal.head_lsn, None, None, None, None)]
+
+    replication = VirtualTable("repro_replication_status", Schema([
+        _text("role"), _text("peer"), _text("state"),
+        _int("shipped_lsn"), _int("applied_lsn"), _int("acked_lsn"),
+        _int("lag"), _text("last_error"),
+    ]), replication_rows)
 
     def crashpoint_rows():
         if db.faults is None:
@@ -213,5 +228,6 @@ def install_system_views(db) -> None:
     ]), crashpoint_rows)
 
     for view in (streams, channels, tables, indexes, cqs, io, stats,
-                 supervisor, dead_letters, crashpoints, connections):
+                 supervisor, dead_letters, crashpoints, connections,
+                 replication):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -126,6 +126,23 @@ class ProtocolError(NetworkError):
     """A malformed, oversized or out-of-sequence protocol frame."""
 
 
+class ConnectionTimeoutError(NetworkError):
+    """A client connection attempt did not complete within its deadline.
+
+    Covers both the TCP connect and the hello handshake; carries the
+    target so failover loops can report which host timed out.
+    """
+
+    def __init__(self, message: str, host: str = "", port: int = 0):
+        super().__init__(message)
+        self.host = host
+        self.port = port
+
+
+class ReplicationError(NetworkError):
+    """WAL shipping or standby apply failed (gap, bad record, bad role)."""
+
+
 class RemoteError(NetworkError):
     """An engine error reported by the server over the wire.
 

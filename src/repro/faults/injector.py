@@ -50,6 +50,15 @@ CQ_WINDOW = register_crashpoint(
     "cq.window", "a CQ's per-window plan execution fails (poison window)")
 CHANNEL_WRITE = register_crashpoint(
     "channel.write", "a channel's transactional archive write fails")
+REPLICATION_SHIP = register_crashpoint(
+    "replication.ship",
+    "a WAL shipping batch is dropped before reaching the standby")
+REPLICATION_APPLY = register_crashpoint(
+    "replication.apply",
+    "the standby applier rejects a shipped WAL record (poison record)")
+SERVER_BOOT_RECOVERY = register_crashpoint(
+    "server.boot_recovery",
+    "one CQ's runtime-state rebuild fails during boot/promotion recovery")
 
 
 @dataclass

@@ -1,0 +1,23 @@
+"""High availability: WAL shipping, warm standby, crash-consistent boot.
+
+The paper's Section 4 argues a stream-relational system must recover
+*runtime* state (in-flight windows), not just durable state.  This
+package makes that true across process boundaries:
+
+- :mod:`repro.replication.bootstrap` — rebuild a whole engine (catalog,
+  streams, tables, CQ windows) from a file-backed WAL, used both by
+  crash-consistent server boot and by standby promotion;
+- :mod:`repro.replication.primary` — primary-side WAL shipping to any
+  number of attached standbys, resumable from an LSN;
+- :mod:`repro.replication.standby` — the standby controller: pulls the
+  primary's WAL over the frame protocol, applies it continuously, and
+  promotes (on request or on missed heartbeats) via the active-table
+  recovery path.
+"""
+
+from repro.replication.bootstrap import (  # noqa: F401
+    open_database,
+    recover_runtime,
+)
+from repro.replication.primary import ReplicationManager  # noqa: F401
+from repro.replication.standby import StandbyController  # noqa: F401

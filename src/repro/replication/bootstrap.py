@@ -1,0 +1,357 @@
+"""Crash-consistent boot: rebuild a whole engine from its WAL.
+
+``Database.recover_from_wal`` (PR 0) rebuilt *tables only*.  This module
+rebuilds everything a server needs to come back from ``kill -9`` without
+manual DDL replay: tables and their rows, base streams and their
+retained tails, views and indexes, then — last, so no window fires
+against a half-built world — derived streams and channels, with each
+CQ's in-flight window realigned to its active table (the paper's
+preferred recovery strategy) or its latest checkpoint.
+
+The same phases serve standby promotion: a standby applies everything
+*except* the streaming pipeline while it follows the primary, then runs
+:func:`apply_streaming_ddl` + :func:`recover_cqs` at promotion time.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional
+
+from repro.catalog import catalog as cat
+from repro.catalog.schema import Column, Schema
+from repro.core.database import Database
+from repro.core.dump import _type_from_sql_name
+from repro.storage import wal as walrec
+from repro.streaming.recovery import (
+    CheckpointManager,
+    recover_from_active_table,
+)
+from repro.streaming.windows import TimeWindowOperator
+
+#: the WAL file name inside a ``--data-dir``
+WAL_FILENAME = "wal.jsonl"
+
+
+def open_database(data_dir: Optional[str] = None,
+                  wal_path: Optional[str] = None, **options) -> Database:
+    """Open (or create) a database on a data directory.
+
+    When the directory already holds a WAL, the returned database has
+    its full runtime state recovered: all objects re-registered, table
+    rows reloaded, stream tails rebuilt, and every derived CQ resumed at
+    the correct window boundary.  Recovery statistics are left on the
+    database as ``db.recovery_stats``.
+    """
+    if data_dir is not None:
+        os.makedirs(data_dir, exist_ok=True)
+        wal_path = os.path.join(data_dir, WAL_FILENAME)
+    db = Database(wal_path=wal_path, **options)
+    if db.storage.wal.records:
+        db.recovery_stats = recover_runtime(db)
+    else:
+        db.recovery_stats = None
+    return db
+
+
+def open_standby_database(data_dir: Optional[str] = None,
+                          wal_path: Optional[str] = None, **options):
+    """Open a database for a *standby*: file-backed WAL, but nothing is
+    ever appended locally — the log must remain a verbatim prefix of the
+    primary's, so shipped records slot in at their original LSNs.
+
+    A restarted standby recovers tables, streams, and catalog objects
+    but defers the streaming pipeline.  Returns ``(db, deferred)`` where
+    ``deferred`` is the held streaming DDL for the promotion path.
+    """
+    if data_dir is not None:
+        os.makedirs(data_dir, exist_ok=True)
+        wal_path = os.path.join(data_dir, WAL_FILENAME)
+    db = Database(wal_path=wal_path, replication_logging=False, **options)
+    deferred: List[dict] = []
+    if db.storage.wal.records:
+        db.recovery_stats = recover_runtime(db, promote=False)
+        deferred = db.recovery_stats["deferred"]
+    else:
+        db.recovery_stats = None
+    return db, deferred
+
+
+def recover_runtime(db: Database, promote: bool = True,
+                    faults=None) -> dict:
+    """Rebuild catalog + runtime state from ``db``'s preloaded WAL.
+
+    With ``promote=False`` (a restarted standby) the streaming pipeline
+    DDL is *not* applied; the deferred specs are returned in the stats
+    dict under ``"deferred"`` for the standby controller to hold until
+    promotion.
+    """
+    wal = db.storage.wal
+    stats = {"tables": 0, "rows": 0, "streams": 0,
+             "stream_tuples": 0, "deferred": [], "cqs": []}
+    deferred: List[dict] = []
+    db._recovering = True
+    try:
+        records = list(wal.durable_records())
+        for record in records:
+            if record.kind in (walrec.DDL, walrec.DDL_OBJ):
+                apply_ddl_record(db, record, deferred)
+        # durable table rows — re-inserted with the WAL detached, so
+        # recovery does not re-log what it just read from the log
+        quiesce_wal(db)
+        try:
+            for name, rows in wal.replay().items():
+                if db.catalog.relation_kind(name) == cat.TABLE:
+                    db.insert_table(name, rows)
+                    stats["rows"] += len(rows)
+        finally:
+            restore_wal(db)
+        # stream tails: watermark + retained tuples, no consumer fan-out
+        for record in records:
+            if record.kind == walrec.STREAM_INSERT:
+                if db.catalog.relation_kind(record.table) == cat.STREAM:
+                    db.catalog.get_relation(record.table).restore_point(
+                        record.payload, record.after)
+                    stats["stream_tuples"] += 1
+            elif record.kind == walrec.STREAM_ADVANCE:
+                if db.catalog.relation_kind(record.table) == cat.STREAM:
+                    db.catalog.get_relation(record.table).restore_point(
+                        record.payload)
+        stats["tables"] = len(list(db.catalog.relations(cat.TABLE)))
+        stats["streams"] = len(list(db.catalog.relations(cat.STREAM)))
+        if promote:
+            apply_streaming_ddl(db, deferred)
+            stats["cqs"] = recover_cqs(db, faults=faults)
+        else:
+            stats["deferred"] = deferred
+    finally:
+        db._recovering = False
+    return stats
+
+
+# ---------------------------------------------------------------------------
+# DDL application (idempotent: creates skip existing objects)
+# ---------------------------------------------------------------------------
+
+
+def _build_schema(specs) -> Schema:
+    return Schema([
+        Column(spec["name"], _type_from_sql_name(spec["type"]),
+               not_null=spec["not_null"], primary_key=spec["primary_key"],
+               cqtime=spec.get("cqtime"))
+        for spec in specs
+    ])
+
+
+def _has_channel(db: Database, name: str) -> bool:
+    return any(n == name for n, _c in db.catalog.channels())
+
+
+def _has_index(db: Database, name: str) -> bool:
+    return any(n == name for n, _i in db.catalog.indexes())
+
+
+def apply_ddl_record(db: Database, record, deferred: List[dict]) -> None:
+    """Apply one ``ddl``/``ddl_obj`` record to the catalog.
+
+    Streaming pipeline objects (derived streams, channels) are pushed
+    onto ``deferred`` instead of created: a standby must not run CQs
+    until promoted, and boot recovery creates them only once the stream
+    tails are back in place.
+    """
+    if record.kind == walrec.DDL:
+        if record.payload is not None \
+                and not db.catalog.has_relation(record.table):
+            db._register_table(record.table, _build_schema(record.payload))
+        return
+    payload = record.payload
+    if not isinstance(payload, dict):
+        return
+    op = payload.get("op")
+    kind = payload.get("kind")
+    name = payload.get("name")
+    if op == "drop":
+        deferred[:] = [d for d in deferred if d.get("name") != name]
+        if kind == "channel" and _has_channel(db, name):
+            db.runtime.drop_channel(name)
+        elif kind == "stream" and db.catalog.has_relation(name):
+            db.runtime.drop_stream(name)
+        elif kind == "view" and db.catalog.has_relation(name):
+            db.catalog.drop_relation(name, cat.VIEW)
+        elif kind == "index" and _has_index(db, name):
+            db.execute(f"DROP INDEX {name}")
+        return
+    if kind == "stream":
+        if not db.catalog.has_relation(name):
+            stream = db.runtime.create_base_stream(
+                name, _build_schema(payload["columns"]),
+                retention=payload.get("retention"),
+                slack=payload.get("slack") or 0.0)
+            policy = payload.get("disorder_policy")
+            if policy:
+                stream.disorder_policy = policy
+    elif kind == "view":
+        if not db.catalog.has_relation(name):
+            db.execute(f"CREATE VIEW {name} AS {payload['query']}")
+    elif kind == "index":
+        if not _has_index(db, name):
+            unique = "UNIQUE " if payload.get("unique") else ""
+            columns = ", ".join(payload["columns"])
+            db.execute(f"CREATE {unique}INDEX {name} "
+                       f"ON {payload['table']} ({columns})")
+    elif kind in ("derived_stream", "channel"):
+        deferred.append(payload)
+
+
+def apply_streaming_ddl(db: Database, deferred: List[dict]) -> None:
+    """Create the deferred derived streams and channels, in log order."""
+    for payload in deferred:
+        kind, name = payload.get("kind"), payload.get("name")
+        if kind == "derived_stream":
+            if not db.catalog.has_relation(name):
+                db.execute(f"CREATE STREAM {name} AS {payload['query']}")
+        elif kind == "channel":
+            if not _has_channel(db, name):
+                db.execute(
+                    f"CREATE CHANNEL {name} FROM {payload['source']} "
+                    f"INTO {payload['target']} {payload['mode'].upper()}")
+
+
+# ---------------------------------------------------------------------------
+# CQ runtime-state recovery
+# ---------------------------------------------------------------------------
+
+
+def recover_cqs(db: Database, faults=None) -> List[tuple]:
+    """Rebuild in-flight window state for every derived-stream CQ.
+
+    Strategy per CQ, in order of preference (the supervisor's order):
+    latest ``cq_checkpoint`` record, then active-table realignment via
+    the CQ's archiving channel, then a cold start.  A failure (including
+    the ``server.boot_recovery`` crashpoint) quarantines the CQ as a
+    dead letter when supervision is on — one unrecoverable CQ must not
+    keep the server down — and falls back to a cold start.
+
+    Returns ``[(cq_name, strategy), ...]``; failed CQs report
+    ``"cold:<error>"``.
+    """
+    if faults is None:
+        faults = db.faults
+    from repro.streaming.supervisor import _guess_stime_column
+    channels_by_source = {}
+    for _name, channel in db.catalog.channels():
+        channels_by_source[channel.source.name] = channel
+    outcomes = []
+    wal = db.storage.wal
+    for derived in list(db.runtime._derived_order):
+        cq = derived.cq
+        op = getattr(cq, "_window_op", None)
+        if not isinstance(op, TimeWindowOperator):
+            outcomes.append((cq.name, "cold"))
+            continue
+        try:
+            if faults is not None:
+                faults.check("server.boot_recovery", cq.name)
+            if wal.latest_checkpoint(cq.name) is not None:
+                CheckpointManager.recover(cq, wal)
+                outcomes.append((cq.name, "checkpoint"))
+                continue
+            channel = channels_by_source.get(derived.name)
+            stime = (_guess_stime_column(channel.table)
+                     if channel is not None else None)
+            if channel is not None and stime is not None:
+                recover_from_active_table(
+                    cq, channel.table, db.txn_manager, stime)
+                outcomes.append((cq.name, "active-table"))
+                continue
+            outcomes.append((cq.name, "cold"))
+        except Exception as exc:
+            outcomes.append((cq.name, f"cold:{exc}"))
+            if db.supervisor is not None:
+                db.supervisor.quarantine(
+                    cq.name, "recovery",
+                    f"{type(exc).__name__}: {exc}", [])
+    return outcomes
+
+
+# ---------------------------------------------------------------------------
+# WAL quiescing (recovery and standby apply must not re-log)
+# ---------------------------------------------------------------------------
+
+
+def quiesce_wal(db: Database) -> None:
+    """Detach the WAL from every write path.
+
+    Used while re-inserting replayed rows (boot) and while applying
+    shipped records (standby): the records describing these writes are
+    already in the log — side effects must not log them again.
+    """
+    db.txn_manager.wal = None
+    for _name, table in db.catalog.relations(cat.TABLE):
+        table._wal = None
+
+
+def restore_wal(db: Database) -> None:
+    """Reattach the WAL after :func:`quiesce_wal`."""
+    db.txn_manager.wal = db.storage.wal
+    for _name, table in db.catalog.relations(cat.TABLE):
+        table._wal = db.storage.wal
+
+
+# ---------------------------------------------------------------------------
+# derived-window replay (resumable subscriptions)
+# ---------------------------------------------------------------------------
+
+
+def replay_derived_windows(db: Database, derived, since: float):
+    """Windows of ``derived`` that closed strictly after ``since``.
+
+    Prefers the in-memory window tail; falls back to reconstructing
+    windows from the CQ's active table when an APPEND channel archives
+    this stream — the fallback is what makes a re-subscription after a
+    failover or restart gap-free, because the archive (shipped through
+    the WAL) survives where the in-memory tail does not.  Empty windows
+    on the grid are reconstructed as empty row lists.
+    """
+    if derived.retention is not None and derived._window_tail \
+            and derived._window_tail[0][1] <= since:
+        return derived.replay_windows(since)
+    channel = None
+    for _name, candidate in db.catalog.channels():
+        if candidate.source is derived and candidate.mode == "append":
+            channel = candidate
+            break
+    cq = derived.cq
+    op = getattr(cq, "_window_op", None)
+    if channel is None or not isinstance(op, TimeWindowOperator):
+        if derived.retention is not None:
+            return derived.replay_windows(since)
+        return []
+    from repro.streaming.supervisor import _guess_stime_column
+    stime = _guess_stime_column(channel.table)
+    if stime is None:
+        return []
+    position = channel.table.schema.index_of(stime)
+    snapshot = db.txn_manager.take_snapshot()
+    by_close = {}
+    last_close = None
+    for _rid, values in channel.table.scan(snapshot, db.txn_manager):
+        close = values[position]
+        if close is None or close <= since:
+            continue
+        by_close.setdefault(close, []).append(values)
+        if last_close is None or close > last_close:
+            last_close = close
+    if last_close is None:
+        return []
+    # walk the window grid backwards from the newest archived close so
+    # empty windows (archived as nothing) are still replayed as empty
+    closes = []
+    close = last_close
+    while close > since + 1e-9:
+        closes.append(close)
+        close -= op.advance
+    out = []
+    for close in sorted(closes):
+        out.append((close - op.visible, close, by_close.get(close, [])))
+    return out

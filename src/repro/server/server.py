@@ -21,26 +21,76 @@ import argparse
 import asyncio
 import sys
 import threading
-from typing import Dict, Optional
+import time
+from typing import Dict, Optional, Tuple
 
 from repro.core.database import Database
-from repro.errors import ProtocolError, TruvisoError
+from repro.errors import ExecutionError, ProtocolError, TruvisoError
 from repro.server import protocol
 from repro.server.engine import SingleWriterExecutor
 from repro.server.session import Session
+from repro.sql import ast, parse_statement
 
 _BANNER = "repro-server listening on {host}:{port}"
 
+#: statement types a standby will execute (reads and session options);
+#: anything that mutates state must wait for promotion
+_STANDBY_SAFE = (ast.Select, ast.SetOp, ast.Explain,
+                 ast.ShowOption, ast.SetOption)
+
+
+def _parse_hostport(value: str) -> Tuple[str, int]:
+    host, _, port = value.rpartition(":")
+    if not host or not port.isdigit():
+        raise ValueError(f"expected HOST:PORT, got {value!r}")
+    return host, int(port)
+
 
 class TruSQLServer:
-    """A TruSQL server bound to one embedded Database."""
+    """A TruSQL server bound to one embedded Database.
+
+    ``data_dir`` makes the server crash-consistent: the WAL lives in a
+    file there, and a restart (even after ``kill -9``) rebuilds tables,
+    streams, CQ windows, and channels from it before accepting traffic.
+    ``standby_of`` starts the server as a warm standby of another
+    server: read-only, continuously applying the primary's shipped WAL,
+    promoting itself when the primary goes quiet (or on the ``promote``
+    op).
+    """
 
     def __init__(self, db: Optional[Database] = None,
                  host: str = "127.0.0.1", port: int = 0,
+                 data_dir: Optional[str] = None,
+                 standby_of: Optional[str] = None,
+                 auto_promote: bool = True,
+                 heartbeat_interval: float = 1.0,
+                 miss_limit: int = 3,
+                 idle_timeout: Optional[float] = None,
                  **db_options):
-        self.db = db if db is not None else Database(**db_options)
+        self.role = "standby" if standby_of else "primary"
+        self._standby_deferred = []
+        if db is None:
+            if standby_of is not None:
+                from repro.replication.bootstrap import open_standby_database
+                db, self._standby_deferred = open_standby_database(
+                    data_dir=data_dir, **db_options)
+            elif data_dir is not None:
+                from repro.replication.bootstrap import open_database
+                db = open_database(data_dir=data_dir, **db_options)
+            else:
+                db = Database(**db_options)
+        self.db = db
         self.requested_host = host
         self.requested_port = port
+        self.standby_of = (_parse_hostport(standby_of)
+                           if standby_of else None)
+        self.auto_promote = auto_promote
+        self.heartbeat_interval = heartbeat_interval
+        self.miss_limit = miss_limit
+        self.idle_timeout = idle_timeout
+        self.standby = None            # StandbyController when following
+        self._replication = None       # ReplicationManager, created lazily
+        self._reaper_task: Optional[asyncio.Task] = None
         self.executor = SingleWriterExecutor()
         self.sessions: Dict[int, Session] = {}
         self._session_counter = 0
@@ -65,6 +115,17 @@ class TruSQLServer:
             self._on_connection, self.requested_host, self.requested_port)
         sockname = self._server.sockets[0].getsockname()
         self.host, self.port = sockname[0], sockname[1]
+        if self.standby_of is not None:
+            from repro.replication.standby import StandbyController
+            self.standby = StandbyController(
+                self, self.standby_of[0], self.standby_of[1],
+                heartbeat_interval=self.heartbeat_interval,
+                miss_limit=self.miss_limit,
+                auto_promote=self.auto_promote)
+            self.standby.applier.deferred.extend(self._standby_deferred)
+            self.standby.start()
+        if self.idle_timeout is not None:
+            self._reaper_task = asyncio.ensure_future(self._reap_idle())
 
     def request_shutdown(self) -> None:
         """Ask the serve loop to stop (safe from any thread)."""
@@ -89,6 +150,14 @@ class TruSQLServer:
         if self._stopped:
             return
         self._stopped = True
+        if self._reaper_task is not None:
+            self._reaper_task.cancel()
+            try:
+                await self._reaper_task
+            except (asyncio.CancelledError, Exception):
+                pass
+        if self.standby is not None:
+            self.standby.stop()
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -147,6 +216,89 @@ class TruSQLServer:
         return [s.connection_row() for s in list(self.sessions.values())]
 
     # ------------------------------------------------------------------
+    # replication
+    # ------------------------------------------------------------------
+
+    def replication_manager(self):
+        """The primary-side WAL shipper, created on first use (engine
+        thread).  Lazy so a server with no standbys pays nothing."""
+        if self._replication is None:
+            from repro.replication.primary import ReplicationManager
+            self._replication = ReplicationManager(self.db)
+        return self._replication
+
+    def become_primary(self, reason: str = "") -> None:
+        """Flip a promoted standby into a serving primary (engine
+        thread, called by StandbyController.promote_on_engine)."""
+        self.role = "primary"
+        # from here the WAL grows locally again; future standbys of this
+        # (now) primary attach through the lazy replication manager
+
+    async def _reap_idle(self) -> None:
+        """Close sessions that have been silent past ``idle_timeout``.
+
+        A client that pings (or does anything else) within the timeout
+        is never touched; a vanished one gets a goodbye frame and its
+        socket closed, which releases its subscriptions and buffers.
+        """
+        interval = max(self.idle_timeout / 4.0, 0.05)
+        while not self._stopped:
+            await asyncio.sleep(interval)
+            now = time.monotonic()
+            for session in list(self.sessions.values()):
+                if session.state != "active" \
+                        or now - session.last_seen < self.idle_timeout:
+                    continue
+                session.state = "reaped"
+                writer = getattr(session, "_writer", None)
+                if writer is None:
+                    continue
+                try:
+                    writer.write(protocol.encode_frame(
+                        protocol.goodbye_push(
+                            f"idle for {round(now - session.last_seen, 1)}s "
+                            f"(idle_timeout={self.idle_timeout}s)")))
+                    await writer.drain()
+                except (ConnectionError, RuntimeError):
+                    pass
+                try:
+                    writer.close()
+                except Exception:
+                    pass
+
+    def crash(self) -> None:
+        """Abrupt death for failover tests: abort every socket — no
+        goodbye, no drain, no final flush.  Safe from any thread.  The
+        engine thread is left to die with the process; durable state is
+        whatever already reached the WAL file."""
+        loop = self._loop
+        if loop is None:
+            return
+
+        def _die():
+            self._stopped = True
+            if self._server is not None:
+                self._server.close()
+            for session in list(self.sessions.values()):
+                session.state = "closed"
+                writer = getattr(session, "_writer", None)
+                transport = getattr(writer, "transport", None)
+                if transport is not None:
+                    try:
+                        transport.abort()
+                    except Exception:
+                        pass
+            if self.standby is not None:
+                self.standby._stop.set()
+            if self._shutdown_event is not None:
+                self._shutdown_event.set()
+
+        try:
+            loop.call_soon_threadsafe(_die)
+        except RuntimeError:
+            pass
+
+    # ------------------------------------------------------------------
     # per-connection handling
     # ------------------------------------------------------------------
 
@@ -175,6 +327,7 @@ class TruSQLServer:
                 frame = await protocol.read_frame(reader)
                 if frame is None:
                     break
+                session.last_seen = time.monotonic()
                 response = await self._dispatch(session, frame)
                 if response is not None:
                     writer.write(protocol.encode_frame(response))
@@ -218,7 +371,14 @@ class TruSQLServer:
         request_id = frame.get("id")
         op = frame.get("op")
         try:
+            if self.role == "standby" \
+                    and op in ("ingest", "advance", "flush"):
+                raise ExecutionError(
+                    f"{op!r} rejected: this server is a standby "
+                    "(read-only until promoted)")
             if op == "execute":
+                if self.role == "standby":
+                    self._check_standby_sql(frame.get("sql"))
                 return await session.handle_execute(frame)
             if op == "subscribe":
                 return await session.handle_subscribe(frame)
@@ -230,11 +390,18 @@ class TruSQLServer:
                 return await session.handle_advance(frame)
             if op == "flush":
                 return await session.handle_flush(frame)
+            if op == "replicate":
+                return await session.handle_replicate(frame)
+            if op == "replicate_ack":
+                return await session.handle_replicate_ack(frame)
+            if op == "promote":
+                return await self._handle_promote(request_id, frame)
             if op == "hello":
                 return protocol.ok_response(
                     request_id, server="repro",
                     protocol=protocol.PROTOCOL_VERSION,
-                    session=session.session_id)
+                    session=session.session_id,
+                    role=self.role)
             if op in ("ping", "goodbye"):
                 return protocol.ok_response(request_id)
             if op == "shutdown":
@@ -246,6 +413,32 @@ class TruSQLServer:
             raise
         except Exception as exc:  # engine bug: report, keep serving
             return protocol.error_response(request_id, exc)
+
+    def _check_standby_sql(self, sql) -> None:
+        """Reject mutating statements while in standby role.  Anything
+        unparsable falls through so the engine reports the real error."""
+        if not isinstance(sql, str):
+            return
+        try:
+            statement = parse_statement(sql)
+        except Exception:
+            return
+        if not isinstance(statement, _STANDBY_SAFE):
+            raise ExecutionError(
+                f"{type(statement).__name__} rejected: this server is a "
+                "standby (read-only until promoted)")
+
+    async def _handle_promote(self, request_id, frame: dict):
+        if self.standby is None:
+            raise ExecutionError(
+                "promote: this server is not a standby"
+                if self.role == "primary"
+                else "promote: no standby controller attached")
+        reason = frame.get("reason") or "requested by client"
+        stats = await self.on_engine(
+            self.standby.promote_on_engine, reason)
+        return protocol.ok_response(request_id, role=self.role,
+                                    promotion=stats)
 
     async def _writer_loop(self, session: Session, writer, wake) -> None:
         """Drains the session's outbound push buffer to the socket.
@@ -326,6 +519,17 @@ class ServerThread:
         if self._thread is not None:
             self._thread.join(timeout)
 
+    def kill(self, timeout: float = 10.0) -> None:
+        """Simulate ``kill -9``: abort every socket, skip all draining.
+
+        Clients see a reset connection, not a goodbye; unflushed windows
+        are lost.  What survives is exactly the WAL file — which is the
+        point for crash-consistency and failover tests."""
+        if self.server is not None:
+            self.server.crash()
+        if self._thread is not None:
+            self._thread.join(timeout)
+
     def __enter__(self) -> "ServerThread":
         return self.start()
 
@@ -349,16 +553,36 @@ def main(argv=None) -> int:
     parser.add_argument("--retention", type=float, default=None,
                         help="default stream retention seconds "
                              "(enables late-subscriber replay)")
+    parser.add_argument("--data-dir", default=None,
+                        help="directory for the file-backed WAL; a "
+                             "restart recovers all state from it")
+    parser.add_argument("--standby-of", metavar="HOST:PORT", default=None,
+                        help="start as a warm standby of that primary")
+    parser.add_argument("--no-auto-promote", action="store_true",
+                        help="standby only promotes on an explicit "
+                             "'promote' op, never on missed heartbeats")
+    parser.add_argument("--heartbeat-interval", type=float, default=1.0,
+                        help="standby heartbeat cadence, seconds")
+    parser.add_argument("--miss-limit", type=int, default=3,
+                        help="consecutive failed contacts before a "
+                             "standby promotes itself")
+    parser.add_argument("--idle-timeout", type=float, default=None,
+                        help="reap client sessions silent this long")
     args = parser.parse_args(argv)
 
-    db = Database(supervised=args.supervised,
-                  stream_retention=args.retention)
-    if args.init:
-        with open(args.init, "r", encoding="utf-8") as handle:
-            db.execute_script(handle.read())
-
     async def amain() -> None:
-        server = TruSQLServer(db=db, host=args.host, port=args.port)
+        server = TruSQLServer(
+            host=args.host, port=args.port,
+            data_dir=args.data_dir, standby_of=args.standby_of,
+            auto_promote=not args.no_auto_promote,
+            heartbeat_interval=args.heartbeat_interval,
+            miss_limit=args.miss_limit, idle_timeout=args.idle_timeout,
+            supervised=args.supervised,
+            stream_retention=args.retention)
+        if args.init and server.role == "primary":
+            with open(args.init, "r", encoding="utf-8") as handle:
+                await server.on_engine(
+                    server.db.execute_script, handle.read())
         await server.start()
         print(_BANNER.format(host=server.host, port=server.port),
               flush=True)

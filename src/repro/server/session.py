@@ -122,6 +122,9 @@ class Session:
         self.peer = peer
         self.state = "active"
         self.started_monotonic = time.monotonic()
+        # updated by the server on every inbound frame; the idle reaper
+        # closes sessions whose silence exceeds the server's idle_timeout
+        self.last_seen = self.started_monotonic
         # session-scoped options
         self.options = {
             "subscribe_policy": POLICY_BLOCK,
@@ -356,6 +359,18 @@ class Session:
                 [c.name for c in derived.schema])
             sink = SessionSink(self, entry)
             entry.sink = sink
+            if since is not None:
+                # replay windows closed after `since` from the retained
+                # window tail or the CQ's active table — a failed-over
+                # client resumes with no gap and no duplicate
+                from repro.replication.bootstrap import (
+                    replay_derived_windows,
+                )
+                for open_t, close_t, rows in replay_derived_windows(
+                        db, derived, float(since)):
+                    entry.windows_pushed += 1
+                    self.enqueue_push(entry, protocol.window_push(
+                        entry.sub_id, rows, open_t, close_t))
             derived.subscribe(sink)
             entry.detach = lambda: derived.unsubscribe(sink)
             return entry
@@ -409,6 +424,43 @@ class Session:
         return protocol.ok_response(frame.get("id"))
 
     # ------------------------------------------------------------------
+    # replication ops (a standby on the other end of this session)
+    # ------------------------------------------------------------------
+
+    async def handle_replicate(self, frame: dict) -> dict:
+        from_lsn = frame.get("from_lsn", 1)
+        if not isinstance(from_lsn, int) or isinstance(from_lsn, bool) \
+                or from_lsn < 1:
+            raise ExecutionError("replicate needs an integer "
+                                 "'from_lsn' >= 1")
+        if self.server.role != "primary":
+            raise ExecutionError(
+                "this server is a standby; attach to the primary")
+        sub_id = self._next_sub_id()
+        entry = SubscriptionEntry(sub_id, "wal", "wal", ["lsn"])
+
+        def attach_on_engine():
+            manager = self.server.replication_manager()
+            manager.attach(self, entry, from_lsn)
+            entry.detach = lambda: manager.detach(sub_id)
+            return self.server.db.storage.wal.head_lsn
+
+        head = await self.server.on_engine(attach_on_engine)
+        self.subs[sub_id] = entry
+        return protocol.ok_response(frame.get("id"), sub=sub_id, head=head)
+
+    async def handle_replicate_ack(self, frame: dict) -> dict:
+        sub_id = frame.get("sub")
+        lsn = frame.get("lsn")
+        if not isinstance(sub_id, int) or not isinstance(lsn, int):
+            raise ExecutionError(
+                "replicate_ack needs integer 'sub' and 'lsn'")
+        manager = self.server._replication
+        if manager is not None:
+            await self.server.on_engine(manager.ack, sub_id, lsn)
+        return protocol.ok_response(frame.get("id"))
+
+    # ------------------------------------------------------------------
     # teardown
     # ------------------------------------------------------------------
 
@@ -435,10 +487,12 @@ class Session:
         windows = sum(e.windows_pushed for e in self.subs.values())
         tuples_out = sum(e.tuples_pushed for e in self.subs.values())
         sheds = sum(e.sheds for e in self.subs.values())
+        now = time.monotonic()
         return (
             self.session_id, self.peer, self.state, self.statements,
             self.rows_ingested, len(self.subs), windows, tuples_out,
-            sheds, round(time.monotonic() - self.started_monotonic, 3),
+            sheds, round(now - self.started_monotonic, 3),
+            round(now - self.last_seen, 3),
         )
 
     def session_option_rows(self) -> List[tuple]:

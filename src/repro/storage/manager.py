@@ -15,13 +15,13 @@ class StorageManager:
     """One per database: the physical layer behind every table and index."""
 
     def __init__(self, buffer_pages: int = 256, disk: SimulatedDisk = None,
-                 faults=None):
+                 faults=None, wal_path=None):
         self.disk = disk if disk is not None else SimulatedDisk()
         if faults is not None and self.disk.faults is None:
             self.disk.faults = faults
         self.pool = BufferPool(self.disk, buffer_pages, faults=faults)
         self.wal = WriteAheadLog(self.disk, self.disk.page_size,
-                                 faults=faults)
+                                 faults=faults, path=wal_path)
         self._next_file_id = 1  # 0 is the WAL
 
     def allocate_file(self) -> HeapFile:

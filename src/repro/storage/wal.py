@@ -21,6 +21,8 @@ mid-replay.
 
 from __future__ import annotations
 
+import json
+import os
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
@@ -32,6 +34,10 @@ UPDATE = "update"
 COMMIT = "commit"
 ABORT = "abort"
 CHECKPOINT = "cq_checkpoint"
+DDL = "ddl"                      # table registration (schema payload)
+DDL_OBJ = "ddl_obj"              # stream/view/channel/index/drop (spec payload)
+STREAM_INSERT = "stream_insert"  # one stream tuple (replication / tail rebuild)
+STREAM_ADVANCE = "stream_advance"  # a stream heartbeat (watermark move)
 
 #: approximate bytes per log record header, for flush cost accounting
 _RECORD_OVERHEAD = 40
@@ -53,14 +59,52 @@ class LogRecord:
     torn: bool = False                # True: the tail of this record was lost
 
     def content_crc(self) -> int:
-        """CRC32 over the record's logical content (not the stored crc)."""
-        body = repr((self.txid, self.kind, self.table, self.rid,
-                     self.before, self.after, self.payload))
-        return zlib.crc32(body.encode("utf-8", "backslashreplace"))
+        """CRC32 over the record's logical content (not the stored crc).
+
+        Computed over the canonical JSON encoding so the checksum survives
+        a round trip through the wire protocol or the log file: JSON does
+        not distinguish tuples from lists, and any exotic value degrades
+        through ``str`` identically on both ends.
+        """
+        body = json.dumps(
+            [self.txid, self.kind, self.table, self.rid, self.before,
+             self.after, self.payload],
+            separators=(",", ":"), sort_keys=True, default=str)
+        return zlib.crc32(body.encode("utf-8"))
 
     def is_valid(self) -> bool:
         """True when the stored checksum still matches the content."""
         return not self.torn and self.crc == self.content_crc()
+
+
+def record_to_wire(record: LogRecord) -> dict:
+    """Serialize a record for the replication wire or the log file."""
+    return {"lsn": record.lsn, "txid": record.txid, "kind": record.kind,
+            "table": record.table, "rid": _jsonable(record.rid),
+            "before": _jsonable(record.before),
+            "after": _jsonable(record.after),
+            "payload": record.payload, "crc": record.crc}
+
+
+def record_from_wire(fields: dict) -> LogRecord:
+    """Rebuild a record from its wire/file form.
+
+    The stored checksum is carried through *unverified*; callers decide
+    whether to trust it (`is_valid`) or truncate/quarantine.
+    """
+    return LogRecord(
+        int(fields["lsn"]), int(fields["txid"]), fields["kind"],
+        fields.get("table"), _as_tuple(fields.get("rid")),
+        _as_tuple(fields.get("before")), _as_tuple(fields.get("after")),
+        fields.get("payload"), crc=int(fields.get("crc", 0)))
+
+
+def _jsonable(values):
+    return list(values) if isinstance(values, tuple) else values
+
+
+def _as_tuple(values):
+    return tuple(values) if isinstance(values, list) else values
 
 
 class WriteAheadLog:
@@ -74,7 +118,8 @@ class WriteAheadLog:
     #: file id used when charging the simulated disk
     WAL_FILE_ID = 0
 
-    def __init__(self, disk=None, page_size: int = 8192, faults=None):
+    def __init__(self, disk=None, page_size: int = 8192, faults=None,
+                 path: Optional[str] = None):
         self.disk = disk
         self.page_size = page_size
         self.faults = faults
@@ -85,6 +130,12 @@ class WriteAheadLog:
         self._next_wal_page = 0
         self.flush_count = 0
         self.torn_records = 0
+        #: called with each appended record (primary-side WAL shipping)
+        self.on_append = None
+        self.path = path
+        self._fh = None
+        if path is not None:
+            self._open_file(path)
 
     def append(self, txid: int, kind: str, table: str = None, rid=None,
                before=None, after=None, payload=None) -> LogRecord:
@@ -96,7 +147,43 @@ class WriteAheadLog:
         self.records.append(record)
         self._unflushed_bytes += _RECORD_OVERHEAD + _value_bytes(before) \
             + _value_bytes(after) + _payload_bytes(payload)
+        if self.on_append is not None:
+            self.on_append(record)
         return record
+
+    def append_replicated(self, record: LogRecord) -> LogRecord:
+        """Adopt a record shipped from a primary, preserving its LSN.
+
+        A standby's log stays a byte-for-byte prefix of the primary's,
+        so a promoted standby continues the same LSN sequence and a
+        restarted standby knows exactly where to resume shipping from.
+        """
+        self.records.append(record)
+        self._next_lsn = record.lsn + 1
+        self._unflushed_bytes += _RECORD_OVERHEAD \
+            + _value_bytes(record.before) + _value_bytes(record.after) \
+            + _payload_bytes(record.payload)
+        if self.on_append is not None:
+            self.on_append(record)
+        return record
+
+    def records_from(self, from_lsn: int) -> List[LogRecord]:
+        """All records with ``lsn >= from_lsn`` (shipping resume point).
+
+        The in-memory list is contiguous by LSN starting at
+        ``records[0].lsn``, so this is a slice, not a scan.
+        """
+        if not self.records:
+            return []
+        start = from_lsn - self.records[0].lsn
+        if start <= 0:
+            return list(self.records)
+        return list(self.records[start:])
+
+    @property
+    def head_lsn(self) -> int:
+        """LSN of the most recently appended record (0 when empty)."""
+        return self._next_lsn - 1
 
     def flush(self) -> None:
         """Make all buffered records durable; charges sequential writes.
@@ -104,6 +191,10 @@ class WriteAheadLog:
         With the ``wal.torn_write`` crashpoint armed, the flush may tear
         the last buffered record: it reaches "disk" with its tail missing,
         so its checksum no longer validates and recovery truncates there.
+
+        When the log is file-backed, buffered records are written out as
+        JSON lines; a torn record is written as a truncated line, so a
+        later load truncates the log there exactly as `_validated` does.
         """
         if self._flushed_upto == len(self.records):
             return
@@ -117,9 +208,57 @@ class WriteAheadLog:
             for _ in range(pages):
                 self.disk.write_page(self.WAL_FILE_ID, self._next_wal_page)
                 self._next_wal_page += 1
+        if self._fh is not None:
+            for record in self.records[self._flushed_upto:]:
+                line = json.dumps(record_to_wire(record), default=str)
+                if record.torn:
+                    self._fh.write(line[:max(1, len(line) // 2)])
+                else:
+                    self._fh.write(line + "\n")
+            self._fh.flush()
         self._unflushed_bytes = 0
         self._flushed_upto = len(self.records)
         self.flush_count += 1
+
+    # -- file persistence --------------------------------------------------
+
+    def _open_file(self, path: str) -> None:
+        """Load the durable log from ``path`` and reopen it for append.
+
+        The validated prefix is rewritten so a torn tail from the
+        previous incarnation is physically dropped, matching the
+        truncate-at-first-corrupt recovery contract.
+        """
+        loaded: List[LogRecord] = []
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = record_from_wire(json.loads(line))
+                    except (ValueError, KeyError, TypeError):
+                        break  # torn tail: trust nothing past this point
+                    if not record.is_valid():
+                        break
+                    loaded.append(record)
+        self.records = loaded
+        if loaded:
+            self._next_lsn = loaded[-1].lsn + 1
+        self._flushed_upto = len(loaded)
+        with open(path, "w", encoding="utf-8") as fh:
+            for record in loaded:
+                fh.write(json.dumps(record_to_wire(record),
+                                    default=str) + "\n")
+        self._fh = open(path, "a", encoding="utf-8")
+
+    def close(self) -> None:
+        """Flush and release the backing file (no-op when in-memory)."""
+        if self._fh is not None:
+            self.flush()
+            self._fh.close()
+            self._fh = None
 
     # -- validation --------------------------------------------------------
 

@@ -46,6 +46,9 @@ class StreamingRuntime:
         self.high_water_mark = high_water_mark
         self.supervisor = None  # set by Database.enable_supervision
         self.faults = None      # optional FaultInjector, set by Database
+        # fn(stream, kind, row, event_time) wired onto every base stream
+        # when replication logging is enabled (Database sets this)
+        self.stream_logger = None
         self._cqs: Dict[str, object] = {}
         self._aggregators: Dict[str, list] = {}
         self._derived_order: List[DerivedStream] = []
@@ -66,6 +69,7 @@ class StreamingRuntime:
             high_water_mark=self.high_water_mark,
         )
         stream.faults = self.faults
+        stream.replication_log = self.stream_logger
         self.catalog.add_relation(name, cat.STREAM, stream)
         if self.supervisor is not None:
             self.supervisor.adopt_stream(stream)
@@ -76,7 +80,8 @@ class StreamingRuntime:
         """CREATE STREAM name AS SELECT ... — instantiated immediately
         and runs until dropped ("always on", Section 3.2)."""
         cq = self._make_cq(select, name=f"derived:{name}")
-        derived = DerivedStream(name, cq.output_schema, text)
+        derived = DerivedStream(name, cq.output_schema, text,
+                                retention=self.default_retention)
         derived.cq = cq
         cq.add_sink(derived.publish)
         cq.attach()

@@ -100,6 +100,11 @@ class BaseStream:
         self.error_handler = None   # fn(row, event_time, [(consumer, exc)])
         self.shed_handler = None    # fn(row, event_time, reason)
         self.faults = None          # optional FaultInjector
+        # replication hook (set by Database.enable_replication_logging):
+        # fn(stream_name, kind, row_or_None, event_time) called for every
+        # delivered tuple and every watermark advance, so a WAL-shipping
+        # standby can mirror the stream tail
+        self.replication_log = None
 
     # -- subscription ---------------------------------------------------------
 
@@ -199,6 +204,8 @@ class BaseStream:
 
     def _deliver(self, row: tuple, event_time: float) -> None:
         self._retain(event_time, row)
+        if self.replication_log is not None:
+            self.replication_log(self.name, "insert", row, event_time)
         errors = None
         faults = self.faults
         if faults is not None and faults.armed:
@@ -284,6 +291,8 @@ class BaseStream:
         self._broadcast_heartbeat(event_time)
 
     def _broadcast_heartbeat(self, event_time: float) -> None:
+        if self.replication_log is not None:
+            self.replication_log(self.name, "advance", None, event_time)
         errors = None
         for consumer in tuple(self._consumers):
             try:
@@ -327,6 +336,26 @@ class BaseStream:
             return self._tail[0][0]
         return float("inf")
 
+    def restore_point(self, event_time: float, row: Optional[tuple] = None):
+        """Rebuild one point of the replay tail without fan-out.
+
+        Used by crash recovery and the standby applier: the tuple (or
+        heartbeat, when ``row`` is None) moves the watermark and extends
+        the retained tail, but consumers are *not* delivered to — the
+        windows they would rebuild are recovered separately, from the
+        active table.
+        """
+        if row is not None:
+            self.tuples_in += 1
+            if self.retention is not None:
+                self._tail.append((event_time, tuple(row)))
+        self.watermark = max(self.watermark, event_time)
+        self.raw_watermark = max(self.raw_watermark, self.watermark)
+        if self.retention is not None:
+            horizon = self.watermark - self.retention
+            while self._tail and self._tail[0][0] < horizon:
+                self._tail.popleft()
+
     def __repr__(self):
         return f"BaseStream({self.name}, watermark={self.watermark})"
 
@@ -340,13 +369,16 @@ class DerivedStream:
     as event time.
     """
 
-    def __init__(self, name: str, schema: Schema, query_text: str = ""):
+    def __init__(self, name: str, schema: Schema, query_text: str = "",
+                 retention: Optional[float] = None):
         self.name = name
         self.schema = schema
         self.query_text = query_text
         self.cq = None  # set by the runtime when the CQ is instantiated
         self.batches_out = 0
         self.tuples_out = 0
+        self.retention = retention
+        self._window_tail = deque()  # (open_time, close_time, rows)
         self._consumers = []
 
     def subscribe(self, consumer) -> None:
@@ -364,6 +396,11 @@ class DerivedStream:
         """Called by the owning CQ at each window close."""
         self.batches_out += 1
         self.tuples_out += len(rows)
+        if self.retention is not None:
+            self._window_tail.append((open_time, close_time, list(rows)))
+            horizon = close_time - self.retention
+            while self._window_tail and self._window_tail[0][1] <= horizon:
+                self._window_tail.popleft()
         for consumer in self._consumers:
             on_batch = getattr(consumer, "on_batch", None)
             if on_batch is not None:
@@ -377,6 +414,21 @@ class DerivedStream:
     def flush(self) -> None:
         for consumer in self._consumers:
             consumer.on_flush()
+
+    def replay_windows(self, since: float):
+        """Retained windows that closed strictly after ``since``.
+
+        The strict bound is what makes failover re-subscription
+        duplicate-free: a client that saw a window closing at T asks for
+        ``since=T`` and receives only later windows.
+        """
+        if self.retention is None:
+            raise StreamingError(
+                f"derived stream {self.name!r} has no retention configured"
+            )
+        return [(open_time, close_time, list(rows))
+                for open_time, close_time, rows in self._window_tail
+                if close_time > since]
 
     def __repr__(self):
         return f"DerivedStream({self.name})"

@@ -199,3 +199,14 @@ class TestRemoteShell:
         from repro.cli import main
         with pytest.raises(SystemExit):
             main(["--connect", "nonsense", "-c", "SELECT 1"])
+
+
+class TestReplicationCommand:
+    def test_replication_shows_standalone_row(self):
+        output, _shell = run_script(["\\replication"])
+        assert "standalone" in output
+        assert "role" in output
+
+    def test_replication_listed_in_help(self):
+        output, _shell = run_script(["\\help"])
+        assert "\\replication" in output

@@ -1,0 +1,189 @@
+"""Crash-consistent restart: a kill -9'd server comes back whole.
+
+``ServerThread.kill`` aborts every socket and the event loop without
+drain, goodbye or a final WAL flush — the durable state is whatever the
+log file already held, exactly the kill -9 contract.  A new server on
+the same data directory must re-register every object and resume each
+CQ at the correct window boundary without manual DDL replay.
+"""
+
+import time
+
+import pytest
+
+import repro.client as client
+from repro.errors import RemoteError
+from repro.faults import FaultInjector
+from repro.server import ServerThread
+
+PIPELINE = [
+    "CREATE STREAM s (v integer, ts timestamp CQTIME USER)",
+    ("CREATE STREAM totals AS SELECT count(*) c, cq_close(*) "
+     "FROM s <VISIBLE '10 seconds' ADVANCE '10 seconds'>"),
+    "CREATE TABLE archive (c bigint, ts timestamp)",
+    "CREATE CHANNEL arch FROM totals INTO archive APPEND",
+    "CREATE VIEW recent AS SELECT c FROM archive WHERE ts > 0",
+    "CREATE INDEX arch_ts ON archive (ts)",
+]
+
+
+def wait_until(probe, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    error = None
+    while time.monotonic() < deadline:
+        try:
+            value = probe()
+        except RemoteError as exc:
+            error = exc
+            value = None
+        if value:
+            return value
+        time.sleep(interval)
+    raise TimeoutError(f"condition not reached (last error: {error})")
+
+
+class TestKillRestart:
+    def boot(self, tmp_path, **kwargs):
+        st = ServerThread(data_dir=str(tmp_path / "node"),
+                          stream_retention=600.0, **kwargs)
+        st.start()
+        return st
+
+    def test_restart_resumes_at_window_boundary(self, tmp_path):
+        first = self.boot(tmp_path)
+        conn = client.connect(first.host, first.port)
+        for ddl in PIPELINE:
+            conn.execute(ddl)
+        conn.ingest("s", [(i, float(i)) for i in range(1, 10)])
+        conn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)])
+        conn.ingest("s", [(0, 21.0)])    # closes (10,20]; 21.0 in flight
+        wait_until(lambda: len(conn.query(
+            "SELECT c FROM archive").rows) == 2)
+        first.kill()                     # no drain, no goodbye, no flush
+
+        second = self.boot(tmp_path)
+        try:
+            conn2 = client.connect(second.host, second.port)
+            # every object is back without manual DDL replay
+            assert sorted(r[0] for r in conn2.query(
+                "SELECT name FROM repro_streams").rows) == ["s", "totals"]
+            assert conn2.query(
+                "SELECT name, source, target, mode "
+                "FROM repro_channels").rows \
+                == [("arch", "totals", "archive", "append")]
+            assert conn2.query(
+                "SELECT name FROM repro_indexes").rows == [("arch_ts",)]
+            assert conn2.query("SELECT count(*) FROM recent").scalar() == 2
+            # archived windows survived
+            assert conn2.query(
+                "SELECT c, ts FROM archive ORDER BY ts").rows \
+                == [(9, 10.0), (5, 20.0)]
+            # the CQ resumed on the same grid: the next close is 30.0,
+            # counting the durable in-flight tuple at 21.0
+            conn2.ingest("s", [(8, 24.0)])
+            conn2.ingest("s", [(0, 31.0)])
+            wait_until(lambda: len(conn2.query(
+                "SELECT c FROM archive").rows) == 3)
+            rows = conn2.query("SELECT c, ts FROM archive ORDER BY ts").rows
+            assert rows[2] == (2, 30.0)   # 0@21 (recovered) + 8@24 (new)
+            conn2.close()
+        finally:
+            second.stop()
+
+    def test_restart_is_idempotent_across_repeated_kills(self, tmp_path):
+        node = self.boot(tmp_path)
+        conn = client.connect(node.host, node.port)
+        for ddl in PIPELINE:
+            conn.execute(ddl)
+        conn.ingest("s", [(1, 5.0), (2, 11.0)])
+        wait_until(lambda: len(conn.query("SELECT c FROM archive").rows))
+        for _round in range(2):
+            node.kill()
+            node = self.boot(tmp_path)
+            conn = client.connect(node.host, node.port)
+            assert conn.query(
+                "SELECT c, ts FROM archive").rows == [(1, 10.0)]
+            assert sorted(r[0] for r in conn.query(
+                "SELECT name FROM repro_streams").rows) == ["s", "totals"]
+        node.stop()
+
+    def test_boot_recovery_crashpoint_quarantines_cq(self, tmp_path):
+        node = self.boot(tmp_path)
+        conn = client.connect(node.host, node.port)
+        for ddl in PIPELINE[:4]:
+            conn.execute(ddl)
+        conn.ingest("s", [(1, 5.0), (2, 11.0)])
+        wait_until(lambda: len(conn.query("SELECT c FROM archive").rows))
+        node.kill()
+
+        faults = FaultInjector(3)
+        faults.arm("server.boot_recovery", probability=1.0, count=1)
+        second = ServerThread(data_dir=str(tmp_path / "node"),
+                              stream_retention=600.0, supervised=True,
+                              fault_injector=faults)
+        second.start()
+        try:
+            conn2 = client.connect(second.host, second.port)
+            # the server came up despite the failed rebuild; the CQ is
+            # reported as a cold fallback and quarantined as dead letter
+            stats = second.db.recovery_stats
+            assert any(name == "derived:totals"
+                       and strategy.startswith("cold:")
+                       for name, strategy in stats["cqs"])
+            letters = conn2.query(
+                "SELECT source, kind FROM repro_dead_letters").rows
+            assert ("derived:totals", "recovery") in letters
+            # and it still archives future windows (cold start)
+            conn2.ingest("s", [(3, 25.0), (0, 31.0)])
+            wait_until(lambda: len(conn2.query(
+                "SELECT c FROM archive").rows) >= 2)
+            conn2.close()
+        finally:
+            second.stop()
+
+
+class TestIdleReaper:
+    def test_idle_connection_is_reaped(self):
+        with ServerThread(idle_timeout=0.4) as st:
+            busy = client.connect(st.host, st.port)
+            lazy = client.connect(st.host, st.port)
+            # the idle session is told goodbye and its socket closed;
+            # once its handler exits it deregisters from the view
+            deadline = time.monotonic() + 10.0
+            while time.monotonic() < deadline:
+                time.sleep(0.1)
+                busy.ping()              # keeps *this* session alive
+                rows = busy.query(
+                    "SELECT session_id, state FROM repro_connections").rows
+                if len(rows) == 1:
+                    break
+            assert len(rows) == 1, f"idle session not reaped: {rows}"
+            # the reaped client sees the goodbye (or the closed socket)
+            # on its next interaction
+            with pytest.raises((ConnectionError, OSError)):
+                for _ in range(20):
+                    lazy.ping()
+                    time.sleep(0.05)
+            assert lazy.server_goodbye is not None or lazy.closed
+            busy.close()
+
+    def test_active_sessions_survive(self):
+        with ServerThread(idle_timeout=0.5) as st:
+            conn = client.connect(st.host, st.port)
+            for _ in range(6):
+                time.sleep(0.2)
+                assert conn.ping()
+            states = conn.query(
+                "SELECT state FROM repro_connections").rows
+            assert states == [("active",)]
+            conn.close()
+
+    def test_last_seen_tracks_activity(self):
+        with ServerThread() as st:
+            conn = client.connect(st.host, st.port)
+            time.sleep(0.3)
+            stale = conn.query(
+                "SELECT last_seen FROM repro_connections").scalar()
+            # the query itself just touched the session
+            assert stale is not None and stale < 0.25
+            conn.close()

@@ -257,3 +257,34 @@ class TestActiveTableRecovery:
                                 db.catalog, db.txn_manager)
         with pytest.raises(RecoveryError):
             recover_from_active_table(fresh, table, db.txn_manager, "stime")
+
+    def test_retention_gap_error_names_missing_range(self):
+        """When the stream's shed-oldest retention has already dropped
+        the tail the in-flight window needs, recovery must fail loudly
+        and say exactly which range is missing — silently rebuilding a
+        short window would archive wrong aggregates forever."""
+        db = Database(stream_retention=30.0)
+        db.execute("CREATE STREAM clicks (url varchar(100), "
+                   "ts timestamp CQTIME USER, ip varchar(20))")
+        db.execute("CREATE TABLE archive (url varchar(100), scnt integer, "
+                   "stime timestamp)")
+        cq = db.runtime.create_cq(parse_statement(CQ_SQL))
+        table = db.get_table("archive")
+        txn = db.txn_manager.begin()
+        table.insert(txn, ("/p0", 1, 240.0))   # archive high-water: 240
+        txn.commit()
+        db.insert_stream("clicks", events(0, 8))
+        db.runtime.stop_cq(cq)
+        stream = db.catalog.get_relation("clicks")
+        # the tail the next window needs starts at 240 + 60 - 120 = 180,
+        # but shed-oldest has already evicted everything before horizon
+        needed = 180.0
+        assert stream.replay_horizon() > needed
+        fresh = ContinuousQuery("fresh", parse_statement(CQ_SQL),
+                                db.catalog, db.txn_manager)
+        with pytest.raises(RecoveryError) as info:
+            recover_from_active_table(fresh, table, db.txn_manager, "stime")
+        message = str(info.value)
+        assert "clicks" in message
+        assert f"need {needed}" in message
+        assert f"have {stream.replay_horizon()}" in message
