@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
-	failover-smoke coverage clean
+	failover-smoke obs-smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -41,6 +41,11 @@ smoke:
 # standby auto-promotes, a subscribed client fails over gap-free
 failover-smoke:
 	$(PYTHON) scripts/failover_smoke.py
+
+# observability overhead gate: metrics + 1% tracing must stay within
+# 5% of the bare engine on the E1 ingest+window workload (X4, small)
+obs-smoke:
+	$(PYTHON) benchmarks/bench_x4_obs.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

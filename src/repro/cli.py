@@ -18,6 +18,8 @@ commands:
     \\supervisor     supervision status of every CQ/stream/channel
     \\deadletters [N] last N quarantined tuples/windows (default 20)
     \\replication    replication role, shipped/applied LSNs, lag
+    \\stats [cq]     engine metrics + per-CQ window/operator stats
+    \\trace [N]      span trees of the last N sampled tuples (default 5)
     \\timing         toggle wall/sim timing output
     \\q              quit
 
@@ -99,6 +101,10 @@ class Shell:
             self._dead_letters(int(args[0]) if args else 20)
         elif command == "\\replication":
             self._replication()
+        elif command == "\\stats":
+            self._stats(args[0] if args else None)
+        elif command == "\\trace":
+            self._trace(int(args[0]) if args else 5)
         elif command == "\\timing":
             self.timing = not self.timing
             self.write(f"timing {'on' if self.timing else 'off'}")
@@ -154,6 +160,58 @@ class Shell:
             "SELECT role, peer, state, shipped_lsn, applied_lsn, lag, "
             "last_error FROM repro_replication_status")
         self.write(result.pretty())
+
+    def _stats(self, cq_name=None) -> None:
+        """Engine metrics + per-CQ window and operator stats."""
+        source = self.db if self.db is not None else self.conn
+        # derived streams register as "derived:<name>"; accept either form
+        names = f"'{cq_name}', 'derived:{cq_name}'" if cq_name else ""
+        where = f" WHERE name IN ({names})" if cq_name else ""
+        cqs = source.query(
+            "SELECT name, tuples_in, windows, rows_out, last_window_ms, "
+            f"avg_window_ms, max_window_ms, slow_windows "
+            f"FROM repro_cq_stats{where}")
+        if cqs.rows:
+            self.write("-- continuous queries")
+            self.write(cqs.pretty())
+        op_where = f" WHERE cq IN ({names})" if cq_name else ""
+        operators = source.query(
+            "SELECT cq, depth, operator, tuples_out, calls, time_ms "
+            f"FROM repro_operator_stats{op_where}")
+        if operators.rows:
+            self.write("-- operators")
+            self.write(operators.pretty())
+        if cq_name and not cqs.rows and not operators.rows:
+            self.write(f"(no stats for '{cq_name}')")
+        if not cq_name:
+            metrics = source.query(
+                "SELECT name, kind, value, count, p50, p95, p99 "
+                "FROM repro_metrics")
+            self.write("-- metrics")
+            self.write(metrics.pretty() if metrics.rows else "(no metrics)")
+
+    def _trace(self, limit: int = 5) -> None:
+        """Span trees of the most recent sampled tuples."""
+        source = self.db if self.db is not None else self.conn
+        rows = source.query(
+            "SELECT trace_id, span_id, parent_id, name, duration_ms "
+            "FROM repro_traces").rows
+        if not rows:
+            self.write("(no traces; SET trace_sample_rate = 1.0 to "
+                       "sample every tuple)")
+            return
+        by_trace = {}
+        for trace_id, span_id, parent_id, name, duration in rows:
+            by_trace.setdefault(trace_id, []).append(
+                (span_id, parent_id, name, duration))
+        for trace_id in sorted(by_trace)[-limit:]:
+            self.write(f"-- trace {trace_id}")
+            spans = by_trace[trace_id]
+            depth = {}
+            for span_id, parent_id, name, duration in spans:
+                depth[span_id] = depth.get(parent_id, -1) + 1
+                indent = "  " * depth[span_id]
+                self.write(f"  {indent}{name}  ({duration:.3f} ms)")
 
     def _dead_letters(self, limit: int) -> None:
         if self.db.supervisor is None:
@@ -263,6 +321,10 @@ class RemoteShell(Shell):
             self._describe()
         elif command == "\\replication":
             self._replication()
+        elif command == "\\stats":
+            self._stats(args[0] if args else None)
+        elif command == "\\trace":
+            self._trace(int(args[0]) if args else 5)
         elif command in ("\\h", "\\help", "\\?"):
             self.write(__doc__.strip())
         else:

@@ -428,6 +428,22 @@ class Connection:
     def replication_status(self) -> ResultSet:
         return self.query("SELECT * FROM repro_replication_status")
 
+    def metrics(self) -> dict:
+        """Scrape the server's observability surfaces in one round trip.
+
+        Returns ``{view_name: ResultSet}`` for ``repro_metrics``,
+        ``repro_cq_stats``, ``repro_operator_stats`` and
+        ``repro_traces`` — the same rows a local session would read
+        from those system views.
+        """
+        response = self._request("metrics")
+        out = {}
+        for name, section in (response.get("metrics") or {}).items():
+            out[name] = ResultSet(
+                list(section.get("columns", [])),
+                [tuple(row) for row in section.get("rows", [])])
+        return out
+
     def shutdown_server(self) -> None:
         """Ask the server to shut down gracefully."""
         self._request("shutdown")

@@ -61,10 +61,16 @@ class Database:
                  backpressure_policy: Optional[str] = None,
                  high_water_mark: Optional[int] = None,
                  wal_path: Optional[str] = None,
-                 replication_logging: bool = True):
+                 replication_logging: bool = True,
+                 observability: bool = True,
+                 trace_sample_rate: float = 0.01):
+        from repro.obs import Observability
         self.faults = fault_injector
+        self.obs = Observability(enabled=observability,
+                                 sample_rate=trace_sample_rate)
         self.storage = StorageManager(buffer_pages, faults=fault_injector,
                                       wal_path=wal_path)
+        self.obs.bind_storage(self.storage)
         self.txn_manager = TransactionManager(self.storage.wal)
         self.catalog = Catalog()
         self.runtime = StreamingRuntime(
@@ -78,6 +84,7 @@ class Database:
             high_water_mark=high_water_mark,
         )
         self.runtime.faults = fault_injector
+        self.runtime.obs = self.obs if self.obs.enabled else None
         self.supervisor = None
         if supervised:
             self.enable_supervision()
@@ -341,6 +348,27 @@ class Database:
             from repro.faults import FaultInjector
             self.set_fault_injector(FaultInjector(seed=value))
             return _ok()
+        if name == "slow_window_ms":
+            if value is False:
+                self.obs.slow_window_ms = None
+            elif isinstance(value, (int, float)) \
+                    and not isinstance(value, bool) and value >= 0:
+                self.obs.slow_window_ms = float(value)
+            else:
+                raise ExecutionError(
+                    "slow_window_ms takes a non-negative number (or OFF)")
+            return _ok()
+        if name == "trace_sample_rate":
+            if value is False:
+                value = 0.0
+            if isinstance(value, bool) \
+                    or not isinstance(value, (int, float)) \
+                    or not 0.0 <= value <= 1.0:
+                raise ExecutionError(
+                    "trace_sample_rate must be a number between 0 and 1")
+            self.obs.tracer.set_rate(float(value))
+            self.obs.retune_streams()
+            return _ok()
         if name in self._POLICY_OPTIONS:
             if self.supervisor is None:
                 raise ExecutionError(
@@ -360,6 +388,9 @@ class Database:
             "backpressure_policy": self.runtime.backpressure_policy,
             "high_water_mark": self.runtime.high_water_mark,
             "fault_seed": getattr(self.faults, "seed", None),
+            "observability": self.obs.enabled,
+            "slow_window_ms": self.obs.slow_window_ms,
+            "trace_sample_rate": self.obs.tracer.sample_rate,
         }
         if self.supervisor is not None:
             for key in self._POLICY_OPTIONS:
@@ -424,25 +455,56 @@ class Database:
 
     def explain(self, sql: str) -> str:
         """The physical plan of a snapshot query (or of a CQ's per-window
-        plan) as indented text."""
+        plan) as indented text.  ``sql`` may be a bare SELECT or a full
+        ``EXPLAIN [ANALYZE] ...`` statement."""
         statement = parse_statement(sql)
-        if isinstance(statement, ast.Explain):
-            statement = statement.query
-        if not isinstance(statement, (ast.Select, ast.SetOp)):
-            raise PlanningError("EXPLAIN supports SELECT statements only")
-        if self._query_references_streams(statement):
-            cq = self.runtime._make_cq(statement)
-            return cq.explain()
-        return self._plan_snapshot(statement).explain()
+        if not isinstance(statement, ast.Explain):
+            if not isinstance(statement, (ast.Select, ast.SetOp)):
+                raise PlanningError(
+                    "EXPLAIN supports SELECT statements only")
+            statement = ast.Explain(query=statement)
+        result = self._explain_statement(statement)
+        return "\n".join(row[0] for row in result.rows)
 
     def _explain_statement(self, statement: ast.Explain) -> ResultSet:
-        query = statement.query
-        if self._query_references_streams(query):
-            cq = self.runtime._make_cq(query)
-            text = cq.explain()
+        analyze = statement.analyze
+        if statement.target is not None:
+            text = self._explain_target(statement.target).explain(
+                analyze=analyze)
+        elif self._query_references_streams(statement.query):
+            # prefer a running CQ with the same plan so ANALYZE shows
+            # live numbers; otherwise plan a transient one
+            cq = self._find_running_cq(statement.query) \
+                or self.runtime._make_cq(statement.query)
+            text = cq.explain(analyze=analyze)
         else:
-            text = self._plan_snapshot(query).explain()
+            plan = self._plan_snapshot(statement.query)
+            if analyze:
+                plan.instrument()
+                list(plan.execute(self._execution_ctx()))
+            text = plan.explain(analyze=analyze)
         return ResultSet(["QUERY PLAN"], [(line,) for line in text.split("\n")])
+
+    def _explain_target(self, name: str):
+        """Resolve an ``EXPLAIN <name>`` target to a running CQ: by CQ
+        name, derived-stream name, or channel name (via its source)."""
+        cqs = self.runtime.cqs()
+        for key in (name, f"derived:{name}"):
+            if key in cqs:
+                return cqs[key]
+        channel = dict(self.catalog.channels()).get(name)
+        if channel is not None:
+            key = f"derived:{channel.source.name}"
+            if key in cqs:
+                return cqs[key]
+        raise ExecutionError(
+            f"no running CQ, derived stream or channel named {name!r}")
+
+    def _find_running_cq(self, query):
+        for cq in self.runtime.cqs().values():
+            if getattr(cq, "select", None) == query:
+                return cq
+        return None
 
     def _query_references_streams(self, node) -> bool:
         if isinstance(node, ast.SetOp):

@@ -198,7 +198,10 @@ def install_system_views(db) -> None:
         _int("statements"), _int("rows_ingested"), _int("subscriptions"),
         _int("windows_pushed"), _int("tuples_pushed"), _int("sheds"),
         Column("connected_seconds", DoubleType()),
-        Column("last_seen", DoubleType()),
+        Column("idle_seconds", DoubleType()),
+        # wall-clock only here in the view; the reaper and the idle
+        # computation use the monotonic clock internally
+        Column("last_seen", TimestampType()),
     ]), connections_rows)
 
     def replication_rows():
@@ -227,7 +230,82 @@ def install_system_views(db) -> None:
         _int("evaluations"), _int("fires"),
     ]), crashpoint_rows)
 
+    def metrics_rows():
+        return db.obs.registry.snapshot_rows()
+
+    metrics = VirtualTable("repro_metrics", Schema([
+        _text("name"), _text("kind"), Column("value", DoubleType()),
+        _int("count"), Column("sum", DoubleType()),
+        Column("p50", DoubleType()), Column("p95", DoubleType()),
+        Column("p99", DoubleType()), Column("max", DoubleType()),
+    ]), metrics_rows)
+
+    def cq_stats_rows():
+        out = []
+        for name, cq in db.runtime.cqs().items():
+            st = cq.stats
+            windows = st.windows_evaluated
+            out.append((
+                name, bool(getattr(cq, "shared", False)),
+                st.tuples_in, windows, st.rows_scanned, st.rows_out,
+                st.last_close,
+                round(st.last_window_seconds * 1000.0, 6),
+                round(st.total_window_seconds * 1000.0 / windows, 6)
+                if windows else 0.0,
+                round(st.max_window_seconds * 1000.0, 6),
+                st.slow_windows,
+            ))
+        return out
+
+    cq_stats = VirtualTable("repro_cq_stats", Schema([
+        _text("name"), Column("shared", BooleanType()),
+        _int("tuples_in"), _int("windows"), _int("rows_scanned"),
+        _int("rows_out"), Column("last_close", TimestampType()),
+        Column("last_window_ms", DoubleType()),
+        Column("avg_window_ms", DoubleType()),
+        Column("max_window_ms", DoubleType()),
+        _int("slow_windows"),
+    ]), cq_stats_rows)
+
+    def operator_stats_rows():
+        from repro.obs.service import walk_operators
+        out = []
+        for name, cq in db.runtime.cqs().items():
+            root = getattr(cq, "_post_plan", None)
+            plan = getattr(cq, "_plan", None)
+            if plan is not None:
+                root = plan.root
+            if root is None:
+                continue
+            for index, (op, depth, parent) in \
+                    enumerate(walk_operators(root)):
+                st = op.stats
+                out.append((
+                    name, index, parent, depth, op._describe(),
+                    st.tuples_out if st else None,
+                    st.calls if st else None,
+                    round(st.wall_seconds * 1000.0, 6) if st else None,
+                ))
+        return out
+
+    # tuples_out/calls/time_ms cover the sampled (timed) evaluations:
+    # CQs arm per-operator instrumentation on every Nth window
+    operator_stats = VirtualTable("repro_operator_stats", Schema([
+        _text("cq"), _int("op_id"), _int("parent_id"), _int("depth"),
+        _text("operator"), _int("tuples_out"), _int("calls"),
+        Column("time_ms", DoubleType()),
+    ]), operator_stats_rows)
+
+    def traces_rows():
+        return db.obs.tracer.rows()
+
+    traces = VirtualTable("repro_traces", Schema([
+        _int("trace_id"), _int("span_id"), _int("parent_id"),
+        _text("name"), Column("start_time", TimestampType()),
+        Column("duration_ms", DoubleType()),
+    ]), traces_rows)
+
     for view in (streams, channels, tables, indexes, cqs, io, stats,
                  supervisor, dead_letters, crashpoints, connections,
-                 replication):
+                 replication, metrics, cq_stats, operator_stats, traces):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -9,22 +9,92 @@ out in Section 4.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, List, Optional, Sequence
 
 from repro.types.values import sql_sort_key
 
 
+class OperatorStats:
+    """Per-operator execution counters (attached by :meth:`instrument`).
+
+    ``wall_seconds`` is inclusive time — the operator plus everything
+    below it, like Postgres' EXPLAIN ANALYZE "actual time"; time spent
+    in the consumer while this generator is suspended is not counted.
+
+    Stats are *sampled*: a CQ arms instrumentation on every Nth window
+    via :meth:`Operator.set_timing` and the untimed windows run the
+    original uninstrumented iterator, so always-on observability costs
+    the hot path nothing.  ``calls`` therefore counts sampled
+    executions, the ones ``tuples_out``/``wall_seconds`` cover.
+    One-shot EXPLAIN ANALYZE plans stay armed for their whole run.
+    """
+
+    __slots__ = ("tuples_out", "calls", "wall_seconds")
+
+    def __init__(self):
+        self.tuples_out = 0
+        self.calls = 0
+        self.wall_seconds = 0.0
+
+
 class Operator:
     """Base class; subclasses yield tuples from :meth:`rows`."""
+
+    #: OperatorStats once instrumented; None on plain plans
+    stats: Optional[OperatorStats] = None
 
     def rows(self, ctx):
         raise NotImplementedError
 
-    def explain(self, depth: int = 0) -> str:
-        """A one-line-per-node plan rendering (for tests and debugging)."""
-        lines = ["  " * depth + self._describe()]
+    def instrument(self) -> None:
+        """Wrap this instance's ``rows`` with counters (idempotent).
+
+        Keeps both the plain and the instrumented iterator around so
+        :meth:`set_timing` can swap them per evaluation at zero cost to
+        the untimed ones.  Starts armed.
+        """
+        if self.stats is not None:
+            return
+        self.stats = st = OperatorStats()
+        inner = self._rows_plain = self.rows
+
+        def rows(ctx, _inner=inner, _st=st, _pc=time.perf_counter):
+            _st.calls += 1
+            t0 = _pc()
+            for row in _inner(ctx):
+                _st.wall_seconds += _pc() - t0
+                _st.tuples_out += 1
+                yield row
+                t0 = _pc()
+            _st.wall_seconds += _pc() - t0
+
+        self._rows_timed = rows
+        self.rows = rows
+
+    def set_timing(self, active: bool) -> None:
+        """Choose the instrumented or the plain iterator for coming
+        executions (no-op on uninstrumented operators)."""
+        if self.stats is not None:
+            self.rows = self._rows_timed if active else self._rows_plain
+
+    def explain(self, depth: int = 0, analyze: bool = False) -> str:
+        """A one-line-per-node plan rendering (for tests and debugging).
+
+        With ``analyze`` each node carries the stats accumulated so far
+        by its instrumented iterator.
+        """
+        line = "  " * depth + self._describe()
+        if analyze:
+            st = self.stats
+            if st is None or st.calls == 0:
+                line += " (never executed)"
+            else:
+                line += (f" (actual rows={st.tuples_out} loops={st.calls}"
+                         f" time={st.wall_seconds * 1000.0:.3f} ms)")
+        lines = [line]
         for child in self._children():
-            lines.append(child.explain(depth + 1))
+            lines.append(child.explain(depth + 1, analyze))
         return "\n".join(lines)
 
     def _describe(self) -> str:

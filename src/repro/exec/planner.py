@@ -60,8 +60,13 @@ class PhysicalPlan:
         """Run the plan, yielding result tuples."""
         return self.root.rows(ctx if ctx is not None else {})
 
-    def explain(self) -> str:
-        return self.root.explain()
+    def explain(self, analyze: bool = False) -> str:
+        return self.root.explain(analyze=analyze)
+
+    def instrument(self) -> None:
+        """Attach per-operator counters to every node (idempotent)."""
+        from repro.obs.service import instrument_plan
+        instrument_plan(self.root)
 
 
 class PlanContext:

@@ -1,0 +1,21 @@
+"""Engine observability: metrics registry, pipeline tracing, stats.
+
+The subsystem is *always on* by default but pay-as-you-go: counters and
+gauges are plain attribute bumps or snapshot-time callbacks, histograms
+are log-bucketed arrays, and the tracer samples a configurable fraction
+of ingested tuples (deterministic every-Nth, no RNG in the hot path).
+``Database(observability=False)`` turns the whole layer into no-ops so
+benchmarks can measure its cost honestly.
+"""
+
+from repro.obs.registry import (Counter, Gauge, Histogram, MetricsRegistry,
+                                NULL_COUNTER, NULL_HISTOGRAM)
+from repro.obs.tracing import Span, Trace, Tracer
+from repro.obs.service import Observability, instrument_plan, walk_operators
+
+__all__ = [
+    "Counter", "Gauge", "Histogram", "MetricsRegistry",
+    "NULL_COUNTER", "NULL_HISTOGRAM",
+    "Span", "Trace", "Tracer",
+    "Observability", "instrument_plan", "walk_operators",
+]

@@ -1,0 +1,207 @@
+"""Process-wide metrics registry: counters, gauges, streaming histograms.
+
+Instruments are created on first use and live for the life of the
+registry; names are dotted paths (``wal.flush_seconds``).  Three kinds:
+
+* :class:`Counter` — monotonically increasing integer.
+* :class:`Gauge` — a point-in-time value, either set explicitly or read
+  from a callback at snapshot time (callback gauges cost nothing on the
+  hot path — the engine keeps its existing counters and the registry
+  merely reads them when scraped).
+* :class:`Histogram` — log-bucketed streaming histogram with exact
+  count/sum/min/max and approximate quantiles (p50/p95/p99).
+
+A disabled registry hands out shared null instruments whose methods are
+no-ops, so instrumented code paths need no ``if enabled`` checks.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, List, Optional
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+
+class Gauge:
+    """Point-in-time value; ``fn`` (if given) wins over ``set``."""
+
+    __slots__ = ("name", "value", "fn")
+
+    def __init__(self, name: str, fn: Optional[Callable[[], float]] = None):
+        self.name = name
+        self.value = 0.0
+        self.fn = fn
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def read(self) -> float:
+        if self.fn is not None:
+            try:
+                return float(self.fn())
+            except Exception:
+                return float("nan")
+        return self.value
+
+
+def _bucket_bounds() -> List[float]:
+    # geometric bounds, 4 per octave, spanning ~1 microsecond .. ~1 Ms;
+    # fine enough that a quantile read off a bucket edge is within ~19%
+    # of the true value, which is plenty for latency telemetry
+    bounds = []
+    value = 1e-6
+    factor = 2.0 ** 0.25
+    while value < 2e6:
+        bounds.append(value)
+        value *= factor
+    return bounds
+
+
+_BOUNDS = _bucket_bounds()
+_NBUCKETS = len(_BOUNDS) + 1  # +1 overflow bucket
+
+
+class Histogram:
+    """Log-bucketed streaming histogram (observations must be >= 0)."""
+
+    __slots__ = ("name", "count", "sum", "min", "max", "_buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = 0.0
+        self._buckets = [0] * _NBUCKETS
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.sum += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._buckets[bisect_left(_BOUNDS, value)] += 1
+
+    def quantile(self, q: float) -> float:
+        """Approximate q-quantile (0 < q <= 1); 0.0 when empty."""
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = 0
+        for i, n in enumerate(self._buckets):
+            seen += n
+            if seen >= rank and n:
+                # clamp to the exactly-tracked extremes so single-value
+                # histograms report that value, not a bucket edge
+                upper = _BOUNDS[i] if i < len(_BOUNDS) else self.max
+                return min(max(upper, self.min), self.max)
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+
+class _NullCounter:
+    __slots__ = ()
+    name = "null"
+    value = 0
+
+    def inc(self, n: int = 1) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+    name = "null"
+    count = 0
+    sum = 0.0
+    min = 0.0
+    max = 0.0
+    mean = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+
+NULL_COUNTER = _NullCounter()
+NULL_HISTOGRAM = _NullHistogram()
+
+
+class MetricsRegistry:
+    """Named instruments, created on demand, snapshot as rows."""
+
+    def __init__(self, enabled: bool = True):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        if not self.enabled:
+            return NULL_COUNTER
+        with self._lock:
+            inst = self._counters.get(name)
+            if inst is None:
+                inst = self._counters[name] = Counter(name)
+            return inst
+
+    def gauge(self, name: str,
+              fn: Optional[Callable[[], float]] = None) -> Gauge:
+        if not self.enabled:
+            return Gauge(name, fn)  # unregistered: invisible, harmless
+        with self._lock:
+            inst = self._gauges.get(name)
+            if inst is None:
+                inst = self._gauges[name] = Gauge(name, fn)
+            elif fn is not None:
+                inst.fn = fn
+            return inst
+
+    def histogram(self, name: str) -> Histogram:
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        with self._lock:
+            inst = self._histograms.get(name)
+            if inst is None:
+                inst = self._histograms[name] = Histogram(name)
+            return inst
+
+    def snapshot_rows(self) -> List[tuple]:
+        """(name, kind, value, count, sum, p50, p95, p99, max) rows."""
+        rows = []
+        with self._lock:
+            counters = list(self._counters.values())
+            gauges = list(self._gauges.values())
+            histograms = list(self._histograms.values())
+        for c in counters:
+            rows.append((c.name, "counter", float(c.value), c.value,
+                         None, None, None, None, None))
+        for g in gauges:
+            rows.append((g.name, "gauge", g.read(), None,
+                         None, None, None, None, None))
+        for h in histograms:
+            rows.append((h.name, "histogram", h.mean, h.count, h.sum,
+                         h.quantile(0.50), h.quantile(0.95),
+                         h.quantile(0.99), h.max if h.count else None))
+        rows.sort(key=lambda r: r[0])
+        return rows

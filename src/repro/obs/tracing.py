@@ -1,0 +1,94 @@
+"""Pipeline tracing: sampled tuples carry a span tree through the CQ
+pipeline — source → window → operators → emit.
+
+Sampling is deterministic every-Nth rather than random: no RNG call per
+tuple, reproducible in tests (rate 1.0 traces everything), and the
+sampled population is spread evenly across the ingest stream.  Finished
+traces live in a bounded deque queryable through ``repro_traces``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass
+class Span:
+    """One timed step of a sampled tuple's journey."""
+
+    span_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float            # wall clock (epoch seconds)
+    duration: float         # seconds
+
+    def row(self, trace_id: int) -> tuple:
+        return (trace_id, self.span_id, self.parent_id, self.name,
+                self.start, round(self.duration * 1000.0, 6))
+
+
+@dataclass
+class Trace:
+    """A span tree rooted at the ingest of one sampled tuple."""
+
+    trace_id: int
+    ingest_pc: float                      # perf_counter at ingest
+    spans: List[Span] = field(default_factory=list)
+    _next_span: int = 0
+
+    def add_span(self, name: str, parent_id: Optional[int],
+                 start: float, duration: float) -> Span:
+        span = Span(self._next_span, parent_id, name, start, duration)
+        self._next_span += 1
+        self.spans.append(span)
+        return span
+
+    @property
+    def root_id(self) -> Optional[int]:
+        return self.spans[0].span_id if self.spans else None
+
+
+class Tracer:
+    """Every-Nth sampling tracer with bounded finished-trace storage."""
+
+    def __init__(self, sample_rate: float = 0.01, keep: int = 128):
+        self._lock = threading.Lock()
+        self._ids = itertools.count(1)
+        self.finished: deque = deque(maxlen=keep)
+        self._interval = 0
+        self.set_rate(sample_rate)
+
+    @property
+    def sample_rate(self) -> float:
+        return 1.0 / self._interval if self._interval else 0.0
+
+    def set_rate(self, rate: float) -> None:
+        if rate <= 0.0:
+            self._interval = 0
+        else:
+            self._interval = max(1, round(1.0 / min(rate, 1.0)))
+
+    def start(self) -> Trace:
+        """Begin a trace now.  Sampling decisions live with the caller
+        (streams keep an inline every-Nth countdown)."""
+        return Trace(next(self._ids), time.perf_counter())
+
+    def finish(self, trace: Trace) -> None:
+        with self._lock:
+            self.finished.append(trace)
+
+    def rows(self) -> List[tuple]:
+        """Flattened (trace_id, span_id, parent_id, name, start,
+        duration_ms) rows over finished traces, oldest first."""
+        with self._lock:
+            traces = list(self.finished)
+        out = []
+        for trace in traces:
+            for span in trace.spans:
+                out.append(span.row(trace.trace_id))
+        return out

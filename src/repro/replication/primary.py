@@ -53,6 +53,9 @@ class ReplicationManager:
         db.enable_replication_logging()
         db.storage.wal.on_append = self._on_append
         db.replication_registry = self.status_rows
+        obs = getattr(db, "obs", None)
+        if obs is not None:
+            obs.bind_replication_primary(self)
 
     # -- attach / detach ---------------------------------------------------
 

@@ -250,6 +250,9 @@ class StandbyController:
         self._thread = threading.Thread(
             target=self._run, name="repro-standby", daemon=True)
         self.db.replication_registry = self.status_rows
+        obs = getattr(self.db, "obs", None)
+        if obs is not None:
+            obs.bind_replication_standby(self)
 
     # -- lifecycle ---------------------------------------------------------
 

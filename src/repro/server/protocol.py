@@ -19,6 +19,7 @@ Request ops::
     advance      {"id", "op", "time"}             -> ok (heartbeat)
     flush        {"id", "op"}                     -> ok (drain windows)
     ping         {"id", "op"}                     -> ok
+    metrics      {"id", "op"}                     -> observability scrape
     goodbye      {"id", "op"}                     -> ok, then close
     shutdown     {"id", "op"}                     -> ok, then server stops
 

@@ -102,6 +102,12 @@ class TruSQLServer:
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self.db.connection_registry = self.connection_rows
+        # observability: frame counters + session gauge (null-safe)
+        self._c_frames_in = None
+        self._c_frames_out = None
+        obs = getattr(self.db, "obs", None)
+        if obs is not None:
+            obs.bind_server(self)
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -328,10 +334,15 @@ class TruSQLServer:
                 if frame is None:
                     break
                 session.last_seen = time.monotonic()
+                session.last_seen_wall = time.time()
+                if self._c_frames_in is not None:
+                    self._c_frames_in.inc()
                 response = await self._dispatch(session, frame)
                 if response is not None:
                     writer.write(protocol.encode_frame(response))
                     await writer.drain()
+                    if self._c_frames_out is not None:
+                        self._c_frames_out.inc()
                 op = frame.get("op")
                 if op == "goodbye" or self._stopped:
                     break
@@ -396,6 +407,8 @@ class TruSQLServer:
                 return await session.handle_replicate_ack(frame)
             if op == "promote":
                 return await self._handle_promote(request_id, frame)
+            if op == "metrics":
+                return await self._handle_metrics(request_id)
             if op == "hello":
                 return protocol.ok_response(
                     request_id, server="repro",
@@ -440,6 +453,19 @@ class TruSQLServer:
         return protocol.ok_response(request_id, role=self.role,
                                     promotion=stats)
 
+    async def _handle_metrics(self, request_id):
+        """Scrape the observability surfaces in one engine round trip."""
+        def gather():
+            out = {}
+            for view in ("repro_metrics", "repro_cq_stats",
+                         "repro_operator_stats", "repro_traces"):
+                rs = self.db.query(f"SELECT * FROM {view}")
+                out[view] = {"columns": list(rs.columns),
+                             "rows": [list(r) for r in rs.rows]}
+            return out
+        payload = await self.on_engine(gather)
+        return protocol.ok_response(request_id, metrics=payload)
+
     async def _writer_loop(self, session: Session, writer, wake) -> None:
         """Drains the session's outbound push buffer to the socket.
         ``writer.drain()`` is where a slow client's TCP window pushes
@@ -454,6 +480,8 @@ class TruSQLServer:
                     continue
                 for frame in frames:
                     writer.write(protocol.encode_frame(frame))
+                if self._c_frames_out is not None:
+                    self._c_frames_out.inc(len(frames))
                 await writer.drain()
         except (ConnectionError, asyncio.CancelledError):
             for entry in session.subs.values():

@@ -123,8 +123,12 @@ class Session:
         self.state = "active"
         self.started_monotonic = time.monotonic()
         # updated by the server on every inbound frame; the idle reaper
-        # closes sessions whose silence exceeds the server's idle_timeout
+        # closes sessions whose silence exceeds the server's idle_timeout.
+        # Kept on the monotonic clock so wall-clock jumps can neither
+        # mass-reap nor immortalise sessions; the wall-clock twin exists
+        # only for display in repro_connections.
         self.last_seen = self.started_monotonic
+        self.last_seen_wall = time.time()
         # session-scoped options
         self.options = {
             "subscribe_policy": POLICY_BLOCK,
@@ -493,6 +497,7 @@ class Session:
             self.rows_ingested, len(self.subs), windows, tuples_out,
             sheds, round(now - self.started_monotonic, 3),
             round(now - self.last_seen, 3),
+            self.last_seen_wall,
         )
 
     def session_option_rows(self) -> List[tuple]:

@@ -309,9 +309,18 @@ class CreateTableAs(Statement):
 
 @dataclass
 class Explain(Statement):
-    """``EXPLAIN <select>`` — returns the physical plan as text rows."""
+    """``EXPLAIN [ANALYZE] <select | name>`` — the physical plan as text.
 
-    query: Statement
+    ``query`` holds an inline statement; ``target`` names a running CQ,
+    derived stream or channel instead.  With ``analyze`` the rendering
+    carries live per-operator row counts and timings: accumulated since
+    CQ start for a named target, measured by one instrumented execution
+    for an inline snapshot query.
+    """
+
+    query: Optional[Statement] = None
+    analyze: bool = False
+    target: Optional[str] = None
 
 
 @dataclass

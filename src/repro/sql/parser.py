@@ -126,7 +126,7 @@ class Parser:
             return self._select()
         if word == "EXPLAIN":
             self._advance()
-            return ast.Explain(self._select())
+            return self._explain()
         if word == "ANALYZE":
             self._advance()
             name = None
@@ -165,6 +165,13 @@ class Parser:
             self._advance()
             return ast.ShowOption(self._expect_ident().lower())
         self._fail(f"unknown statement {token.text!r}")
+
+    def _explain(self) -> ast.Explain:
+        """``EXPLAIN`` already consumed: ``[ANALYZE] (<select> | name)``."""
+        analyze = self._accept_word("ANALYZE")
+        if self._check_word("SELECT"):
+            return ast.Explain(query=self._select(), analyze=analyze)
+        return ast.Explain(analyze=analyze, target=self._expect_ident())
 
     def _set_option(self) -> ast.SetOption:
         """``SET name [=|TO] value`` where value is a number, a string,

@@ -155,6 +155,12 @@ def render_statement(node) -> str:
         tail = _render_tail(node)
         return f"{out} {tail}" if tail else out
 
+    if isinstance(node, ast.Explain):
+        head = "EXPLAIN ANALYZE" if node.analyze else "EXPLAIN"
+        if node.target is not None:
+            return f"{head} {node.target}"
+        return f"{head} {render_statement(node.query)}"
+
     if not isinstance(node, ast.Select):
         raise ValueError(f"cannot render statement {node!r}")
 

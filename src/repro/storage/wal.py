@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import json
 import os
+import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
@@ -132,6 +133,8 @@ class WriteAheadLog:
         self.torn_records = 0
         #: called with each appended record (primary-side WAL shipping)
         self.on_append = None
+        #: obs histogram observing flush wall time (None = untimed)
+        self.flush_timer = None
         self.path = path
         self._fh = None
         if path is not None:
@@ -198,6 +201,8 @@ class WriteAheadLog:
         """
         if self._flushed_upto == len(self.records):
             return
+        timer = self.flush_timer
+        started = time.perf_counter() if timer is not None else 0.0
         if self.faults is not None \
                 and self.faults.should("wal.torn_write"):
             victim = self.records[-1]
@@ -219,6 +224,8 @@ class WriteAheadLog:
         self._unflushed_bytes = 0
         self._flushed_upto = len(self.records)
         self.flush_count += 1
+        if timer is not None:
+            timer.observe(time.perf_counter() - started)
 
     # -- file persistence --------------------------------------------------
 

@@ -14,6 +14,7 @@ Experiment E5 quantifies that comparison against batch-refresh MVs.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 
 from repro.errors import ConstraintError, StreamingError
@@ -51,6 +52,7 @@ class Channel:
         self.stats = ChannelStats()
         self._attached = False
         self.faults = None  # optional FaultInjector (channel.write)
+        self.flush_timer = None  # obs histogram timing each window write
 
     def attach(self) -> None:
         if not self._attached:
@@ -72,6 +74,8 @@ class Channel:
             except Exception:
                 self.stats.write_failures += 1
                 raise
+        timer = self.flush_timer
+        started = time.perf_counter() if timer is not None else 0.0
         txn = self._txn_manager.begin()
         try:
             if self.mode == REPLACE:
@@ -89,6 +93,8 @@ class Channel:
         self.stats.batches += 1
         self.stats.rows_written += len(rows)
         self.stats.last_close = close_time
+        if timer is not None:
+            timer.observe(time.perf_counter() - started)
 
     def on_tuple(self, row: tuple, event_time: float) -> None:
         # a channel fed by a raw stream archives tuple-at-a-time

@@ -17,6 +17,7 @@ Window-less stream references are allowed for pure row-wise transforms
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import List, Optional
 
@@ -33,13 +34,19 @@ from repro.txn.window_consistency import WindowConsistentView
 
 @dataclass
 class CQStats:
-    """Per-CQ counters used by the benchmarks."""
+    """Per-CQ counters used by the benchmarks and stats views."""
 
     tuples_in: int = 0
     windows_evaluated: int = 0
     rows_scanned: int = 0    # rows fed into per-window plan executions
     rows_out: int = 0
     last_close: Optional[float] = None
+    # window-close wall time (plan execution + sink delivery), kept by
+    # the observability layer
+    last_window_seconds: float = 0.0
+    total_window_seconds: float = 0.0
+    max_window_seconds: float = 0.0
+    slow_windows: int = 0
 
 
 def inline_streaming_views(node, catalog):
@@ -148,7 +155,7 @@ class ContinuousQuery(StreamConsumer):
     """
 
     def __init__(self, name: str, select: ast.Select, catalog, txn_manager,
-                 emit_empty: bool = True, params=None):
+                 emit_empty: bool = True, params=None, obs=None):
         self.name = name
         self.select = select
         self._catalog = catalog
@@ -160,6 +167,11 @@ class ContinuousQuery(StreamConsumer):
         self._sinks = []
         self._running = True
         self.faults = None  # optional FaultInjector (cq.window crashpoint)
+        self.obs = obs      # Observability facade (None = uninstrumented)
+        # per-operator timing is sampled: armed on every Nth evaluation
+        # so untimed windows run through a bare yield-from pass-through
+        self._timing_index = 0
+        self._timing_on = True
 
         select.from_clause = inline_streaming_views(
             select.from_clause, catalog)
@@ -179,6 +191,8 @@ class ContinuousQuery(StreamConsumer):
         self._batches = [[] for _ in refs]
 
         self._plan = self._build_plan()
+        if obs is not None:
+            self._plan.instrument()
         self.output_names = self._plan.column_names
         self.output_schema = self._plan.output_schema()
 
@@ -317,18 +331,35 @@ class ContinuousQuery(StreamConsumer):
         if self.faults is not None:
             self.faults.check("cq.window", self.name)
         self.view.refresh()
+        obs = self.obs
+        traces = op_before = None
+        if obs is not None:
+            timed = self._arm_timing()
+            traces = obs.take_traces(self.stream, close_time)
+            if traces and timed:
+                op_before = self._op_snapshot()
+        started_wall = time.time()
+        started = time.perf_counter()
         self._batches[0] = rows
         ctx = self._make_ctx(open_time, close_time)
         try:
             out = list(self._plan.execute(ctx))
         finally:
             self._batches[0] = []
+        exec_seconds = time.perf_counter() - started
         self.stats.windows_evaluated += 1
         self.stats.rows_scanned += len(rows)
         self.stats.rows_out += len(out)
         self.stats.last_close = close_time
+        emit_started = time.perf_counter()
         for sink in self._sinks:
             sink(out, open_time, close_time)
+        if obs is not None:
+            emit_seconds = time.perf_counter() - emit_started
+            self._record_window(exec_seconds + emit_seconds, close_time)
+            if traces:
+                obs.trace_window(self, traces, self._plan.root, op_before,
+                                 started_wall, exec_seconds, emit_seconds)
 
     # -- two-stream join mode ------------------------------------------------------
 
@@ -354,22 +385,40 @@ class ContinuousQuery(StreamConsumer):
         if self.faults is not None:
             self.faults.check("cq.window", self.name)
         self.view.refresh()
-        self._batches[0] = left[0]
-        self._batches[1] = right[0]
         close_time = max(left[2], right[2])
         open_time = min(left[1], right[1])
+        obs = self.obs
+        traces = op_before = None
+        if obs is not None:
+            timed = self._arm_timing()
+            traces = (obs.take_traces(self.streams[0], close_time)
+                      + obs.take_traces(self.streams[1], close_time))
+            if traces and timed:
+                op_before = self._op_snapshot()
+        started_wall = time.time()
+        started = time.perf_counter()
+        self._batches[0] = left[0]
+        self._batches[1] = right[0]
         ctx = self._make_ctx(open_time, close_time)
         try:
             out = list(self._plan.execute(ctx))
         finally:
             self._batches[0] = []
             self._batches[1] = []
+        exec_seconds = time.perf_counter() - started
         self.stats.windows_evaluated += 1
         self.stats.rows_scanned += len(left[0]) + len(right[0])
         self.stats.rows_out += len(out)
         self.stats.last_close = close_time
+        emit_started = time.perf_counter()
         for sink in self._sinks:
             sink(out, open_time, close_time)
+        if obs is not None:
+            emit_seconds = time.perf_counter() - emit_started
+            self._record_window(exec_seconds + emit_seconds, close_time)
+            if traces:
+                obs.trace_window(self, traces, self._plan.root, op_before,
+                                 started_wall, exec_seconds, emit_seconds)
 
     def _port_flushed(self, index: int) -> None:
         """A source stream flushed; once both have, drain unmatched
@@ -393,19 +442,41 @@ class ContinuousQuery(StreamConsumer):
             return
         self.stats.tuples_in += 1
         self.view.refresh()
+        obs = self.obs
+        traces = op_before = None
+        if obs is not None:
+            timed = self._arm_timing()
+            traces = obs.take_traces(self.stream, event_time,
+                                     inclusive=True)
+            if traces and timed:
+                op_before = self._op_snapshot()
+        started_wall = time.time()
+        started = time.perf_counter()
         self._batches[0] = [row]
         ctx = self._make_ctx(event_time, event_time)
         try:
             out = list(self._plan.execute(ctx))
         finally:
             self._batches[0] = []
+        exec_seconds = time.perf_counter() - started
         self.stats.rows_scanned += 1
+        emitted = False
+        emit_started = started_wall
         if out:
             self.stats.windows_evaluated += 1
             self.stats.rows_out += len(out)
             self.stats.last_close = event_time
+            emit_started = time.perf_counter()
             for sink in self._sinks:
                 sink(out, event_time, event_time)
+            emitted = True
+        if obs is not None:
+            emit_seconds = (time.perf_counter() - emit_started
+                            if emitted else 0.0)
+            self._record_window(exec_seconds + emit_seconds, event_time)
+            if traces:
+                obs.trace_window(self, traces, self._plan.root, op_before,
+                                 started_wall, exec_seconds, emit_seconds)
 
     def on_heartbeat(self, event_time: float) -> None:
         pass
@@ -413,6 +484,44 @@ class ContinuousQuery(StreamConsumer):
     def on_flush(self) -> None:
         pass
 
-    def explain(self) -> str:
-        """The per-window relational plan, for inspection."""
-        return self._plan.explain()
+    # -- observability --------------------------------------------------------
+
+    #: operator timing is armed on one evaluation out of this many; the
+    #: rest run through the wrapper's bare pass-through.  The first
+    #: evaluation is always timed so EXPLAIN ANALYZE has data at once.
+    TIMING_SAMPLE_EVERY = 8
+
+    def _arm_timing(self) -> bool:
+        """Flip per-operator timing on/off for the coming evaluation
+        according to the sampling schedule.  The operator loop only runs
+        when the armed state actually changes."""
+        index = self._timing_index
+        self._timing_index = index + 1
+        timed = index % self.TIMING_SAMPLE_EVERY == 0
+        if timed != self._timing_on:
+            from repro.obs.service import walk_operators
+            for op, _depth, _parent in walk_operators(self._plan.root):
+                op.set_timing(timed)
+            self._timing_on = timed
+        return timed
+
+    def _op_snapshot(self):
+        """(operator, tuples_out, wall_seconds) for every instrumented
+        operator — the 'before' side of a per-window stats delta."""
+        from repro.obs.service import walk_operators
+        return [(op, op.stats.tuples_out, op.stats.wall_seconds)
+                for op, _depth, _parent in walk_operators(self._plan.root)
+                if op.stats is not None]
+
+    def _record_window(self, duration: float, close_time: float) -> None:
+        st = self.stats
+        st.last_window_seconds = duration
+        st.total_window_seconds += duration
+        if duration > st.max_window_seconds:
+            st.max_window_seconds = duration
+        self.obs.on_window_close(self, duration, close_time)
+
+    def explain(self, analyze: bool = False) -> str:
+        """The per-window relational plan; with ``analyze``, annotated
+        with per-operator stats accumulated since the CQ started."""
+        return self._plan.explain(analyze=analyze)

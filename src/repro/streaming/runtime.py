@@ -46,6 +46,7 @@ class StreamingRuntime:
         self.high_water_mark = high_water_mark
         self.supervisor = None  # set by Database.enable_supervision
         self.faults = None      # optional FaultInjector, set by Database
+        self.obs = None         # Observability facade, set by Database
         # fn(stream, kind, row, event_time) wired onto every base stream
         # when replication logging is enabled (Database sets this)
         self.stream_logger = None
@@ -70,6 +71,8 @@ class StreamingRuntime:
         )
         stream.faults = self.faults
         stream.replication_log = self.stream_logger
+        if self.obs is not None:
+            self.obs.bind_stream(stream)
         self.catalog.add_relation(name, cat.STREAM, stream)
         if self.supervisor is not None:
             self.supervisor.adopt_stream(stream)
@@ -126,7 +129,8 @@ class StreamingRuntime:
             if analysis is not None:
                 return self._make_shared_cq(name, select, analysis)
         cq = ContinuousQuery(name, select, self.catalog, self.txn_manager,
-                             self.emit_empty_windows, params=params)
+                             self.emit_empty_windows, params=params,
+                             obs=self.obs)
         cq.faults = self.faults
         return cq
 
@@ -143,7 +147,12 @@ class StreamingRuntime:
             aggregator = build_aggregator(analysis, stream)
             stream.subscribe(aggregator)
             candidates.append(aggregator)
-        return SharedContinuousQuery(name, analysis, aggregator, stream, select)
+        cq = SharedContinuousQuery(name, analysis, aggregator, stream, select)
+        if self.obs is not None:
+            cq.obs = self.obs
+            from repro.obs.service import instrument_plan
+            instrument_plan(cq._post_plan)
+        return cq
 
     def stop_cq(self, cq) -> None:
         cq.stop()
@@ -170,6 +179,8 @@ class StreamingRuntime:
         source = self.catalog.get_relation(source_name)
         channel = Channel(name, source, table, self.txn_manager, mode)
         channel.faults = self.faults
+        if self.obs is not None:
+            self.obs.bind_channel(channel)
         channel.attach()
         self.catalog.add_channel(name, channel)
         if self.supervisor is not None:

@@ -21,6 +21,7 @@ HAVING/projection/ORDER BY/LIMIT tail runs per-CQ on the merged rows.
 from __future__ import annotations
 
 import math
+import time
 from dataclasses import dataclass, field
 from typing import Callable, List, Optional
 
@@ -332,6 +333,7 @@ class SharedContinuousQuery:
         self._sinks = []
         self._holder: list = []
         self._consumer = None
+        self.obs = None  # Observability facade, set by the runtime
 
         stream_layout = RowLayout([
             (select.from_clause.alias or analysis.stream_name,
@@ -393,6 +395,8 @@ class SharedContinuousQuery:
     def _on_aggregated(self, rows, open_time: float, close_time: float) -> None:
         self._holder = rows
         ctx = {"cq_close": close_time, "cq_open": open_time}
+        obs = self.obs
+        started = time.perf_counter() if obs is not None else 0.0
         out = list(self._post_plan.rows(ctx))
         self._holder = []
         self.stats.windows_evaluated += 1
@@ -401,9 +405,18 @@ class SharedContinuousQuery:
         self.stats.last_close = close_time
         for sink in self._sinks:
             sink(out, open_time, close_time)
+        if obs is not None:
+            duration = time.perf_counter() - started
+            st = self.stats
+            st.last_window_seconds = duration
+            st.total_window_seconds += duration
+            if duration > st.max_window_seconds:
+                st.max_window_seconds = duration
+            obs.on_window_close(self, duration, close_time)
 
-    def explain(self) -> str:
-        return "SharedSliceAggregator\n" + self._post_plan.explain(1)
+    def explain(self, analyze: bool = False) -> str:
+        return ("SharedSliceAggregator\n"
+                + self._post_plan.explain(1, analyze))
 
 
 def build_aggregator(analysis: SharingAnalysis, stream) -> SharedSliceAggregator:

@@ -105,6 +105,13 @@ class BaseStream:
         # delivered tuple and every watermark advance, so a WAL-shipping
         # standby can mirror the stream tail
         self.replication_log = None
+        # observability facade (set by Observability.bind_stream);
+        # sampled traces of in-flight tuples park here until their
+        # window closes.  _trace_countdown is the every-Nth sampling
+        # state kept inline so the untraced path costs one int check.
+        self.obs = None
+        self._trace_countdown = 0
+        self._pending_traces = []
 
     # -- subscription ---------------------------------------------------------
 
@@ -158,11 +165,23 @@ class BaseStream:
             heapq.heappush(self._pending, (event_time, self._seq, final))
             self._seq += 1
             self.tuples_in += 1
+            countdown = self._trace_countdown
+            if countdown:
+                if countdown == 1:
+                    self.obs.start_trace(self, event_time)
+                else:
+                    self._trace_countdown = countdown - 1
             self._release(self.raw_watermark - self.slack)
             return True
         self.watermark = max(self.watermark, event_time)
         self.raw_watermark = self.watermark
         self.tuples_in += 1
+        countdown = self._trace_countdown
+        if countdown:
+            if countdown == 1:
+                self.obs.start_trace(self, event_time)
+            else:
+                self._trace_countdown = countdown - 1
         self._deliver(final, event_time)
         return True
 

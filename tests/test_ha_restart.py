@@ -182,8 +182,11 @@ class TestIdleReaper:
         with ServerThread() as st:
             conn = client.connect(st.host, st.port)
             time.sleep(0.3)
-            stale = conn.query(
-                "SELECT last_seen FROM repro_connections").scalar()
+            idle, last_seen = conn.query(
+                "SELECT idle_seconds, last_seen FROM repro_connections").rows[0]
             # the query itself just touched the session
-            assert stale is not None and stale < 0.25
+            assert idle is not None and idle < 0.25
+            # last_seen is wall-clock for display; idleness is computed
+            # from the monotonic clock internally
+            assert abs(last_seen - time.time()) < 5.0
             conn.close()
