@@ -3,7 +3,7 @@
 PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
-	failover-smoke obs-smoke coverage clean
+	failover-smoke obs-smoke admission-smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -17,9 +17,10 @@ bench:
 # the chaos suite replays a fixed fault schedule (seed 2009); see
 # docs/FAULTS.md.  The replication/restart files exercise the
 # replication.ship, replication.apply and server.boot_recovery
-# crashpoints.
+# crashpoints; the admission file exercises admission.quota_check and
+# admission.dedup_persist (refusal-not-corruption, torn-batch discard).
 chaos:
-	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py -q
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -46,6 +47,11 @@ failover-smoke:
 # 5% of the bare engine on the E1 ingest+window workload (X4, small)
 obs-smoke:
 	$(PYTHON) benchmarks/bench_x4_obs.py
+
+# overload isolation gate: a noisy tenant's burst flood must not
+# degrade a well-behaved tenant's p99 delivery latency by 2x (X5)
+admission-smoke:
+	$(PYTHON) benchmarks/bench_x5_admission.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

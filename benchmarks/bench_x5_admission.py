@@ -1,0 +1,186 @@
+"""X5 — admission control under overload: a rate-limited noisy tenant
+must not ruin a well-behaved tenant's delivery latency.
+
+Two tenants share one server.  Tenant ``good`` streams small batches
+into its own stream and subscribes to it, so every tuple comes back as
+a push frame; the server stamps each push when the engine enqueues it
+and observes the stamp when the frame hits the socket, giving a
+per-tenant delivery-latency histogram (``server.delivery_seconds.good``
+in ``repro_metrics``).  Tenant ``noisy`` bursts oversized batches at
+the same server from a background thread, far over its configured
+ingest rate, with client-side retry disabled — exactly the traffic
+admission control exists to refuse *before* it costs engine time.
+
+The bench runs the good tenant's workload twice — once alone (the
+baseline), once under the noisy tenant's flood — and gates on the
+good tenant's p99 delivery latency degrading less than 2x (plus a
+small absolute floor so a sub-millisecond baseline doesn't turn
+scheduler jitter into a failure).
+
+Run standalone (``make admission-smoke``)::
+
+    PYTHONPATH=src python benchmarks/bench_x5_admission.py
+"""
+
+import sys
+import threading
+import time
+
+from repro import client
+from repro.bench.harness import format_table
+from repro.errors import AdmissionError, TruvisoError
+from repro.server import ServerThread
+
+GOOD_DDL = "CREATE STREAM good_s (v integer, ts timestamp CQTIME USER)"
+NOISY_DDL = "CREATE STREAM noisy_s (v integer, ts timestamp CQTIME USER)"
+
+N_BATCHES = 150        # good-tenant batches per phase
+BATCH_ROWS = 10
+FLOOD_ROWS = 256       # every noisy batch is far over its burst
+NOISY_RATE = 200.0     # rows/second the noisy tenant is entitled to
+
+GATE_RATIO = 2.0
+GATE_FLOOR_S = 0.005   # absolute headroom for sub-ms baselines
+
+
+def flood(host, port, stop):
+    """The noisy tenant: oversized batches, no backoff, no manners."""
+    conn = client.connect(host, port, tenant="noisy")
+    at = 0.0
+    sent = 0
+    try:
+        while not stop.is_set():
+            at += 1.0
+            rows = [(i, at) for i in range(FLOOD_ROWS)]
+            try:
+                conn.ingest("noisy_s", rows, retry=False)
+                sent += 1
+            except AdmissionError:
+                pass  # refused at the door: the whole point
+            except TruvisoError:
+                break
+    finally:
+        try:
+            conn.close()
+        except Exception:
+            pass
+    return sent
+
+
+def run_phase(flooded):
+    """One server, one good-tenant run; returns (p99_seconds, stats)."""
+    with ServerThread() as st:
+        good = client.connect(st.host, st.port, tenant="good")
+        good.execute(GOOD_DDL)
+        good.execute(NOISY_DDL)
+        good.execute("SET admission = on")
+        st.db.admission.configure_tenant(
+            "noisy", rate_limit=NOISY_RATE, burst=NOISY_RATE)
+        st.db.admission.configure_tenant("good", weight=2.0)
+        good.subscribe("good_s")
+
+        stop = threading.Event()
+        flooder = None
+        if flooded:
+            flooder = threading.Thread(
+                target=flood, args=(st.host, st.port, stop), daemon=True)
+            flooder.start()
+
+        at = 0.0
+        for i in range(N_BATCHES):
+            at += 0.05
+            good.ingest("good_s",
+                        [(v, at) for v in range(BATCH_ROWS)])
+        # let the last pushes reach the socket before scraping
+        deadline = time.monotonic() + 10.0
+        expected = N_BATCHES * BATCH_ROWS
+        count = 0
+        while time.monotonic() < deadline and count < expected:
+            row = good.query(
+                "SELECT count, p99 FROM repro_metrics "
+                "WHERE name = 'server.delivery_seconds.good'").rows
+            count = row[0][0] if row else 0
+            time.sleep(0.05)
+        stop.set()
+        if flooder is not None:
+            flooder.join(timeout=10.0)
+
+        (count, p99) = good.query(
+            "SELECT count, p99 FROM repro_metrics "
+            "WHERE name = 'server.delivery_seconds.good'").rows[0]
+        assert count and count > 0, "no delivery samples were recorded"
+        admission = good.query(
+            "SELECT batches_admitted, batches_rejected, batches_shed "
+            "FROM repro_admission").rows[0]
+        tenants = good.query(
+            "SELECT name, rows_ingested, batches_rejected, batches_shed "
+            "FROM repro_tenants").rows
+        good.close()
+        return float(p99), {"samples": count, "admission": admission,
+                            "tenants": tenants}
+
+
+def build_report(base_p99, flood_p99, flood_stats):
+    ratio = flood_p99 / base_p99 if base_p99 > 0 else float("inf")
+    rows = [
+        ["baseline", round(base_p99 * 1000, 3), "-"],
+        ["flooded", round(flood_p99 * 1000, 3), f"{ratio:.2f}x"],
+    ]
+    text = format_table(
+        ["phase", "good-tenant p99 delivery ms", "vs baseline"],
+        rows,
+        title="X5: good-tenant delivery latency under a noisy tenant's "
+              f"burst flood (gate: < {GATE_RATIO:.0f}x + "
+              f"{GATE_FLOOR_S * 1000:.0f}ms)")
+    admitted, rejected, shed = flood_stats["admission"]
+    text += (f"\nflooded-phase admission: {admitted} admitted, "
+             f"{rejected} rejected, {shed} shed")
+    for name, ingested, brej, bshed in flood_stats["tenants"]:
+        text += (f"\n  tenant {name}: {ingested} rows in, "
+                 f"{brej} batches rejected, {bshed} shed")
+    return text, ratio
+
+
+def passes_gate(base_p99, flood_p99):
+    return flood_p99 < GATE_RATIO * base_p99 + GATE_FLOOR_S
+
+
+def test_x5_admission_overload(report):
+    report.experiment_id = "X5_admission"
+    base_p99, _ = run_phase(flooded=False)
+    flood_p99, flood_stats = run_phase(flooded=True)
+    text, _ratio = build_report(base_p99, flood_p99, flood_stats)
+    print("\n" + text)
+    report.add(text)
+    # the noisy tenant must actually have been throttled for the
+    # comparison to mean anything
+    noisy = [t for t in flood_stats["tenants"] if t[0] == "noisy"]
+    assert noisy and noisy[0][2] > 0, "the flood was never rejected"
+    assert passes_gate(base_p99, flood_p99), (
+        f"good-tenant p99 degraded {flood_p99 / base_p99:.2f}x "
+        f"({base_p99 * 1000:.3f}ms -> {flood_p99 * 1000:.3f}ms)")
+
+
+def main():
+    """Standalone smoke entry point (``make admission-smoke``)."""
+    base_p99, _ = run_phase(flooded=False)
+    flood_p99, flood_stats = run_phase(flooded=True)
+    text, ratio = build_report(base_p99, flood_p99, flood_stats)
+    print(text)
+    noisy = [t for t in flood_stats["tenants"] if t[0] == "noisy"]
+    if not noisy or noisy[0][2] == 0:
+        print("FAIL: the flood was never rejected — admission control "
+              "did not engage", file=sys.stderr)
+        return 1
+    if not passes_gate(base_p99, flood_p99):
+        print(f"FAIL: good-tenant p99 degraded {ratio:.2f}x "
+              f"(gate {GATE_RATIO:.0f}x + {GATE_FLOOR_S * 1000:.0f}ms)",
+              file=sys.stderr)
+        return 1
+    print(f"OK: good-tenant p99 degraded {ratio:.2f}x under flood "
+          f"(gate {GATE_RATIO:.0f}x + {GATE_FLOOR_S * 1000:.0f}ms)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,6 +9,11 @@ heartbeats, the client must fail over and resume its subscription, and
 the delivered window sequence must be gap-free and duplicate-free —
 identical closes to an uninterrupted run.
 
+Also proves idempotent ingest end to end: one pre-crash batch is
+stamped with ``(sender, seq)``; after promotion the same batch is
+re-sent to the new primary, which must recognise it from the shipped
+dedup marker and ack ``duplicate`` without applying a single row.
+
 Run from the repository root::
 
     PYTHONPATH=src python scripts/failover_smoke.py
@@ -71,9 +76,11 @@ def main():
                                  reconnect_max_backoff=0.5)
         sub = watcher.subscribe("totals")
 
-        # two full windows, then tuples of the in-flight third window
+        # two full windows, then tuples of the in-flight third window;
+        # the second batch is stamped for the post-failover replay proof
         pconn.ingest("s", [(i, float(i)) for i in range(1, 10)])
-        pconn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)])
+        pconn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)],
+                     sender="smoke", seq=7)
         pconn.ingest("s", [(0, 21.0)])    # closes (10,20]; 21.0 in flight
 
         got = list(sub.wait_windows(2, timeout=15.0))
@@ -113,8 +120,25 @@ def main():
             fail(f"standby never promoted (role={role!r})")
         print("standby promoted")
 
-        # continue the stream on the new primary
+        # continue the stream on the new primary — but first, retry the
+        # stamped pre-crash batch verbatim: its dedup marker travelled
+        # in the shipped WAL, so the promoted standby must recognise
+        # the replay and apply zero rows
         nconn = client.connect(host, sport)
+        deadline = time.monotonic() + 15.0
+        while time.monotonic() < deadline:
+            names = [r[0] for r in nconn.query(
+                "SELECT name FROM repro_streams").rows]
+            if "s" in names:
+                break
+            time.sleep(0.2)
+        else:
+            fail(f"promoted standby never rebuilt the pipeline: {names}")
+        retry = nconn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)],
+                             sender="smoke", seq=7)
+        if retry.accepted != 0 or retry.duplicate != 5:
+            fail(f"replayed batch was not deduplicated: {retry!r}")
+        print(f"replayed batch ack: {retry!r}")
         nconn.ingest("s", [(i, 20.0 + i) for i in range(2, 8)])
         nconn.ingest("s", [(0, 31.0)])    # closes (20,30]
 

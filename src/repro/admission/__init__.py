@@ -1,0 +1,32 @@
+"""Admission control: tenants, quotas, dedup, and fair scheduling.
+
+See ``docs/SERVER.md`` ("Tenancy & admission control") for the operator
+view.  The pieces:
+
+- :class:`TokenBucket` — per-tenant ingest rate limiting;
+- :class:`DedupIndex` — per-stream ``(sender, seq)`` windows behind
+  idempotent ingest;
+- :class:`WeightedFairQueue` — the engine executor's multi-lane queue
+  (system lane strict-priority, tenant lanes stride-scheduled);
+- :class:`AdmissionController` — the tenant registry and the
+  admit/shed/refuse decision, wired into ``Session.handle_ingest``.
+"""
+
+from repro.admission.bucket import TokenBucket
+from repro.admission.controller import (
+    DEFAULT_TENANT,
+    AdmissionController,
+    Tenant,
+)
+from repro.admission.dedup import DEFAULT_WINDOW, DedupIndex
+from repro.admission.scheduler import WeightedFairQueue
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_TENANT",
+    "DEFAULT_WINDOW",
+    "DedupIndex",
+    "Tenant",
+    "TokenBucket",
+    "WeightedFairQueue",
+]

@@ -1,0 +1,81 @@
+"""Token buckets: the per-tenant ingest rate limiter.
+
+The classic shape: a bucket holds up to ``burst`` tokens and refills at
+``rate`` tokens per second; each admitted row spends one token.  The
+long-run admission bound is therefore ``burst + rate * elapsed`` (plus
+at most one batch of overdraft, see :meth:`TokenBucket.try_take`) — the
+invariant the hypothesis property tests pin down.
+
+Time comes from an injectable :class:`~repro.clock.Clock`, so tests
+drive refill with :class:`~repro.clock.ManualClock` instead of sleeping.
+"""
+
+from __future__ import annotations
+
+from repro.clock import Clock, SYSTEM_CLOCK
+
+
+class TokenBucket:
+    """A refillable token bucket over an injectable monotonic clock."""
+
+    def __init__(self, rate: float, burst: float,
+                 clock: Clock = SYSTEM_CLOCK):
+        if rate <= 0:
+            raise ValueError("token bucket rate must be > 0")
+        if burst <= 0:
+            raise ValueError("token bucket burst must be > 0")
+        self.rate = float(rate)
+        self.burst = float(burst)
+        self.clock = clock
+        self.tokens = self.burst
+        self._last = clock.monotonic()
+        self.admitted = 0     # tokens spent (rows admitted)
+        self.rejected = 0     # try_take calls that came back throttled
+
+    def configure(self, rate: float = None, burst: float = None) -> None:
+        """Retune the bucket in place (SET option applied retroactively).
+
+        The balance is clamped to the new burst so shrinking the bucket
+        takes effect immediately, not after the surplus drains.
+        """
+        self._refill(self.clock.monotonic())
+        if rate is not None:
+            if rate <= 0:
+                raise ValueError("token bucket rate must be > 0")
+            self.rate = float(rate)
+        if burst is not None:
+            if burst <= 0:
+                raise ValueError("token bucket burst must be > 0")
+            self.burst = float(burst)
+        self.tokens = min(self.tokens, self.burst)
+
+    def _refill(self, now: float) -> None:
+        elapsed = now - self._last
+        if elapsed > 0:
+            self.tokens = min(self.burst, self.tokens + elapsed * self.rate)
+            self._last = now
+
+    def try_take(self, n: int) -> float:
+        """Spend ``n`` tokens if available; returns the wait in seconds.
+
+        ``0.0`` means admitted.  A positive return is how long until the
+        deficit refills — the ``retry_after`` hint.  One wrinkle: a
+        single batch larger than ``burst`` could never be admitted by
+        the strict rule, so a *full* bucket admits any batch and goes
+        into overdraft (negative balance); subsequent batches then wait
+        out the debt.  The long-run rate stays bounded — the overdraft
+        is repaid before anything else is admitted.
+        """
+        now = self.clock.monotonic()
+        self._refill(now)
+        if n <= self.tokens or self.tokens >= self.burst:
+            self.tokens -= n
+            self.admitted += n
+            return 0.0
+        self.rejected += 1
+        return (n - self.tokens) / self.rate
+
+    def available(self) -> float:
+        """Current token balance (refilled to now); introspection only."""
+        self._refill(self.clock.monotonic())
+        return self.tokens

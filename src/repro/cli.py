@@ -18,6 +18,7 @@ commands:
     \\supervisor     supervision status of every CQ/stream/channel
     \\deadletters [N] last N quarantined tuples/windows (default 20)
     \\replication    replication role, shipped/applied LSNs, lag
+    \\tenants        per-tenant admission counters + controller status
     \\stats [cq]     engine metrics + per-CQ window/operator stats
     \\trace [N]      span trees of the last N sampled tuples (default 5)
     \\timing         toggle wall/sim timing output
@@ -101,6 +102,8 @@ class Shell:
             self._dead_letters(int(args[0]) if args else 20)
         elif command == "\\replication":
             self._replication()
+        elif command == "\\tenants":
+            self._tenants()
         elif command == "\\stats":
             self._stats(args[0] if args else None)
         elif command == "\\trace":
@@ -160,6 +163,26 @@ class Shell:
             "SELECT role, peer, state, shipped_lsn, applied_lsn, lag, "
             "last_error FROM repro_replication_status")
         self.write(result.pretty())
+
+    def _tenants(self) -> None:
+        """Admission-control status: controller tier + per-tenant counters."""
+        source = self.db if self.db is not None else self.conn
+        admission = source.query(
+            "SELECT enabled, tier, queue_depth, soft_depth, hard_depth, "
+            "batches_admitted, batches_rejected, batches_shed, duplicates "
+            "FROM repro_admission")
+        self.write("-- admission")
+        self.write(admission.pretty())
+        tenants = source.query(
+            "SELECT name, sessions, weight, rate_limit, row_quota, "
+            "rows_ingested, batches_admitted, batches_rejected, "
+            "batches_shed, duplicates FROM repro_tenants")
+        if tenants.rows:
+            self.write("-- tenants")
+            self.write(tenants.pretty())
+        else:
+            self.write("(no tenants yet; tenants appear at first "
+                       "hello/ingest)")
 
     def _stats(self, cq_name=None) -> None:
         """Engine metrics + per-CQ window and operator stats."""
@@ -321,6 +344,8 @@ class RemoteShell(Shell):
             self._describe()
         elif command == "\\replication":
             self._replication()
+        elif command == "\\tenants":
+            self._tenants()
         elif command == "\\stats":
             self._stats(args[0] if args else None)
         elif command == "\\trace":

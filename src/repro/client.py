@@ -42,8 +42,14 @@ from collections import deque
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro.clock import SYSTEM_CLOCK
 from repro.core.results import ResultSet, WindowResult
-from repro.errors import ConnectionTimeoutError, ProtocolError, RemoteError
+from repro.errors import (
+    AdmissionError,
+    ConnectionTimeoutError,
+    ProtocolError,
+    RemoteError,
+)
 from repro.server.protocol import FrameDecoder, encode_frame
 
 #: SET/SHOW options the client handles locally, never sent to a server
@@ -54,12 +60,44 @@ def connect(host: str = "127.0.0.1", port: int = 5433,
             timeout: float = 10.0,
             connect_timeout: Optional[float] = None,
             failover_targets=None,
-            reconnect_max_backoff: float = 5.0) -> "Connection":
-    """Open a client connection and perform the hello handshake."""
+            reconnect_max_backoff: float = 5.0,
+            tenant: Optional[str] = None,
+            clock=None) -> "Connection":
+    """Open a client connection and perform the hello handshake.
+
+    ``tenant`` binds the session to a named admission-control tenant
+    (quotas, rate limits and fair scheduling are per tenant); ``clock``
+    injects a :class:`~repro.clock.Clock` so tests drive retry backoff
+    and failover waits with a ManualClock instead of sleeping.
+    """
     return Connection(host, port, timeout,
                       connect_timeout=connect_timeout,
                       failover_targets=failover_targets,
-                      reconnect_max_backoff=reconnect_max_backoff)
+                      reconnect_max_backoff=reconnect_max_backoff,
+                      tenant=tenant, clock=clock)
+
+
+class IngestAck(int):
+    """The counted ingest acknowledgement.
+
+    Compares and arithmetics as ``accepted`` (so existing callers doing
+    ``conn.ingest(...) == n`` keep working) while carrying the full
+    accounting: ``accepted + shed + dropped + duplicate`` covers every
+    row of the batch.
+    """
+
+    def __new__(cls, accepted: int, shed: int = 0, dropped: int = 0,
+                duplicate: int = 0):
+        self = super().__new__(cls, accepted)
+        self.accepted = int(accepted)
+        self.shed = int(shed)
+        self.dropped = int(dropped)
+        self.duplicate = int(duplicate)
+        return self
+
+    def __repr__(self):
+        return (f"IngestAck(accepted={self.accepted}, shed={self.shed}, "
+                f"dropped={self.dropped}, duplicate={self.duplicate})")
 
 
 def _parse_targets(value) -> List[Tuple[str, int]]:
@@ -205,11 +243,15 @@ class Connection:
     def __init__(self, host: str, port: int, timeout: float = 10.0,
                  connect_timeout: Optional[float] = None,
                  failover_targets=None,
-                 reconnect_max_backoff: float = 5.0):
+                 reconnect_max_backoff: float = 5.0,
+                 tenant: Optional[str] = None,
+                 clock=None):
         self.timeout = timeout
         self.connect_timeout = connect_timeout
         self.failover_targets = _parse_targets(failover_targets)
         self.reconnect_max_backoff = float(reconnect_max_backoff)
+        self.tenant = tenant
+        self._clock = clock if clock is not None else SYSTEM_CLOCK
         self.failovers = 0
         self.role: Optional[str] = None
         self._address = (host, port)
@@ -247,7 +289,10 @@ class Connection:
             self.server_goodbye = None
             self.closed = False
             self._address = (host, port)
-            hello = self._request("hello", client="repro.client")
+            hello_fields = {"client": "repro.client"}
+            if self.tenant is not None:
+                hello_fields["tenant"] = self.tenant
+            hello = self._request("hello", **hello_fields)
         except BaseException:
             self.closed = True
             self._sock = None
@@ -259,6 +304,7 @@ class Connection:
         self.session_id = hello.get("session")
         self.protocol_version = hello.get("protocol")
         self.role = hello.get("role", "primary")
+        self.tenant = hello.get("tenant", self.tenant)
 
     def _failover(self) -> None:
         """Reconnect to the first target answering as a *primary*, then
@@ -272,10 +318,10 @@ class Connection:
         self.closed = True
         candidates = [self._address] + [
             t for t in self.failover_targets if t != self._address]
-        overall = time.monotonic() + max(self.timeout, 10.0)
+        overall = self._clock.monotonic() + max(self.timeout, 10.0)
         backoff = 0.1
         last_error: Optional[Exception] = None
-        while time.monotonic() < overall:
+        while self._clock.monotonic() < overall:
             for host, port in candidates:
                 try:
                     self._connect_to(host, port)
@@ -293,7 +339,7 @@ class Connection:
                 self.failovers += 1
                 self._resume_subscriptions()
                 return
-            time.sleep(backoff * (1.0 + self._rng.random() * 0.25))
+            self._clock.sleep(backoff * (1.0 + self._rng.random() * 0.25))
             backoff = min(backoff * 2, self.reconnect_max_backoff)
         raise ConnectionError(
             f"failover exhausted: no primary among "
@@ -399,14 +445,52 @@ class Connection:
         return self._materialize(response, since=since)
 
     def ingest(self, stream: str, rows,
-               at: Optional[float] = None) -> int:
-        """Micro-batched bulk ingest: one frame, many rows.  Returns how
-        many rows the stream actually accepted (net of load shedding)."""
+               at: Optional[float] = None,
+               sender: Optional[str] = None,
+               seq: Optional[int] = None,
+               retry: bool = True) -> IngestAck:
+        """Micro-batched bulk ingest: one frame, many rows.
+
+        Returns an :class:`IngestAck` — an int equal to how many rows
+        the stream actually accepted, additionally carrying ``shed``,
+        ``dropped`` and ``duplicate`` counts.
+
+        ``(sender, seq)`` makes the batch idempotent: the server
+        remembers applied sequence numbers per stream+sender, so a
+        retry of the same batch — after a lost ack, a crash, or a
+        failover — acks ``duplicate`` and applies nothing.
+
+        Throttled requests (a retryable :class:`AdmissionError` carrying
+        ``retry_after_ms``) are retried here with the server's hint plus
+        jitter, within this connection's ``timeout`` budget; pass
+        ``retry=False`` to surface them instead.  Durable quota
+        exhaustion (``retry_after_ms`` null) always raises.
+        """
         fields = {"stream": stream, "rows": [list(row) for row in rows]}
         if at is not None:
             fields["at"] = at
-        response = self._request("ingest", **fields)
-        return response["accepted"]
+        if (sender is None) != (seq is None):
+            raise ProtocolError(
+                "idempotent ingest needs both sender and seq")
+        if sender is not None:
+            fields["sender"] = str(sender)
+            fields["seq"] = int(seq)
+        deadline = self._clock.monotonic() + self.timeout
+        while True:
+            try:
+                response = self._request("ingest", **fields)
+            except AdmissionError as exc:
+                if not retry or not exc.retryable:
+                    raise
+                wait = (exc.retry_after_ms / 1000.0) \
+                    * (1.0 + self._rng.random() * 0.25)
+                if self._clock.monotonic() + wait > deadline:
+                    raise
+                self._clock.sleep(wait)
+                continue
+            return IngestAck(
+                response["accepted"], response.get("shed", 0),
+                response.get("dropped", 0), response.get("duplicate", 0))
 
     def advance(self, event_time: float) -> None:
         """Heartbeat every stream to ``event_time`` (closes windows)."""
@@ -507,8 +591,16 @@ class Connection:
         response = self._responses.pop(request_id)
         if not response.get("ok", False):
             error = response.get("error") or {}
-            raise RemoteError(error.get("message", "unknown server error"),
-                              error.get("type", "TruvisoError"))
+            message = error.get("message", "unknown server error")
+            if error.get("type") == "AdmissionError":
+                # rebuild the typed error so callers can branch on
+                # retryable vs durable refusals without string matching
+                raise AdmissionError(
+                    message,
+                    retry_after_ms=error.get("retry_after_ms"),
+                    tenant=error.get("tenant", ""),
+                    reason=error.get("reason", ""))
+            raise RemoteError(message, error.get("type", "TruvisoError"))
         return response
 
     def _materialize(self, response: dict, since: Optional[float] = None):

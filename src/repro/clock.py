@@ -1,0 +1,63 @@
+"""Injectable monotonic clocks.
+
+Admission control is time arithmetic: token buckets refill at
+``rate * elapsed``, retry hints are "come back in N ms", the idle
+reaper compares silence against a timeout.  Testing that with the real
+clock means sleeping; instead, every time-sensitive component takes a
+:class:`Clock` and the tests hand in a :class:`ManualClock` they can
+advance by hand — sleep-free and deterministic.
+
+Production code uses :data:`SYSTEM_CLOCK`, a singleton over
+``time.monotonic`` / ``time.sleep``.
+"""
+
+from __future__ import annotations
+
+import time
+
+
+class Clock:
+    """The real monotonic clock (wall-clock jumps never touch it)."""
+
+    def monotonic(self) -> float:
+        return time.monotonic()
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            time.sleep(seconds)
+
+    def __repr__(self):
+        return "Clock(system)"
+
+
+class ManualClock(Clock):
+    """A clock that only moves when told to.
+
+    ``sleep`` advances the clock instead of blocking, so code written
+    against :class:`Clock` (retry backoff, bucket refill waits) runs
+    instantly under test while seeing exactly the elapsed time it asked
+    for.
+    """
+
+    def __init__(self, start: float = 0.0):
+        self._now = float(start)
+
+    def monotonic(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        if seconds < 0:
+            raise ValueError("a monotonic clock cannot go backwards")
+        self._now += seconds
+        return self._now
+
+    def sleep(self, seconds: float) -> None:
+        if seconds > 0:
+            self.advance(seconds)
+
+    def __repr__(self):
+        return f"ManualClock({self._now})"
+
+
+#: the shared production clock
+SYSTEM_CLOCK = Clock()

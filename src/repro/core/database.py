@@ -63,8 +63,12 @@ class Database:
                  wal_path: Optional[str] = None,
                  replication_logging: bool = True,
                  observability: bool = True,
-                 trace_sample_rate: float = 0.01):
+                 trace_sample_rate: float = 0.01,
+                 clock=None):
+        from repro.admission import AdmissionController
+        from repro.clock import SYSTEM_CLOCK
         from repro.obs import Observability
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
         self.faults = fault_injector
         self.obs = Observability(enabled=observability,
                                  sample_rate=trace_sample_rate)
@@ -100,8 +104,14 @@ class Database:
         # set by the replication layer: a zero-argument callable
         # returning rows for the repro_replication_status system view
         self.replication_registry = None
+        # admission control: tenants, quotas, and the ingest dedup index.
+        # Created disabled; SET admission = on (or the server) turns the
+        # rate/quota/tier checks on, dedup works regardless.
+        self.admission = AdmissionController(clock=self.clock,
+                                             faults=fault_injector)
         from repro.core.system_views import install_system_views
         install_system_views(self)
+        self.obs.bind_admission(self.admission)
         if wal_path is not None and replication_logging:
             # file-backed logs carry streaming DDL and the stream tail,
             # not just table rows — log those from the start.  A standby
@@ -124,8 +134,12 @@ class Database:
         wal = self.storage.wal
 
         def logger(name, kind, row, event_time):
-            wal.append(0, "stream_" + kind, name, after=row,
-                       payload=event_time)
+            # rows applied inside an idempotent ingest batch carry that
+            # batch's (sender, seq) as their rid, so recovery can discard
+            # them when the batch's dedup marker never became durable
+            wal.append(0, "stream_" + kind, name,
+                       rid=self.runtime.current_batch,
+                       after=row, payload=event_time)
 
         self.runtime.stream_logger = logger
         from repro.streaming.supervisor import DEAD_LETTER_STREAM
@@ -369,6 +383,43 @@ class Database:
             self.obs.tracer.set_rate(float(value))
             self.obs.retune_streams()
             return _ok()
+        if name == "admission":
+            if not isinstance(value, bool):
+                raise ExecutionError("admission takes on/off")
+            self.admission.enabled = value
+            return _ok()
+        if name in ("tenant_rate_limit", "tenant_burst",
+                    "tenant_row_quota", "tenant_byte_quota",
+                    "tenant_weight"):
+            if value is False:
+                value = None
+            elif isinstance(value, bool) \
+                    or not isinstance(value, (int, float)) or value <= 0:
+                raise ExecutionError(
+                    f"{name} takes a positive number (or OFF)")
+            key = name[len("tenant_"):]
+            if key == "weight" and value is None:
+                value = 1.0
+            try:
+                self.admission.set_default(key, value)
+            except ValueError as exc:
+                raise ExecutionError(str(exc))
+            return _ok()
+        if name in ("admission_soft_depth", "admission_hard_depth"):
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ExecutionError(f"{name} must be a positive integer")
+            attr = "soft_depth" if name == "admission_soft_depth" \
+                else "hard_depth"
+            setattr(self.admission, attr, value)
+            return _ok()
+        if name == "dedup_window":
+            if not isinstance(value, int) or isinstance(value, bool) \
+                    or value <= 0:
+                raise ExecutionError(
+                    "dedup_window must be a positive integer")
+            self.admission.dedup.window = value
+            return _ok()
         if name in self._POLICY_OPTIONS:
             if self.supervisor is None:
                 raise ExecutionError(
@@ -391,6 +442,15 @@ class Database:
             "observability": self.obs.enabled,
             "slow_window_ms": self.obs.slow_window_ms,
             "trace_sample_rate": self.obs.tracer.sample_rate,
+            "admission": self.admission.enabled,
+            "tenant_rate_limit": self.admission.defaults["rate_limit"],
+            "tenant_burst": self.admission.defaults["burst"],
+            "tenant_row_quota": self.admission.defaults["row_quota"],
+            "tenant_byte_quota": self.admission.defaults["byte_quota"],
+            "tenant_weight": self.admission.defaults["weight"],
+            "admission_soft_depth": self.admission.soft_depth,
+            "admission_hard_depth": self.admission.hard_depth,
+            "dedup_window": self.admission.dedup.window,
         }
         if self.supervisor is not None:
             for key in self._POLICY_OPTIONS:
@@ -659,6 +719,7 @@ class Database:
                 self.storage.drop_table_storage(table)
             elif kind == "stream":
                 self.runtime.drop_stream(name)
+                self.admission.dedup.forget_stream(name)
             elif kind == "view":
                 self.catalog.drop_relation(name, cat.VIEW)
             elif kind == "channel":
@@ -835,6 +896,63 @@ class Database:
         """Push Python tuples into a base stream."""
         stream = self.runtime.get_stream(name)
         return stream.insert_many(rows, at)
+
+    def ingest_batch(self, name: str, rows, at: Optional[float] = None,
+                     sender: Optional[str] = None,
+                     seq: Optional[int] = None) -> dict:
+        """Apply one ingest batch; returns counted results
+        ``{"accepted", "shed", "duplicate"}``.
+
+        With ``(sender, seq)`` the batch is idempotent: a sequence number
+        already recorded for this stream+sender is recognised as a replay
+        and skipped whole.  Applied rows are WAL-logged tagged with the
+        batch id, then one ``stream_dedup`` marker is appended and the
+        log is flushed — rows and marker become durable together, so
+        recovery treats the batch atomically: marker durable means the
+        rows count and a retry is a duplicate; marker lost means the
+        rows are discarded and the retry is accepted fresh.
+        """
+        stream = self.runtime.get_stream(name)
+        idempotent = sender is not None and seq is not None
+        if idempotent:
+            sender = str(sender)
+            seq = int(seq)
+            if self.admission.dedup.seen(stream.name, sender, seq):
+                return {"accepted": 0, "shed": 0, "dropped": 0,
+                        "duplicate": len(list(rows))}
+            self.runtime.current_batch = (sender, seq)
+        try:
+            counts = stream.insert_many_counted(rows, at)
+        finally:
+            self.runtime.current_batch = None
+        if idempotent:
+            self._persist_dedup_marker(stream.name, sender, seq)
+        counts["duplicate"] = 0
+        return counts
+
+    def _persist_dedup_marker(self, stream_name: str, sender: str,
+                              seq: int) -> None:
+        """Make an applied batch's dedup marker durable (and remembered).
+
+        The in-memory record happens even when the persist step dies
+        (crashpoint ``admission.dedup_persist``): the rows *were* applied
+        in this process, so an in-process retry must be recognised as a
+        duplicate.  After a real crash the lost marker means recovery
+        discards the batch's rid-tagged rows, and the client's retry is
+        accepted fresh — either way, exactly once.
+        """
+        faults = self.faults
+        wal = self.storage.wal
+        try:
+            if faults is not None and faults.armed:
+                faults.check("admission.dedup_persist",
+                             f"{stream_name}:{sender}:{seq}")
+            if self.runtime.stream_logger is not None:
+                wal.append(0, "stream_dedup", stream_name,
+                           rid=(sender, seq))
+                wal.flush()
+        finally:
+            self.admission.dedup.record(stream_name, sender, seq)
 
     def advance_streams(self, event_time: float) -> None:
         """Heartbeat every base stream to ``event_time`` (closes windows)."""

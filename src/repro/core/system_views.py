@@ -194,7 +194,8 @@ def install_system_views(db) -> None:
         return provider()
 
     connections = VirtualTable("repro_connections", Schema([
-        _int("session_id"), _text("peer"), _text("state"),
+        _int("session_id"), _text("peer"), _text("tenant"),
+        _text("state"),
         _int("statements"), _int("rows_ingested"), _int("subscriptions"),
         _int("windows_pushed"), _int("tuples_pushed"), _int("sheds"),
         Column("connected_seconds", DoubleType()),
@@ -296,6 +297,33 @@ def install_system_views(db) -> None:
         Column("time_ms", DoubleType()),
     ]), operator_stats_rows)
 
+    def tenants_rows():
+        return db.admission.tenants_rows()
+
+    tenants = VirtualTable("repro_tenants", Schema([
+        _text("name"), _int("sessions"),
+        Column("weight", DoubleType()),
+        Column("rate_limit", DoubleType()), Column("burst", DoubleType()),
+        _int("row_quota"), _int("byte_quota"),
+        _int("rows_ingested"), _int("bytes_ingested"),
+        _int("batches_admitted"), _int("batches_rejected"),
+        _int("batches_shed"), _int("rows_rejected"), _int("rows_shed"),
+        _int("duplicates"),
+    ]), tenants_rows)
+
+    def admission_rows():
+        return db.admission.admission_rows()
+
+    admission = VirtualTable("repro_admission", Schema([
+        Column("enabled", BooleanType()), _int("queue_depth"),
+        _int("tier"), _int("soft_depth"), _int("hard_depth"),
+        _int("bulk_rows"), _int("tenants"),
+        _int("batches_admitted"), _int("batches_rejected"),
+        _int("batches_shed"), _int("rows_admitted"),
+        _int("rows_rejected"), _int("rows_shed"),
+        _int("duplicates"), _int("dedup_senders"),
+    ]), admission_rows)
+
     def traces_rows():
         return db.obs.tracer.rows()
 
@@ -307,5 +335,6 @@ def install_system_views(db) -> None:
 
     for view in (streams, channels, tables, indexes, cqs, io, stats,
                  supervisor, dead_letters, crashpoints, connections,
-                 replication, metrics, cq_stats, operator_stats, traces):
+                 replication, metrics, cq_stats, operator_stats, traces,
+                 tenants, admission):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -143,6 +143,30 @@ class ReplicationError(NetworkError):
     """WAL shipping or standby apply failed (gap, bad record, bad role)."""
 
 
+class AdmissionError(TruvisoError):
+    """A request was refused by admission control (quota, rate limit,
+    or overload shedding) — the request was *not* applied.
+
+    ``retry_after_ms`` is the throttle hint: a number means the refusal
+    is transient (token bucket refilling, engine overloaded) and the
+    client may retry after that long; ``None`` means the refusal is
+    durable (a cumulative quota is exhausted) and retrying is pointless.
+    The server ships both fields over the wire so a remote client
+    rebuilds this same typed error.
+    """
+
+    def __init__(self, message: str, retry_after_ms=None,
+                 tenant: str = "", reason: str = ""):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+        self.tenant = tenant
+        self.reason = reason
+
+    @property
+    def retryable(self) -> bool:
+        return self.retry_after_ms is not None
+
+
 class RemoteError(NetworkError):
     """An engine error reported by the server over the wire.
 

@@ -59,6 +59,12 @@ REPLICATION_APPLY = register_crashpoint(
 SERVER_BOOT_RECOVERY = register_crashpoint(
     "server.boot_recovery",
     "one CQ's runtime-state rebuild fails during boot/promotion recovery")
+ADMISSION_QUOTA_CHECK = register_crashpoint(
+    "admission.quota_check",
+    "the admission quota check dies mid-decision (batch refused, retryable)")
+ADMISSION_DEDUP_PERSIST = register_crashpoint(
+    "admission.dedup_persist",
+    "crash between applying a batch's rows and flushing its dedup marker")
 
 
 @dataclass

@@ -194,6 +194,26 @@ class Observability:
         server._c_frames_out = reg.counter("server.frames_out")
         reg.gauge("server.sessions", fn=lambda: len(server.sessions))
 
+    def bind_admission(self, controller) -> None:
+        if not self.enabled:
+            return
+        reg = self.registry
+        reg.gauge("admission.batches_admitted",
+                  fn=lambda: controller.batches_admitted)
+        reg.gauge("admission.batches_rejected",
+                  fn=lambda: controller.batches_rejected)
+        reg.gauge("admission.batches_shed",
+                  fn=lambda: controller.batches_shed)
+        reg.gauge("admission.rows_admitted",
+                  fn=lambda: controller.rows_admitted)
+        reg.gauge("admission.rows_rejected",
+                  fn=lambda: controller.rows_rejected)
+        reg.gauge("admission.rows_shed",
+                  fn=lambda: controller.rows_shed)
+        reg.gauge("admission.duplicates",
+                  fn=lambda: controller.dedup.duplicates)
+        reg.gauge("admission.tier", fn=controller.tier)
+
     def bind_replication_primary(self, manager) -> None:
         if not self.enabled:
             return

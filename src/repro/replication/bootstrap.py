@@ -106,9 +106,26 @@ def recover_runtime(db: Database, promote: bool = True,
                     stats["rows"] += len(rows)
         finally:
             restore_wal(db)
+        # idempotent-ingest batch markers: a batch's rows and its
+        # stream_dedup marker become durable in one flush, so a row
+        # tagged with a (sender, seq) rid whose marker never made it is
+        # half of a torn batch — discard it; the client's retry of that
+        # whole batch will be accepted fresh
+        durable_batches = set()
+        for record in records:
+            if record.kind == walrec.STREAM_DEDUP \
+                    and record.rid is not None:
+                durable_batches.add(
+                    (record.table, tuple(record.rid)))
         # stream tails: watermark + retained tuples, no consumer fan-out
         for record in records:
             if record.kind == walrec.STREAM_INSERT:
+                if record.rid is not None and \
+                        (record.table, tuple(record.rid)) \
+                        not in durable_batches:
+                    stats["torn_batch_rows"] = \
+                        stats.get("torn_batch_rows", 0) + 1
+                    continue
                 if db.catalog.relation_kind(record.table) == cat.STREAM:
                     db.catalog.get_relation(record.table).restore_point(
                         record.payload, record.after)
@@ -117,6 +134,9 @@ def recover_runtime(db: Database, promote: bool = True,
                 if db.catalog.relation_kind(record.table) == cat.STREAM:
                     db.catalog.get_relation(record.table).restore_point(
                         record.payload)
+        # rebuild the dedup index from durable markers so replays sent
+        # to the recovered (or promoted) server are still recognised
+        stats["dedup_markers"] = db.admission.dedup.restore_from_wal(wal)
         stats["tables"] = len(list(db.catalog.relations(cat.TABLE)))
         stats["streams"] = len(list(db.catalog.relations(cat.STREAM)))
         if promote:

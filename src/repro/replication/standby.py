@@ -151,6 +151,13 @@ class WalApplier:
             if db.catalog.relation_kind(record.table) == cat.STREAM:
                 db.catalog.get_relation(record.table).restore_point(
                     record.payload)
+        elif kind == walrec.STREAM_DEDUP:
+            # keep the standby's dedup index warm: after promotion a
+            # client replaying an idempotent batch must still be told
+            # "duplicate", not have it applied twice
+            if record.rid is not None:
+                db.admission.dedup.record(
+                    record.table, str(record.rid[0]), int(record.rid[1]))
         elif kind in (walrec.INSERT, walrec.DELETE, walrec.UPDATE):
             self._pending.setdefault(record.txid, []).append(record)
         elif kind == walrec.COMMIT:

@@ -9,6 +9,13 @@ dedicated worker thread.  Connections submit closures and await the
 result; the queue is the serialization point, so the engine sees the
 same world it sees embedded.
 
+The queue is a :class:`~repro.admission.scheduler.WeightedFairQueue`:
+tenanted session work goes through :meth:`SingleWriterExecutor.submit_fair`
+onto a per-tenant lane and lanes are stride-scheduled by weight, so one
+tenant's burst cannot monopolise the engine thread.  Untenanted work
+(:meth:`submit` — replication apply, detach, the shutdown flush) rides
+the strict-priority system lane and is never starved by client load.
+
 This is also where subscription pushes originate: window sinks fire on
 the engine thread during ingest/advance, hand their frames to the
 owning session's outbound buffer, and wake that session's asyncio
@@ -17,11 +24,11 @@ writer with ``loop.call_soon_threadsafe``.
 
 from __future__ import annotations
 
-import queue
 import threading
 from concurrent.futures import Future
+from typing import Dict, Optional
 
-_STOP = object()
+from repro.admission.scheduler import WeightedFairQueue
 
 
 class EngineClosed(RuntimeError):
@@ -32,7 +39,7 @@ class SingleWriterExecutor:
     """A one-thread job queue with Future-based results."""
 
     def __init__(self, name: str = "repro-engine"):
-        self._jobs = queue.Queue()
+        self._jobs = WeightedFairQueue()
         self._closed = False
         self.jobs_run = 0
         self._thread = threading.Thread(
@@ -42,12 +49,21 @@ class SingleWriterExecutor:
     # -- submission --------------------------------------------------------
 
     def submit(self, fn, *args, **kwargs) -> Future:
-        """Queue ``fn(*args, **kwargs)`` for the engine thread; the
-        returned Future resolves with its result or exception."""
+        """Queue ``fn(*args, **kwargs)`` on the system lane; the returned
+        Future resolves with its result or exception."""
         if self._closed:
             raise EngineClosed("engine executor is shut down")
         future = Future()
         self._jobs.put((fn, args, kwargs, future))
+        return future
+
+    def submit_fair(self, lane: Optional[str], weight: float,
+                    fn, *args, **kwargs) -> Future:
+        """Queue on a tenant lane (``None`` lane = system lane)."""
+        if self._closed:
+            raise EngineClosed("engine executor is shut down")
+        future = Future()
+        self._jobs.put_fair(lane, weight, (fn, args, kwargs, future))
         return future
 
     def run_sync(self, fn, *args, timeout: float = 30.0, **kwargs):
@@ -55,15 +71,23 @@ class SingleWriterExecutor:
         return self.submit(fn, *args, **kwargs).result(timeout)
 
     def depth(self) -> int:
-        """Jobs waiting (a rough busyness signal for the status view)."""
+        """Jobs waiting (the admission controller's pressure signal)."""
         return self._jobs.qsize()
+
+    def lane_depths(self) -> Dict[str, int]:
+        """Queued jobs per tenant lane (observability)."""
+        return self._jobs.lane_depths()
+
+    def lane_served(self) -> Dict[str, int]:
+        """Jobs served per tenant lane since startup (fairness tests)."""
+        return self._jobs.lane_served()
 
     # -- worker ------------------------------------------------------------
 
     def _run(self) -> None:
         while True:
             job = self._jobs.get()
-            if job is _STOP:
+            if job is None:  # closed and fully drained
                 return
             fn, args, kwargs, future = job
             if not future.set_running_or_notify_cancel():
@@ -88,5 +112,5 @@ class SingleWriterExecutor:
         if self._closed:
             return
         self._closed = True
-        self._jobs.put(_STOP)
+        self._jobs.close()
         self._thread.join(timeout)

@@ -11,11 +11,17 @@ not by ordering.
 
 Request ops::
 
-    hello        {"id", "op", "client"?}          -> session id + version
+    hello        {"id", "op", "client"?, "tenant"?} -> session id + version
+                 (``tenant`` binds the session to a named tenant for
+                 admission control; default tenant otherwise)
     execute      {"id", "op", "sql", "params"?}   -> result | subscription
     subscribe    {"id", "op", "name", "since"?}   -> subscription
     unsubscribe  {"id", "op", "sub"}              -> ok
-    ingest       {"id", "op", "stream", "rows", "at"?} -> accepted count
+    ingest       {"id", "op", "stream", "rows", "at"?, "sender"?, "seq"?}
+                 -> counted ack {"accepted", "shed", "dropped",
+                 "duplicate"}; ``(sender, seq)`` makes the batch
+                 idempotent (a replay acks duplicate=len(rows) and
+                 applies nothing)
     advance      {"id", "op", "time"}             -> ok (heartbeat)
     flush        {"id", "op"}                     -> ok (drain windows)
     ping         {"id", "op"}                     -> ok
@@ -32,6 +38,10 @@ Push frames::
     {"push": "goodbye", "reason"}                 server is closing
 
 Error responses: ``{"id": n, "ok": false, "error": {"type", "message"}}``.
+An :class:`~repro.errors.AdmissionError` additionally ships
+``retry_after_ms`` (number = transient, retry after that long; null =
+quota exhausted, do not retry), ``tenant`` and ``reason`` so the client
+rebuilds the typed error and can back off automatically.
 """
 
 from __future__ import annotations
@@ -39,7 +49,7 @@ from __future__ import annotations
 import json
 import struct
 
-from repro.errors import ProtocolError, TruvisoError
+from repro.errors import AdmissionError, ProtocolError, TruvisoError
 
 #: bump when the frame vocabulary changes incompatibly
 PROTOCOL_VERSION = 1
@@ -152,9 +162,13 @@ def ok_response(request_id, **fields) -> dict:
 def error_response(request_id, exc: BaseException) -> dict:
     remote_type = (type(exc).__name__ if isinstance(exc, TruvisoError)
                    else "ExecutionError")
-    return {"id": request_id, "ok": False,
-            "error": {"type": remote_type,
-                      "message": str(exc) or type(exc).__name__}}
+    error = {"type": remote_type,
+             "message": str(exc) or type(exc).__name__}
+    if isinstance(exc, AdmissionError):
+        error["retry_after_ms"] = exc.retry_after_ms
+        error["tenant"] = exc.tenant
+        error["reason"] = exc.reason
+    return {"id": request_id, "ok": False, "error": error}
 
 
 def result_response(request_id, columns, rows, rowcount) -> dict:

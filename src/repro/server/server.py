@@ -66,7 +66,13 @@ class TruSQLServer:
                  heartbeat_interval: float = 1.0,
                  miss_limit: int = 3,
                  idle_timeout: Optional[float] = None,
+                 reap_interval: Optional[float] = None,
+                 clock=None,
                  **db_options):
+        from repro.clock import SYSTEM_CLOCK
+        self.clock = clock if clock is not None else SYSTEM_CLOCK
+        if clock is not None and db is None:
+            db_options.setdefault("clock", clock)
         self.role = "standby" if standby_of else "primary"
         self._standby_deferred = []
         if db is None:
@@ -88,6 +94,7 @@ class TruSQLServer:
         self.heartbeat_interval = heartbeat_interval
         self.miss_limit = miss_limit
         self.idle_timeout = idle_timeout
+        self.reap_interval = reap_interval
         self.standby = None            # StandbyController when following
         self._replication = None       # ReplicationManager, created lazily
         self._reaper_task: Optional[asyncio.Task] = None
@@ -102,6 +109,9 @@ class TruSQLServer:
         self.host: Optional[str] = None
         self.port: Optional[int] = None
         self.db.connection_registry = self.connection_rows
+        # admission control reads the engine queue depth as its pressure
+        # signal; sessions feed it through handle_ingest
+        self.db.admission.depth_probe = self.executor.depth
         # observability: frame counters + session gauge (null-safe)
         self._c_frames_in = None
         self._c_frames_out = None
@@ -197,9 +207,47 @@ class TruSQLServer:
     # ------------------------------------------------------------------
 
     async def on_engine(self, fn, *args, **kwargs):
-        """Run ``fn`` on the single-writer engine thread and await it."""
+        """Run ``fn`` on the single-writer engine thread and await it.
+
+        System-lane: replication, promotion, shutdown and other
+        infrastructure work that must never queue behind client load.
+        """
         return await asyncio.wrap_future(
             self.executor.submit(fn, *args, **kwargs))
+
+    async def on_engine_fair(self, session, fn, *args, **kwargs):
+        """Run ``fn`` on the engine thread via the session's tenant lane.
+
+        Tenant lanes are stride-scheduled by weight, so concurrent
+        tenants share the engine thread proportionally instead of FIFO.
+        """
+        tenant = getattr(session, "tenant_name", None)
+        weight = self.db.admission.tenant_weight(tenant)
+        return await asyncio.wrap_future(
+            self.executor.submit_fair(tenant, weight, fn, *args, **kwargs))
+
+    def quarantine_shed_batch(self, session, stream_name, rows) -> None:
+        """Dead-letter accounting for a tier-2 shed ingest batch.
+
+        Fire-and-forget on the system lane: the whole point of shedding
+        is that the batch skips the engine queue, so only this one small
+        bookkeeping job crosses over, and the caller never waits on it.
+        """
+        supervisor = self.db.supervisor
+        if supervisor is None:
+            return
+
+        def quarantine():
+            from repro.streaming.supervisor import SLOW_CONSUMER
+            supervisor.quarantine(
+                stream_name, SLOW_CONSUMER,
+                f"admission shed: tenant {session.tenant_name!r} batch "
+                f"dropped under overload", [tuple(r) for r in rows],
+                None, None)
+        try:
+            self.executor.submit(quarantine)
+        except Exception:
+            pass
 
     def schedule_detach(self, session: Session, entries) -> None:
         """Fire-and-forget detach of broken subscriptions (raise policy).
@@ -220,6 +268,15 @@ class TruSQLServer:
     def connection_rows(self):
         """Rows of the ``repro_connections`` system view."""
         return [s.connection_row() for s in list(self.sessions.values())]
+
+    def _delivery_histogram(self, tenant: str):
+        """Per-tenant push-delivery latency histogram (how long frames
+        sit in outbound buffers) — what the X5 overload benchmark reads
+        to prove an in-quota tenant's p99 survives a noisy neighbour."""
+        obs = getattr(self.db, "obs", None)
+        if obs is None or not obs.enabled:
+            return None
+        return obs.registry.histogram(f"server.delivery_seconds.{tenant}")
 
     # ------------------------------------------------------------------
     # replication
@@ -247,10 +304,14 @@ class TruSQLServer:
         is never touched; a vanished one gets a goodbye frame and its
         socket closed, which releases its subscriptions and buffers.
         """
-        interval = max(self.idle_timeout / 4.0, 0.05)
+        interval = self.reap_interval
+        if interval is None:
+            interval = max(self.idle_timeout / 4.0, 0.05)
         while not self._stopped:
             await asyncio.sleep(interval)
-            now = time.monotonic()
+            # idle ages come from the injectable clock: a test advances
+            # a ManualClock instead of actually going silent for minutes
+            now = self.clock.monotonic()
             for session in list(self.sessions.values()):
                 if session.state != "active" \
                         or now - session.last_seen < self.idle_timeout:
@@ -333,7 +394,7 @@ class TruSQLServer:
                 frame = await protocol.read_frame(reader)
                 if frame is None:
                     break
-                session.last_seen = time.monotonic()
+                session.last_seen = self.clock.monotonic()
                 session.last_seen_wall = time.time()
                 if self._c_frames_in is not None:
                     self._c_frames_in.inc()
@@ -362,6 +423,8 @@ class TruSQLServer:
         finally:
             session.state = "closed"
             self.sessions.pop(session.session_id, None)
+            if session._tenant_bound:
+                self.db.admission.release_session(session.tenant_name)
             writer_task.cancel()
             try:
                 await writer_task
@@ -410,11 +473,26 @@ class TruSQLServer:
             if op == "metrics":
                 return await self._handle_metrics(request_id)
             if op == "hello":
+                tenant = frame.get("tenant")
+                if tenant is not None \
+                        and (not isinstance(tenant, str) or not tenant):
+                    raise ExecutionError(
+                        "'tenant' must be a non-empty string")
+                if session._tenant_bound:
+                    # a second hello moves the session between tenants
+                    self.db.admission.release_session(session.tenant_name)
+                if tenant is not None:
+                    session.tenant_name = tenant
+                self.db.admission.bind_session(session.tenant_name)
+                session._tenant_bound = True
+                session._h_delivery = self._delivery_histogram(
+                    session.tenant_name)
                 return protocol.ok_response(
                     request_id, server="repro",
                     protocol=protocol.PROTOCOL_VERSION,
                     session=session.session_id,
-                    role=self.role)
+                    role=self.role,
+                    tenant=session.tenant_name)
             if op in ("ping", "goodbye"):
                 return protocol.ok_response(request_id)
             if op == "shutdown":

@@ -121,7 +121,13 @@ class Session:
         self.server = server
         self.peer = peer
         self.state = "active"
-        self.started_monotonic = time.monotonic()
+        # the server's injectable clock: idle accounting must follow the
+        # same time source the reaper reads (ManualClock in tests)
+        self.clock = getattr(server, "clock", None)
+        if self.clock is None:
+            from repro.clock import SYSTEM_CLOCK
+            self.clock = SYSTEM_CLOCK
+        self.started_monotonic = self.clock.monotonic()
         # updated by the server on every inbound frame; the idle reaper
         # closes sessions whose silence exceeds the server's idle_timeout.
         # Kept on the monotonic clock so wall-clock jumps can neither
@@ -129,6 +135,10 @@ class Session:
         # only for display in repro_connections.
         self.last_seen = self.started_monotonic
         self.last_seen_wall = time.time()
+        # bound at hello (or left on the default tenant)
+        self.tenant_name = "default"
+        self._tenant_bound = False
+        self._h_delivery = None  # per-tenant push-delivery histogram
         # session-scoped options
         self.options = {
             "subscribe_policy": POLICY_BLOCK,
@@ -156,6 +166,10 @@ class Session:
         slow-client policy when the buffer is at its high-water mark."""
         high_water = self.options["subscribe_high_water"]
         policy = self.options["subscribe_policy"]
+        # stamp enqueue time so drain_frames can observe how long pushes
+        # sat in the outbound buffer (the per-tenant delivery histogram
+        # the X5 overload benchmark reads); popped before serialization
+        frame["_enq"] = time.perf_counter()
         with self._space:
             if len(self._out) >= high_water and policy == POLICY_BLOCK:
                 deadline = time.monotonic() + self.options["block_timeout"]
@@ -216,6 +230,13 @@ class Session:
             detached = list(self._pending_detach)
             self._pending_detach.clear()
             self._space.notify_all()
+        if frames:
+            histogram = self._h_delivery
+            now = time.perf_counter()
+            for frame in frames:
+                enqueued = frame.pop("_enq", None)
+                if histogram is not None and enqueued is not None:
+                    histogram.observe(max(0.0, now - enqueued))
         for entry in self.subs.values():
             if entry.sheds and not getattr(entry, "_sheds_reported", 0) == \
                     entry.sheds:
@@ -252,8 +273,8 @@ class Session:
                     request_id, result.columns, rows, len(rows))
             return {**local, "id": request_id}
         sub_id = self._next_sub_id()
-        outcome = await self.server.on_engine(
-            self._execute_on_engine, sql, params, sub_id)
+        outcome = await self.server.on_engine_fair(
+            self, self._execute_on_engine, sql, params, sub_id)
         if outcome[0] == "subscription":
             entry = outcome[1]
             self.subs[entry.sub_id] = entry
@@ -328,8 +349,8 @@ class Session:
         if since is not None and not isinstance(since, (int, float)):
             raise ExecutionError("'since' must be an event time (seconds)")
         sub_id = self._next_sub_id()
-        entry = await self.server.on_engine(
-            self._subscribe_on_engine, name, since, sub_id)
+        entry = await self.server.on_engine_fair(
+            self, self._subscribe_on_engine, name, since, sub_id)
         self.subs[entry.sub_id] = entry
         return protocol.subscription_response(
             frame.get("id"), entry.sub_id, entry.name, entry.columns,
@@ -396,7 +417,7 @@ class Session:
         if entry is None:
             raise UnknownObjectError(f"no subscription {sub_id!r}")
         entry.broken = True
-        await self.server.on_engine(entry.detach)
+        await self.server.on_engine_fair(self, entry.detach)
         return protocol.ok_response(frame.get("id"))
 
     async def handle_ingest(self, frame: dict) -> dict:
@@ -406,25 +427,60 @@ class Session:
             raise ExecutionError(
                 "ingest needs a 'stream' name and a 'rows' list")
         at = frame.get("at")
-        accepted = await self.server.on_engine(
-            self._ingest_on_engine, stream_name, rows, at)
-        self.rows_ingested += accepted
-        return protocol.ok_response(frame.get("id"), accepted=accepted)
-
-    def _ingest_on_engine(self, stream_name, rows, at) -> int:
-        stream = self.server.db.runtime.get_stream(stream_name)
-        return stream.insert_many([tuple(row) for row in rows], at)
+        sender = frame.get("sender")
+        seq = frame.get("seq")
+        if (sender is None) != (seq is None):
+            raise ExecutionError(
+                "idempotent ingest needs both 'sender' and 'seq'")
+        if seq is not None and (not isinstance(seq, int)
+                                or isinstance(seq, bool) or seq < 1):
+            raise ExecutionError("'seq' must be an integer >= 1")
+        nbytes = _batch_bytes(rows)
+        admission = self.server.db.admission
+        if sender is not None:
+            # recognise replays before the admission decision: the
+            # original batch already paid its quota, and refusing the
+            # retry would leave the client unable to learn it landed
+            stream = self.server.db.runtime.get_stream(stream_name)
+            if admission.dedup.seen(stream.name, str(sender), int(seq)):
+                admission.record_result(
+                    self.tenant_name, 0, 0, len(rows), 0)
+                return protocol.ok_response(
+                    frame.get("id"), accepted=0, shed=0, dropped=0,
+                    duplicate=len(rows))
+        # the admission decision runs right here on the event loop —
+        # refused work must never cost engine-thread time
+        decision = admission.admit(self.tenant_name, len(rows), nbytes)
+        if decision == "shed":
+            self.server.quarantine_shed_batch(self, stream_name, rows)
+            return protocol.ok_response(
+                frame.get("id"), accepted=0, shed=len(rows), dropped=0,
+                duplicate=0)
+        counts = await self.server.on_engine_fair(
+            self, self.server.db.ingest_batch, stream_name,
+            [tuple(row) for row in rows], at, sender, seq)
+        self.rows_ingested += counts["accepted"]
+        # a batch the engine recognised as a replay applied nothing, so
+        # it must not count against the tenant's byte quota either
+        admission.record_result(
+            self.tenant_name, counts["accepted"], counts.get("shed", 0),
+            counts.get("duplicate", 0),
+            0 if counts.get("duplicate") else nbytes)
+        return protocol.ok_response(
+            frame.get("id"), accepted=counts["accepted"],
+            shed=counts.get("shed", 0), dropped=counts.get("dropped", 0),
+            duplicate=counts.get("duplicate", 0))
 
     async def handle_advance(self, frame: dict) -> dict:
         event_time = frame.get("time")
         if not isinstance(event_time, (int, float)):
             raise StreamingError("advance needs a numeric 'time'")
-        await self.server.on_engine(
-            self.server.db.advance_streams, float(event_time))
+        await self.server.on_engine_fair(
+            self, self.server.db.advance_streams, float(event_time))
         return protocol.ok_response(frame.get("id"))
 
     async def handle_flush(self, frame: dict) -> dict:
-        await self.server.on_engine(self.server.db.flush_streams)
+        await self.server.on_engine_fair(self, self.server.db.flush_streams)
         return protocol.ok_response(frame.get("id"))
 
     # ------------------------------------------------------------------
@@ -491,9 +547,10 @@ class Session:
         windows = sum(e.windows_pushed for e in self.subs.values())
         tuples_out = sum(e.tuples_pushed for e in self.subs.values())
         sheds = sum(e.sheds for e in self.subs.values())
-        now = time.monotonic()
+        now = self.clock.monotonic()
         return (
-            self.session_id, self.peer, self.state, self.statements,
+            self.session_id, self.peer, self.tenant_name, self.state,
+            self.statements,
             self.rows_ingested, len(self.subs), windows, tuples_out,
             sheds, round(now - self.started_monotonic, 3),
             round(now - self.last_seen, 3),
@@ -504,6 +561,11 @@ class Session:
         """Rows merged into a remote ``SHOW all``."""
         return [(name, _render_option(self.options[name]))
                 for name in SESSION_OPTIONS]
+
+
+def _batch_bytes(rows) -> int:
+    """Cheap wire-size estimate of an ingest batch (byte-quota unit)."""
+    return sum(len(repr(row)) + 2 for row in rows)
 
 
 def _render_option(value) -> str:

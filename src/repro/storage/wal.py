@@ -39,6 +39,7 @@ DDL = "ddl"                      # table registration (schema payload)
 DDL_OBJ = "ddl_obj"              # stream/view/channel/index/drop (spec payload)
 STREAM_INSERT = "stream_insert"  # one stream tuple (replication / tail rebuild)
 STREAM_ADVANCE = "stream_advance"  # a stream heartbeat (watermark move)
+STREAM_DEDUP = "stream_dedup"    # idempotent-ingest marker: rid=(sender, seq)
 
 #: approximate bytes per log record header, for flush cost accounting
 _RECORD_OVERHEAD = 40

@@ -50,6 +50,11 @@ class StreamingRuntime:
         # fn(stream, kind, row, event_time) wired onto every base stream
         # when replication logging is enabled (Database sets this)
         self.stream_logger = None
+        # (sender, seq) of the idempotent ingest batch being applied, if
+        # any; the replication logger tags each row's WAL record with it
+        # so recovery can drop rows of a batch whose dedup marker never
+        # became durable (Database.ingest_batch sets/clears this)
+        self.current_batch = None
         self._cqs: Dict[str, object] = {}
         self._aggregators: Dict[str, list] = {}
         self._derived_order: List[DerivedStream] = []

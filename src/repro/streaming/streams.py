@@ -271,6 +271,19 @@ class BaseStream:
         stored minus tuples the batch forced out of the reorder buffer,
         so a caller can tell shed from stored.
         """
+        return self.insert_many_counted(rows, at)["accepted"]
+
+    def insert_many_counted(self, rows, at: Optional[float] = None) -> dict:
+        """Ingest a batch and account for every row:
+        ``{"accepted", "shed", "dropped"}``.
+
+        ``accepted`` is net acceptance (stored minus buffered tuples
+        this batch displaced), ``shed`` counts backpressure sheds —
+        incoming rows refused plus buffered tuples displaced — and
+        ``dropped`` counts rows discarded as too-late under the ``drop``
+        disorder policy.  The ingest wire ack reports these numbers, so
+        they must add up: accepted + shed + dropped == len(rows).
+        """
         stored = 0
         submitted = 0
         shed_before = self.tuples_shed
@@ -286,7 +299,11 @@ class BaseStream:
         # only subtract the *buffered* tuples this batch displaced
         shed_incoming = rejected - dropped_late
         shed_buffered = shed_total - shed_incoming
-        return max(stored - shed_buffered, 0)
+        return {
+            "accepted": max(stored - shed_buffered, 0),
+            "shed": shed_total,
+            "dropped": dropped_late,
+        }
 
     def advance_to(self, event_time: float) -> None:
         """Heartbeat: assert no tuple before ``event_time`` will arrive.
