@@ -3,7 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
-	failover-smoke obs-smoke admission-smoke coverage clean
+	failover-smoke obs-smoke admission-smoke eventtime-smoke \
+	coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -20,7 +21,7 @@ bench:
 # crashpoints; the admission file exercises admission.quota_check and
 # admission.dedup_persist (refusal-not-corruption, torn-batch discard).
 chaos:
-	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py -q
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py tests/test_eventtime_chaos.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -52,6 +53,11 @@ obs-smoke:
 # degrade a well-behaved tenant's p99 delivery latency by 2x (X5)
 admission-smoke:
 	$(PYTHON) benchmarks/bench_x5_admission.py
+
+# event-time overhead gate: watermark tracking on an ordered feed must
+# stay within 10% of arrival-time windows on the E1 pipeline (X6)
+eventtime-smoke:
+	$(PYTHON) benchmarks/bench_x6_eventtime.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

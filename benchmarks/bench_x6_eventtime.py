@@ -1,0 +1,170 @@
+"""X6 — event-time overhead: watermark tracking must not tax the
+ordered hot path.
+
+The event-time subsystem (``repro.eventtime``) adds per-tuple work to
+a watermarked stream: a monotone max over the designated timestamp
+column, a late/on-time classification against the current watermark,
+and a heartbeat broadcast whenever the watermark advances.  For the
+common case — traffic that is already ordered, no late rows, the
+default ``drop`` policy — that must stay cheap: the paper's position
+is that event-time correctness is a property you turn on, not a
+pipeline you pay for.
+
+This bench drives the same E1 security workload as X4 (ingest through
+a windowed rollup CQ into an archival channel) under three
+configurations:
+
+  arrival    plain stream, arrival-time windows (the X4 pipeline)
+  eventtime  ``WATERMARK '5 seconds'`` stream, ``EMIT ON WATERMARK``,
+             same ordered input — the delta is pure bookkeeping
+  shuffled   the same event-time pipeline fed the same events
+             reordered within the watermark bound
+             (:class:`~repro.workloads.OutOfOrderEvents`)
+
+The gate asserts ordered event-time stays within 10% of arrival-time;
+the shuffled row is informative (it also pays buffering for genuinely
+out-of-order rows, which arrival-time windows would simply mis-assign).
+"""
+
+import sys
+import time
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.workloads import OutOfOrderEvents, SecurityEventGenerator
+
+GATE_PCT = 10.0
+
+# the X4 stream, parameterised on the time-semantics clause
+STREAM_DDL = """
+CREATE STREAM security_events (
+    etime timestamp CQTIME USER,
+    src_ip varchar(50),
+    dst_ip varchar(50),
+    dst_port integer,
+    action varchar(10),
+    severity integer,
+    bytes_sent bigint
+) {clause}
+"""
+
+CONTINUOUS_DDL = """
+CREATE STREAM blocked_rollup AS
+    SELECT severity, count(*) AS hits, sum(bytes_sent) AS bytes,
+           cq_close(*)
+    FROM security_events <VISIBLE '5 seconds'>
+    WHERE action = 'block'
+    GROUP BY severity{emit};
+CREATE TABLE blocked_archive (severity integer,
+    hits bigint, bytes bigint, stime timestamp);
+CREATE CHANNEL blocked_channel FROM blocked_rollup INTO blocked_archive APPEND;
+"""
+
+#: (label, stream clause, CQ emit clause, shuffle?) per configuration
+CONFIGS = [
+    ("arrival", "", "", False),
+    ("eventtime", "WATERMARK '5 seconds'", " EMIT ON WATERMARK", False),
+    ("shuffled", "WATERMARK '5 seconds'", " EMIT ON WATERMARK", True),
+]
+
+
+def run_once(n_events, clause, emit, shuffle, chunk=2_000):
+    """One full ingest+window pass; returns wall seconds."""
+    db = Database(buffer_pages=64, observability=False)
+    db.execute(STREAM_DDL.format(clause=clause))
+    db.execute_script(CONTINUOUS_DDL.format(emit=emit))
+    gen = SecurityEventGenerator(rate_per_second=1000.0, seed=1)
+    events = gen.batch(n_events)
+    if shuffle:
+        # reorder arrivals within the watermark bound: every row stays
+        # on time, but the stream sees genuine disorder
+        ooo = OutOfOrderEvents(bound=4.0, seed=7)
+        events = [events[i] for i in sorted(
+            range(len(events)),
+            key=lambda i: events[i][0] + ooo.delay())]
+    started = time.perf_counter()
+    for i in range(0, len(events), chunk):
+        db.insert_stream("security_events", events[i:i + chunk])
+    db.advance_streams(events[-1][0] + 60.0)
+    wall = time.perf_counter() - started
+    # sanity: the pipeline actually ran end to end
+    archived = db.query("SELECT count(*) FROM blocked_archive").scalar()
+    assert archived and archived > 0
+    return wall
+
+
+def measure(n_events, repeats=7):
+    """Paired per-round measurement, as in X4: every round runs both
+    configurations back to back (order rotating) and the overhead is
+    the median of per-round ratios against that round's baseline."""
+    walls = {label: [] for label, _, _, _ in CONFIGS}
+    for round_no in range(repeats):
+        shift = round_no % len(CONFIGS)
+        order = CONFIGS[shift:] + CONFIGS[:shift]
+        round_walls = {}
+        for label, clause, emit, shuffle in order:
+            round_walls[label] = run_once(n_events, clause, emit, shuffle)
+        for label, wall in round_walls.items():
+            walls[label].append(wall)
+    return walls
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def build_report(n_events, walls):
+    rows = []
+    overheads = {}
+    for label, _, _, _ in CONFIGS:
+        ratios = [w / base
+                  for w, base in zip(walls[label], walls["arrival"])]
+        overhead = (_median(ratios) - 1.0) * 100.0
+        overheads[label] = overhead
+        wall = _median(walls[label])
+        rows.append([label, n_events, round(wall * 1000, 2),
+                     round(n_events / wall, 0),
+                     "-" if label == "arrival" else f"{overhead:+.2f}%"])
+    text = format_table(
+        ["config", "events", "median wall ms", "events/s",
+         "median paired overhead"],
+        rows,
+        title="X6: event-time overhead on the E1 ingest+window pipeline "
+              f"(gate: within {GATE_PCT:.0f}% of arrival-time)")
+    return text, overheads
+
+
+def test_x6_eventtime_overhead(report):
+    report.experiment_id = "X6_eventtime"
+    n_events = 40_000
+    walls = measure(n_events, repeats=5)
+    text, overheads = build_report(n_events, walls)
+    print("\n" + text)
+    report.add(text)
+    assert overheads["eventtime"] < GATE_PCT, (
+        f"event-time windows cost {overheads['eventtime']:.2f}% "
+        f"(gate {GATE_PCT}%)")
+
+
+def main():
+    """Standalone smoke entry point (``make eventtime-smoke``): smaller
+    run, same gate, nonzero exit on failure."""
+    n_events = 15_000
+    walls = measure(n_events, repeats=3)
+    text, overheads = build_report(n_events, walls)
+    print(text)
+    if overheads["eventtime"] >= GATE_PCT:
+        print(f"FAIL: event-time overhead {overheads['eventtime']:.2f}% "
+              f">= gate {GATE_PCT}%", file=sys.stderr)
+        return 1
+    print(f"OK: event-time overhead {overheads['eventtime']:.2f}% "
+          f"< gate {GATE_PCT}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

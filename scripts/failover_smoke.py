@@ -14,6 +14,12 @@ stamped with ``(sender, seq)``; after promotion the same batch is
 re-sent to the new primary, which must recognise it from the shipped
 dedup marker and ack ``duplicate`` without applying a single row.
 
+And proves event-time watermark durability end to end: an event-time
+stream gets rows plus an explicit watermark injection pre-crash; the
+promoted standby and a rebooted primary (same data dir, after the
+SIGKILL) must both report the exact pre-crash watermark — promotion
+and restart never regress it.
+
 Run from the repository root::
 
     PYTHONPATH=src python scripts/failover_smoke.py
@@ -63,6 +69,8 @@ def main():
                       "<VISIBLE '10 seconds' ADVANCE '10 seconds'>")
         pconn.execute("CREATE TABLE archive (c bigint, ts timestamp)")
         pconn.execute("CREATE CHANNEL arch FROM totals INTO archive APPEND")
+        pconn.execute("CREATE STREAM ev (v integer, ts timestamp "
+                      "CQTIME USER) WATERMARK '5 seconds'")
 
         stby, _shost, sport = boot(
             ["--data-dir", os.path.join(workdir, "standby"),
@@ -82,6 +90,13 @@ def main():
         pconn.ingest("s", [(i, 10.0 + i) for i in range(1, 6)],
                      sender="smoke", seq=7)
         pconn.ingest("s", [(0, 21.0)])    # closes (10,20]; 21.0 in flight
+
+        # event-time watermark: out-of-order rows plus an explicit
+        # injection; the ack must carry the injected value back
+        ev_ack = pconn.ingest("ev", [(1, 30.0), (2, 12.0)], watermark=42.0)
+        if ev_ack.watermark != 42.0:
+            fail(f"ingest ack watermark wrong: {ev_ack.watermark!r}")
+        print(f"event-time watermark injected: {ev_ack.watermark}")
 
         got = list(sub.wait_windows(2, timeout=15.0))
         print(f"pre-crash windows: {[(w.close_time, w.rows) for w in got]}")
@@ -139,6 +154,13 @@ def main():
         if retry.accepted != 0 or retry.duplicate != 5:
             fail(f"replayed batch was not deduplicated: {retry!r}")
         print(f"replayed batch ack: {retry!r}")
+
+        # the shipped watermark survived promotion, exactly
+        wm = nconn.query("SELECT watermark FROM repro_watermarks "
+                         "WHERE stream = 'ev'").scalar()
+        if float(wm) != 42.0:
+            fail(f"watermark regressed on promotion: {wm!r}")
+        print(f"promoted standby watermark: {float(wm)}")
         nconn.ingest("s", [(i, 20.0 + i) for i in range(2, 8)])
         nconn.ingest("s", [(0, 31.0)])    # closes (20,30]
 
@@ -163,6 +185,21 @@ def main():
             fail(f"wrong post-failover window: {third.rows}")
         print(f"all windows: {[(w.close_time, w.rows) for w in got]}")
         print(f"client failovers: {watcher.failovers}")
+
+        # reboot the SIGKILLed primary on its own data dir: crash
+        # recovery must land the watermark exactly where it was durable
+        prim2, rhost, rport = boot(
+            ["--data-dir", os.path.join(workdir, "primary"),
+             "--retention", "600"])
+        rconn = client.connect(rhost, rport)
+        wm = rconn.query("SELECT watermark FROM repro_watermarks "
+                         "WHERE stream = 'ev'").scalar()
+        if float(wm) != 42.0:
+            fail(f"watermark regressed on kill -9 restart: {wm!r}")
+        print(f"rebooted primary watermark: {float(wm)}")
+        rconn.close()
+        prim2.kill()
+        prim2.wait()
 
         watcher.close()
         sconn.close()

@@ -18,6 +18,7 @@ commands:
     \\supervisor     supervision status of every CQ/stream/channel
     \\deadletters [N] last N quarantined tuples/windows (default 20)
     \\replication    replication role, shipped/applied LSNs, lag
+    \\watermarks     per-stream event-time watermark, lag, late rows
     \\tenants        per-tenant admission counters + controller status
     \\stats [cq]     engine metrics + per-CQ window/operator stats
     \\trace [N]      span trees of the last N sampled tuples (default 5)
@@ -102,6 +103,8 @@ class Shell:
             self._dead_letters(int(args[0]) if args else 20)
         elif command == "\\replication":
             self._replication()
+        elif command == "\\watermarks":
+            self._watermarks()
         elif command == "\\tenants":
             self._tenants()
         elif command == "\\stats":
@@ -141,7 +144,8 @@ class Shell:
         for sub_name, sub in targets:
             windows = sub.poll()
             for window in windows:
-                self.write(f"-- {sub_name}: window "
+                kind = getattr(window, "kind", "window")
+                self.write(f"-- {sub_name}: {kind} "
                            f"[{window.open_time:g}, {window.close_time:g})")
                 result = ResultSet(sub.columns, window.rows)
                 self.write(result.pretty())
@@ -163,6 +167,18 @@ class Shell:
             "SELECT role, peer, state, shipped_lsn, applied_lsn, lag, "
             "last_error FROM repro_replication_status")
         self.write(result.pretty())
+
+    def _watermarks(self) -> None:
+        """Per-stream event-time watermark status (repro_watermarks)."""
+        source = self.db if self.db is not None else self.conn
+        result = source.query(
+            "SELECT stream, mode, bound_seconds, watermark, "
+            "max_event_time, lag_seconds, late_rows, injections "
+            "FROM repro_watermarks")
+        if result.rows:
+            self.write(result.pretty())
+        else:
+            self.write("(no streams yet)")
 
     def _tenants(self) -> None:
         """Admission-control status: controller tier + per-tenant counters."""
@@ -344,6 +360,8 @@ class RemoteShell(Shell):
             self._describe()
         elif command == "\\replication":
             self._replication()
+        elif command == "\\watermarks":
+            self._watermarks()
         elif command == "\\tenants":
             self._tenants()
         elif command == "\\stats":
@@ -383,7 +401,8 @@ class RemoteShell(Shell):
             return
         for sub_name, sub in targets:
             for window in sub.poll(timeout=0.2):
-                self.write(f"-- {sub_name}: window "
+                kind = getattr(window, "kind", "window")
+                self.write(f"-- {sub_name}: {kind} "
                            f"[{window.open_time:g}, {window.close_time:g})")
                 result = ResultSet(sub.columns, window.rows)
                 self.write(result.pretty())

@@ -87,17 +87,22 @@ class IngestAck(int):
     """
 
     def __new__(cls, accepted: int, shed: int = 0, dropped: int = 0,
-                duplicate: int = 0):
+                duplicate: int = 0, watermark: Optional[float] = None):
         self = super().__new__(cls, accepted)
         self.accepted = int(accepted)
         self.shed = int(shed)
         self.dropped = int(dropped)
         self.duplicate = int(duplicate)
+        #: event-time streams ack their watermark after the batch;
+        #: None for arrival-time streams
+        self.watermark = watermark
         return self
 
     def __repr__(self):
+        wm = (f", watermark={self.watermark}"
+              if self.watermark is not None else "")
         return (f"IngestAck(accepted={self.accepted}, shed={self.shed}, "
-                f"dropped={self.dropped}, duplicate={self.duplicate})")
+                f"dropped={self.dropped}, duplicate={self.duplicate}{wm})")
 
 
 def _parse_targets(value) -> List[Tuple[str, int]]:
@@ -156,6 +161,16 @@ class RemoteSubscription:
         #: and anything at or before it is dropped as a duplicate.
         self.last_close: Optional[float] = None
         self.last_time: Optional[float] = None
+        #: last push sequence number seen (per-subscription, assigned by
+        #: the server); a replayed or re-ordered frame arrives with a
+        #: smaller-or-equal seq and is dropped.  Reset on failover — the
+        #: new primary numbers from 1 again.
+        self.last_seq: Optional[int] = None
+        #: (open, close) of a retraction awaiting its paired correction.
+        #: Event-time retract/correct records must arrive adjacently and
+        #: in order; anything else after a failover replay would apply
+        #: corrections against the wrong state.
+        self._pending_retract: Optional[tuple] = None
         self._windows = deque()
         self._tuples = deque()
 
@@ -170,14 +185,51 @@ class RemoteSubscription:
     def _on_push(self, frame: dict) -> None:
         kind = frame.get("push")
         if kind == "window":
+            seq = frame.get("seq")
+            if seq is not None and self.last_seq is not None:
+                if seq <= self.last_seq:
+                    return  # re-delivered frame (resume overlap)
+                if seq > self.last_seq + 1:
+                    # frames were shed between these two: any half-open
+                    # retraction pair can no longer be trusted
+                    self._pending_retract = None
+            if seq is not None:
+                self.last_seq = seq
             close = frame["close"]
-            if self.last_close is not None \
-                    and close <= self.last_close + 1e-9:
-                return  # duplicate from a resume overlap
-            self.last_close = close
+            record_kind = frame.get("kind", "window")
+            if record_kind == "window":
+                if self.last_close is not None \
+                        and close <= self.last_close + 1e-9:
+                    return  # duplicate from a resume overlap
+                if self._pending_retract is not None:
+                    raise ProtocolError(
+                        f"subscription {self.name!r}: retraction of "
+                        f"window {self._pending_retract} was not followed "
+                        "by its correction (out-of-order delivery)")
+                self.last_close = close
+            elif record_kind == "retract":
+                if self._pending_retract is not None:
+                    raise ProtocolError(
+                        f"subscription {self.name!r}: retraction of "
+                        f"window {self._pending_retract} was not followed "
+                        "by its correction (out-of-order delivery)")
+                self._pending_retract = (frame["open"], close)
+            elif record_kind == "correct":
+                pending = self._pending_retract
+                if pending is not None \
+                        and pending != (frame["open"], close):
+                    raise ProtocolError(
+                        f"subscription {self.name!r}: correction for "
+                        f"window ({frame['open']}, {close}) arrived while "
+                        f"retraction of {pending} was pending")
+                self._pending_retract = None
+            # corrections and early output never advance last_close:
+            # the resume cursor tracks *final* windows only, so a
+            # failover replay re-derives state from finals
             self._windows.append(WindowResult(
                 [tuple(row) for row in frame["rows"]],
-                frame["open"], close))
+                frame["open"], close, kind=record_kind,
+                watermark=frame.get("watermark")))
         elif kind == "tuple":
             when = frame["time"]
             if frame.get("replayed") and self.last_time is not None \
@@ -365,6 +417,10 @@ class Connection:
                 fields["since"] = since
             response = self._request("subscribe", **fields)
             sub.sub = response["subscription"]["sub"]
+            # new server, new per-subscription sequence space; any
+            # half-open retraction pair died with the old primary
+            sub.last_seq = None
+            sub._pending_retract = None
             self._subs[sub.sub] = sub
             for frame in self._orphans.pop(sub.sub, []):
                 sub._on_push(frame)
@@ -448,7 +504,8 @@ class Connection:
                at: Optional[float] = None,
                sender: Optional[str] = None,
                seq: Optional[int] = None,
-               retry: bool = True) -> IngestAck:
+               retry: bool = True,
+               watermark: Optional[float] = None) -> IngestAck:
         """Micro-batched bulk ingest: one frame, many rows.
 
         Returns an :class:`IngestAck` — an int equal to how many rows
@@ -465,10 +522,17 @@ class Connection:
         jitter, within this connection's ``timeout`` budget; pass
         ``retry=False`` to surface them instead.  Durable quota
         exhaustion (``retry_after_ms`` null) always raises.
+
+        ``watermark`` piggybacks an explicit event-time watermark
+        injection on the batch: the source asserts it will send nothing
+        earlier.  Event-time streams ack their watermark back on
+        :attr:`IngestAck.watermark`.
         """
         fields = {"stream": stream, "rows": [list(row) for row in rows]}
         if at is not None:
             fields["at"] = at
+        if watermark is not None:
+            fields["watermark"] = watermark
         if (sender is None) != (seq is None):
             raise ProtocolError(
                 "idempotent ingest needs both sender and seq")
@@ -490,7 +554,8 @@ class Connection:
                 continue
             return IngestAck(
                 response["accepted"], response.get("shed", 0),
-                response.get("dropped", 0), response.get("duplicate", 0))
+                response.get("dropped", 0), response.get("duplicate", 0),
+                response.get("watermark"))
 
     def advance(self, event_time: float) -> None:
         """Heartbeat every stream to ``event_time`` (closes windows)."""

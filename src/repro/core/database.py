@@ -166,6 +166,7 @@ class Database:
                 "columns": [_column_spec(c) for c in stream.schema],
                 "retention": stream.retention, "slack": stream.slack,
                 "disorder_policy": stream.disorder_policy,
+                "watermark_bound": stream.watermark_bound,
             })
         for name, view in self.catalog.relations(cat.VIEW):
             self._log_ddl({
@@ -620,13 +621,16 @@ class Database:
         if statement.if_not_exists and self.catalog.has_relation(statement.name):
             return _ok()
         schema = _schema_from_defs(statement.columns, for_stream=True)
-        stream = self.runtime.create_base_stream(statement.name, schema)
+        stream = self.runtime.create_base_stream(
+            statement.name, schema,
+            watermark_bound=statement.watermark_bound)
         from repro.core.dump import _column_spec
         self._log_ddl({
             "op": "create", "kind": "stream", "name": statement.name,
             "columns": [_column_spec(c) for c in schema],
             "retention": stream.retention, "slack": stream.slack,
             "disorder_policy": stream.disorder_policy,
+            "watermark_bound": stream.watermark_bound,
         })
         return _ok()
 
@@ -899,7 +903,8 @@ class Database:
 
     def ingest_batch(self, name: str, rows, at: Optional[float] = None,
                      sender: Optional[str] = None,
-                     seq: Optional[int] = None) -> dict:
+                     seq: Optional[int] = None,
+                     watermark: Optional[float] = None) -> dict:
         """Apply one ingest batch; returns counted results
         ``{"accepted", "shed", "duplicate"}``.
 
@@ -911,6 +916,13 @@ class Database:
         recovery treats the batch atomically: marker durable means the
         rows count and a retry is a duplicate; marker lost means the
         rows are discarded and the retry is accepted fresh.
+
+        ``watermark`` piggybacks an explicit watermark injection on the
+        batch (event-time streams): after the rows land, the stream's
+        watermark is advanced to at least that value and made durable.
+        For event-time streams the result carries the stream's watermark
+        after the batch under ``"watermark"`` — the ingest ack, so
+        sources can observe their own completeness claims.
         """
         stream = self.runtime.get_stream(name)
         idempotent = sender is not None and seq is not None
@@ -918,8 +930,11 @@ class Database:
             sender = str(sender)
             seq = int(seq)
             if self.admission.dedup.seen(stream.name, sender, seq):
-                return {"accepted": 0, "shed": 0, "dropped": 0,
-                        "duplicate": len(list(rows))}
+                counts = {"accepted": 0, "shed": 0, "dropped": 0,
+                          "duplicate": len(list(rows))}
+                if stream.tracker is not None:
+                    counts["watermark"] = stream.watermark
+                return counts
             self.runtime.current_batch = (sender, seq)
         try:
             counts = stream.insert_many_counted(rows, at)
@@ -927,8 +942,34 @@ class Database:
             self.runtime.current_batch = None
         if idempotent:
             self._persist_dedup_marker(stream.name, sender, seq)
+        if watermark is not None:
+            self.inject_watermark(name, watermark)
+        if stream.tracker is not None:
+            counts["watermark"] = stream.watermark
         counts["duplicate"] = 0
         return counts
+
+    def inject_watermark(self, name: str, watermark: float) -> float:
+        """Explicitly advance a stream's watermark and make it durable.
+
+        The injection closes any windows the new watermark passes, is
+        appended to the WAL as a ``stream_advance`` record, and the log
+        is flushed so the watermark survives a crash — recovery and
+        standby promotion land it exactly where it was (crashpoint
+        ``eventtime.watermark_persist`` sits between the advance and the
+        flush that makes it durable).  Returns the stream's watermark
+        after the injection, which may exceed the requested value (the
+        watermark never regresses).
+        """
+        stream = self.runtime.get_stream(name)
+        stream.advance_to(watermark)
+        faults = self.faults
+        if faults is not None and faults.armed:
+            faults.check("eventtime.watermark_persist",
+                         f"{name}:{watermark}")
+        if self.runtime.stream_logger is not None:
+            self.storage.wal.flush()
+        return stream.watermark
 
     def _persist_dedup_marker(self, stream_name: str, sender: str,
                               seq: int) -> None:

@@ -80,11 +80,21 @@ def _render(value) -> str:
 
 @dataclass
 class WindowResult:
-    """One window's worth of CQ output."""
+    """One window's worth of CQ output.
+
+    ``kind`` types event-time records: ``"window"`` is a final result;
+    ``"retract"`` withdraws a previously delivered window, ``"correct"``
+    replaces it (a late row re-opened the window under the ``RETRACT``
+    lateness policy), and ``"early"`` is speculative output ahead of the
+    watermark (``EMIT ON CHANGE`` / ``EMIT EVERY``).  ``watermark`` is
+    the source stream's event-time watermark at delivery, when known.
+    """
 
     rows: List[tuple]
     open_time: float
     close_time: float
+    kind: str = "window"
+    watermark: Optional[float] = None
 
     def __iter__(self):
         return iter(self.rows)
@@ -107,6 +117,9 @@ class Subscription:
         self._pending: List[WindowResult] = []
         self.closed = False
         cq.add_sink(self._on_window)
+        probe = getattr(cq, "is_event_time", None)
+        if probe is not None and cq.is_event_time():
+            cq.add_correction_sink(self._on_correction)
 
     @property
     def columns(self) -> List[str]:
@@ -121,7 +134,19 @@ class Subscription:
         return self._cq.stats
 
     def _on_window(self, rows, open_time, close_time):
-        self._pending.append(WindowResult(list(rows), open_time, close_time))
+        self._pending.append(WindowResult(list(rows), open_time, close_time,
+                                          watermark=self._watermark()))
+
+    def _on_correction(self, kind, rows, open_time, close_time):
+        self._pending.append(WindowResult(list(rows), open_time, close_time,
+                                          kind=kind,
+                                          watermark=self._watermark()))
+
+    def _watermark(self) -> Optional[float]:
+        stream = getattr(self._cq, "stream", None)
+        if stream is not None and getattr(stream, "tracker", None) is not None:
+            return stream.watermark
+        return None
 
     def listen(self, callback) -> None:
         """Push mode: call ``callback(WindowResult)`` at every window
@@ -137,6 +162,9 @@ class Subscription:
         forwarders (the network server) use this so an unpolled
         subscription does not accumulate windows forever."""
         self._cq.remove_sink(self._on_window)
+        remove_correction = getattr(self._cq, "remove_correction_sink", None)
+        if remove_correction is not None:
+            remove_correction(self._on_correction)
         self._pending.clear()
         self._cq.add_sink(sink)
 

@@ -324,6 +324,35 @@ def install_system_views(db) -> None:
         _int("duplicates"), _int("dedup_senders"),
     ]), admission_rows)
 
+    def watermarks_rows():
+        neg_inf = float("-inf")
+
+        def _t(value):
+            return None if value == neg_inf else value
+
+        out = []
+        for name, stream in db.catalog.relations(cat.STREAM):
+            tracker = stream.tracker
+            if tracker is None:
+                out.append((name, "arrival", None,
+                            _t(stream.watermark), None, None, 0, 0))
+                continue
+            out.append((
+                name, "event", tracker.bound, _t(tracker.watermark),
+                _t(tracker.max_event_time), tracker.lag(),
+                tracker.late_rows, tracker.injections,
+            ))
+        return out
+
+    watermarks = VirtualTable("repro_watermarks", Schema([
+        _text("stream"), _text("mode"),
+        Column("bound_seconds", DoubleType()),
+        Column("watermark", TimestampType()),
+        Column("max_event_time", TimestampType()),
+        Column("lag_seconds", DoubleType()),
+        _int("late_rows"), _int("injections"),
+    ]), watermarks_rows)
+
     def traces_rows():
         return db.obs.tracer.rows()
 
@@ -336,5 +365,5 @@ def install_system_views(db) -> None:
     for view in (streams, channels, tables, indexes, cqs, io, stats,
                  supervisor, dead_letters, crashpoints, connections,
                  replication, metrics, cq_stats, operator_stats, traces,
-                 tenants, admission):
+                 tenants, admission, watermarks):
         db.catalog.add_relation(view.name, SYSTEM, view)

@@ -1,0 +1,49 @@
+"""Event-time processing: watermarks, bounded lateness, retractions.
+
+The paper assumes perfectly ordered streams; real network-effect
+traffic arrives late and out of order.  This package owns event-time
+semantics end to end, following "One SQL to Rule Them All"
+(Begoli/Hyde et al., PAPERS.md):
+
+- :mod:`repro.eventtime.watermark` — per-stream
+  :class:`WatermarkTracker`: a bounded-out-of-orderness watermark
+  generator plus explicit injection (``ADVANCE``/ingest watermarks),
+  generalizing the engine's heartbeat/punctuation machinery.
+- :mod:`repro.eventtime.lateness` — the bounded-lateness policies
+  (``drop`` / ``dead_letter`` / ``retract``) and the structured
+  dead-letter reason for late events.
+- :mod:`repro.eventtime.operator` —
+  :class:`EventTimeWindowOperator`: window assignment by the
+  designated event-time column instead of arrival order, closes on
+  watermark, re-opens and incrementally recomputes slices for
+  in-bound late rows under ``retract``, and implements ``EMIT``
+  control (on watermark / on change / periodic).
+"""
+
+from repro.eventtime.lateness import (  # noqa: F401
+    DEAD_LETTER,
+    DROP,
+    LATE_EVENT,
+    LATENESS_POLICIES,
+    RETRACT,
+    late_reason,
+)
+from repro.eventtime.watermark import WatermarkTracker  # noqa: F401
+
+_OPERATOR_EXPORTS = (
+    "EMIT_ON_CHANGE",
+    "EMIT_ON_WATERMARK",
+    "EMIT_PERIODIC",
+    "EventTimeWindowOperator",
+)
+
+
+def __getattr__(name):
+    # repro.streaming.streams imports this package for WatermarkTracker
+    # while repro.streaming is itself still initializing; the operator
+    # module depends on repro.streaming.windows, so it must load lazily.
+    if name in _OPERATOR_EXPORTS:
+        from repro.eventtime import operator
+
+        return getattr(operator, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

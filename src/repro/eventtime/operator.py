@@ -1,0 +1,212 @@
+"""Event-time window operator: watermark-driven closes, bounded
+lateness, and retraction-correct slices.
+
+Arrival-time windows (:class:`~repro.streaming.windows.TimeWindowOperator`)
+close as soon as a tuple's timestamp proves the boundary passed; under
+reordered traffic that silently drops or mis-assigns late rows.  This
+operator keeps the same boundary arithmetic and recovery-visible state
+(``_buffer`` / ``_base`` / ``_boundary_index``) but:
+
+- **assigns** every tuple to slices by its *event time* (the stream's
+  designated timestamp column), regardless of arrival order;
+- **closes** windows only when the stream's watermark passes the
+  boundary (delivered as heartbeats by the event-time stream), never
+  on raw tuple arrival;
+- **classifies** tuples below the watermark as late and applies the
+  CQ's lateness policy; under ``retract`` an in-bound late tuple
+  re-opens each closed slice it belonged to, recomputes it from the
+  retained buffer (incremental: only the affected slices, not the
+  whole history), and reports it through ``on_correction`` so the CQ
+  can emit a typed retract/correct pair;
+- implements ``EMIT`` control: ``ON WATERMARK`` (default — final
+  results only), ``ON CHANGE`` (speculative early emission of the
+  open slice on every change), and ``EVERY '<dur>'`` (periodic early
+  emission by event time).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Optional
+
+from repro.errors import WindowError
+from repro.eventtime.lateness import DROP, LATENESS_POLICIES, RETRACT
+from repro.streaming.windows import Sink, TimeWindowOperator
+
+EMIT_ON_WATERMARK = "watermark"
+EMIT_ON_CHANGE = "change"
+EMIT_PERIODIC = "every"
+
+#: on_late callback: (row, event_time, watermark, expired)
+LateFn = Callable[[tuple, float, float, bool], None]
+#: on_correction / on_early callback: (rows, open_time, close_time)
+CorrectionFn = Callable[[list, float, float], None]
+
+
+class EventTimeWindowOperator(TimeWindowOperator):
+    """Time window driven by event time and watermarks.
+
+    ``wm_fn`` returns the source stream's current watermark; closes
+    happen in :meth:`on_heartbeat` (the event-time stream broadcasts a
+    heartbeat whenever its watermark advances), so tuple arrival never
+    closes a window by itself.
+    """
+
+    def __init__(self, visible: float, advance: float, sink: Sink,
+                 emit_empty: bool = True, *,
+                 wm_fn: Callable[[], float],
+                 allowed_lateness: float = 0.0,
+                 late_policy: str = DROP,
+                 on_late: Optional[LateFn] = None,
+                 on_correction: Optional[CorrectionFn] = None,
+                 on_early: Optional[CorrectionFn] = None,
+                 emit_mode: str = EMIT_ON_WATERMARK,
+                 emit_every: Optional[float] = None):
+        super().__init__(visible, advance, sink, emit_empty)
+        if late_policy not in LATENESS_POLICIES:
+            raise WindowError(
+                f"unknown lateness policy {late_policy!r}; choose one of "
+                f"{', '.join(LATENESS_POLICIES)}")
+        if math.isinf(self.visible):
+            raise WindowError(
+                "event-time windows require a finite VISIBLE extent")
+        self.wm_fn = wm_fn
+        self.allowed_lateness = float(allowed_lateness)
+        self.late_policy = late_policy
+        self.on_late = on_late
+        self.on_correction = on_correction
+        self.on_early = on_early
+        self.emit_mode = emit_mode
+        self.emit_every = emit_every
+        self.late_rows = 0           # tuples below the watermark
+        self.expired_rows = 0        # late beyond allowed_lateness
+        self.corrections = 0         # closed slices recomputed
+        self.early_emits = 0
+        self._last_early = float("-inf")
+        self._flushing = False
+        # under retract, closed slices stay recomputable for the
+        # lateness bound; one extra ADVANCE covers the boundary that
+        # closed just before the watermark the late tuple is judged by
+        if late_policy == RETRACT:
+            self._retain_extra = self.allowed_lateness + self.advance
+        else:
+            self._retain_extra = 0.0
+
+    # -- consumer protocol ------------------------------------------------------
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        if self._base is None:
+            self._start_at(event_time)
+        elif self._boundary_index == 1 and event_time < self._base:
+            # the grid started on a reordered later row; an earlier
+            # on-time row pulls the first close back so its windows
+            # still emit (nothing has closed yet — an on-time row is
+            # never behind a closed boundary)
+            self._start_at(event_time)
+        watermark = self.wm_fn()
+        if event_time < watermark:
+            self._on_late_tuple(row, event_time, watermark)
+            return
+        self._buffer.append((event_time, row))
+        self.tuples_in += 1
+        if self.emit_mode != EMIT_ON_WATERMARK:
+            self._maybe_emit_early(event_time)
+
+    def on_heartbeat(self, event_time: float) -> None:
+        # the event-time stream broadcasts every watermark advance as a
+        # heartbeat — on ordered traffic that is once per tuple, so the
+        # no-close case must be a single inline compare
+        base = self._base
+        if base is None \
+                or base + self._boundary_index * self.advance > event_time:
+            return
+        self._close_through(event_time)
+
+    def on_flush(self) -> None:
+        self._flushing = True
+        super().on_flush()
+
+    # -- lateness ---------------------------------------------------------------
+
+    def _on_late_tuple(self, row: tuple, event_time: float,
+                       watermark: float) -> None:
+        self.late_rows += 1
+        if self.late_policy == RETRACT:
+            if event_time >= watermark - self.allowed_lateness:
+                self._buffer.append((event_time, row))
+                self.tuples_in += 1
+                if self.on_late is not None:
+                    self.on_late(row, event_time, watermark, False)
+                self._recompute_closed(event_time, watermark)
+                return
+            self.expired_rows += 1
+            if self.on_late is not None:
+                self.on_late(row, event_time, watermark, True)
+            return
+        if self.on_late is not None:
+            self.on_late(row, event_time, watermark, False)
+
+    def _recompute_closed(self, event_time: float,
+                          watermark: float) -> None:
+        """Re-open and recompute every slice the late tuple belongs to
+        that the watermark has already passed: boundaries ``B`` on the
+        (epoch-aligned) advance grid with ``event_time < B <=
+        event_time + visible`` and ``B <= watermark``.  That covers
+        both slices that closed normally and slices the watermark
+        overtook before the grid started (the operator booted on a
+        reordered later row) — those were never emitted, so the
+        correction is their first output.  Boundaries still ahead of
+        the watermark are left alone: they close later and the buffered
+        row is simply part of them.  Only the affected slices are
+        recomputed."""
+        if self.on_correction is None:
+            return
+        boundary = (math.floor(event_time / self.advance) + 1) * self.advance
+        while boundary <= watermark \
+                and boundary - self.visible <= event_time:
+            open_time = boundary - self.visible
+            rows = [r for when, r in self._buffer
+                    if open_time <= when < boundary]
+            self.corrections += 1
+            self.on_correction(rows, open_time, boundary)
+            boundary += self.advance
+
+    # -- EMIT control -----------------------------------------------------------
+
+    def _maybe_emit_early(self, event_time: float) -> None:
+        if self.on_early is None:
+            return
+        if self.emit_mode == EMIT_PERIODIC:
+            if self.emit_every is None \
+                    or event_time < self._last_early + self.emit_every:
+                return
+            self._last_early = event_time
+        boundary = self._next_boundary()
+        open_time = boundary - self.visible
+        rows = [r for when, r in self._buffer
+                if open_time <= when < boundary]
+        self.early_emits += 1
+        self.on_early(rows, open_time, boundary)
+
+    # -- close / eviction -------------------------------------------------------
+
+    def _close(self, boundary: float) -> None:
+        open_time = boundary - self.visible
+        visible_rows = [
+            row for when, row in self._buffer
+            if open_time <= when < boundary
+        ]
+        self._boundary_index += 1
+        # keep closed slices recomputable for the lateness bound; the
+        # buffer is arrival-ordered (not time-sorted), so only the
+        # stale *prefix* is popped — rows parked behind a fresher one
+        # fall out on a later close, which retains slightly longer but
+        # never evicts a row a recomputation could still need
+        extra = 0.0 if self._flushing else self._retain_extra
+        horizon = self._next_boundary() - self.visible - extra
+        while self._buffer and self._buffer[0][0] < horizon:
+            self._buffer.popleft()
+        self.windows_closed += 1
+        self.rows_emitted += len(visible_rows)
+        if visible_rows or self.emit_empty:
+            self.sink(visible_rows, open_time, boundary)

@@ -1,0 +1,81 @@
+"""Per-stream watermark tracking.
+
+A watermark is the engine's promise that no tuple with event time
+below it will be accepted into open windows anymore.  The tracker
+combines two sources, both monotone:
+
+- a **bounded-out-of-orderness generator**: watermark chases
+  ``max_event_time - bound`` as tuples are observed (the stream's
+  ``WATERMARK '<bound>'`` DDL clause);
+- **explicit injection**: an upstream source that knows its own
+  completeness (ingest ``watermark=`` stamps, ``ADVANCE`` API) can
+  push the watermark forward directly.
+
+The published watermark is the max of the two and never regresses —
+including across WAL replay and standby promotion, where observed
+rows and injected advances are replayed through the same two entry
+points.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+NEG_INF = float("-inf")
+
+
+class WatermarkTracker:
+    """Monotone event-time watermark for one stream."""
+
+    __slots__ = ("bound", "max_event_time", "injected", "watermark",
+                 "late_rows", "injections")
+
+    def __init__(self, bound: float):
+        if bound < 0:
+            raise ValueError("watermark bound must be >= 0 seconds")
+        self.bound = float(bound)
+        self.max_event_time = NEG_INF   # highest event time observed
+        self.injected = NEG_INF        # highest explicit injection
+        self.watermark = NEG_INF       # published, monotone
+        self.late_rows = 0             # observed below the watermark
+        self.injections = 0
+
+    def observe(self, event_time: float) -> Optional[float]:
+        """Account one tuple's event time.  Returns the new watermark
+        when this observation advanced it, else None."""
+        if event_time < self.watermark:
+            self.late_rows += 1
+        if event_time > self.max_event_time:
+            self.max_event_time = event_time
+            candidate = event_time - self.bound
+            if candidate > self.watermark:
+                self.watermark = candidate
+                return candidate
+        return None
+
+    def inject(self, watermark: float) -> Optional[float]:
+        """Explicitly assert completeness through ``watermark``.
+        Regression attempts are ignored (monotonicity).  Returns the
+        new watermark when it advanced, else None."""
+        self.injections += 1
+        if watermark > self.injected:
+            self.injected = watermark
+        if watermark > self.watermark:
+            self.watermark = watermark
+            return watermark
+        return None
+
+    def is_late(self, event_time: float) -> bool:
+        return event_time < self.watermark
+
+    def lag(self) -> float:
+        """How far the watermark trails the freshest data (0 when no
+        data has been seen yet)."""
+        if self.max_event_time == NEG_INF or self.watermark == NEG_INF:
+            return 0.0
+        return max(0.0, self.max_event_time - self.watermark)
+
+    def __repr__(self):
+        return (f"WatermarkTracker(bound={self.bound}, "
+                f"watermark={self.watermark}, "
+                f"max_event_time={self.max_event_time})")

@@ -65,6 +65,9 @@ ADMISSION_QUOTA_CHECK = register_crashpoint(
 ADMISSION_DEDUP_PERSIST = register_crashpoint(
     "admission.dedup_persist",
     "crash between applying a batch's rows and flushing its dedup marker")
+EVENTTIME_WATERMARK_PERSIST = register_crashpoint(
+    "eventtime.watermark_persist",
+    "crash between a watermark advance and the WAL flush making it durable")
 
 
 @dataclass

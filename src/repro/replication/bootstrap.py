@@ -206,7 +206,8 @@ def apply_ddl_record(db: Database, record, deferred: List[dict]) -> None:
             stream = db.runtime.create_base_stream(
                 name, _build_schema(payload["columns"]),
                 retention=payload.get("retention"),
-                slack=payload.get("slack") or 0.0)
+                slack=payload.get("slack") or 0.0,
+                watermark_bound=payload.get("watermark_bound"))
             policy = payload.get("disorder_policy")
             if policy:
                 stream.disorder_policy = policy

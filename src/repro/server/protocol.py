@@ -17,11 +17,14 @@ Request ops::
     execute      {"id", "op", "sql", "params"?}   -> result | subscription
     subscribe    {"id", "op", "name", "since"?}   -> subscription
     unsubscribe  {"id", "op", "sub"}              -> ok
-    ingest       {"id", "op", "stream", "rows", "at"?, "sender"?, "seq"?}
+    ingest       {"id", "op", "stream", "rows", "at"?, "sender"?, "seq"?,
+                 "watermark"?}
                  -> counted ack {"accepted", "shed", "dropped",
-                 "duplicate"}; ``(sender, seq)`` makes the batch
-                 idempotent (a replay acks duplicate=len(rows) and
-                 applies nothing)
+                 "duplicate", "watermark"?}; ``(sender, seq)`` makes the
+                 batch idempotent (a replay acks duplicate=len(rows) and
+                 applies nothing).  ``watermark`` injects an explicit
+                 event-time watermark after the rows land; event-time
+                 streams ack their watermark back.
     advance      {"id", "op", "time"}             -> ok (heartbeat)
     flush        {"id", "op"}                     -> ok (drain windows)
     ping         {"id", "op"}                     -> ok
@@ -31,8 +34,15 @@ Request ops::
 
 Push frames::
 
-    {"push": "window", "sub", "open", "close", "rows"}
+    {"push": "window", "sub", "open", "close", "rows",
+     "kind"?, "seq"?, "watermark"?}
     {"push": "tuple",  "sub", "time", "row", "replayed"?}
+
+``kind`` types event-time records ("retract" / "correct" / "early";
+absent means a final window), ``seq`` is a per-subscription monotone
+sequence number so a client can detect shed or re-delivered frames, and
+``watermark`` carries the source stream's event-time watermark at push
+time.
     {"push": "shed",   "sub", "count"}            slow-client load shed
     {"push": "sub_closed", "sub", "reason"}       subscription cancelled
     {"push": "goodbye", "reason"}                 server is closing
@@ -187,10 +197,18 @@ def subscription_response(request_id, sub_id, name, columns,
     })
 
 
-def window_push(sub_id, rows, open_time, close_time) -> dict:
-    return {"push": "window", "sub": sub_id,
-            "open": open_time, "close": close_time,
-            "rows": [list(row) for row in rows]}
+def window_push(sub_id, rows, open_time, close_time, kind: str = "window",
+                seq=None, watermark=None) -> dict:
+    frame = {"push": "window", "sub": sub_id,
+             "open": open_time, "close": close_time,
+             "rows": [list(row) for row in rows]}
+    if kind != "window":
+        frame["kind"] = kind
+    if seq is not None:
+        frame["seq"] = seq
+    if watermark is not None:
+        frame["watermark"] = watermark
+    return frame
 
 
 def tuple_push(sub_id, row, event_time, replayed: bool = False) -> dict:

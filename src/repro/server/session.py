@@ -64,6 +64,14 @@ class SubscriptionEntry:
         self.sheds = 0
         self.broken = False
         self.close_reason: Optional[str] = None
+        # per-subscription monotone push sequence: every window-shaped
+        # frame (finals *and* retract/correct/early records) carries the
+        # next number, so a client can detect shed or re-ordered frames
+        self.push_seq = 0
+
+    def next_seq(self) -> int:
+        self.push_seq += 1
+        return self.push_seq
 
 
 class SessionSink(StreamConsumer):
@@ -76,6 +84,13 @@ class SessionSink(StreamConsumer):
     def __init__(self, session: "Session", entry: SubscriptionEntry):
         self.session = session
         self.entry = entry
+        # set for event-time sources: zero-arg callable returning the
+        # source stream's watermark, stamped onto every window push
+        self.watermark_fn = None
+
+    def _watermark(self):
+        fn = self.watermark_fn
+        return fn() if fn is not None else None
 
     # base streams call these -------------------------------------------------
 
@@ -102,7 +117,24 @@ class SessionSink(StreamConsumer):
         entry.windows_pushed += 1
         self.session.enqueue_push(
             entry,
-            protocol.window_push(entry.sub_id, rows, open_time, close_time))
+            protocol.window_push(entry.sub_id, rows, open_time, close_time,
+                                 seq=entry.next_seq(),
+                                 watermark=self._watermark()))
+
+    def on_correction(self, kind, rows, open_time, close_time) -> None:
+        """A typed event-time record (retract / correct / early) —
+        pushed as a window frame carrying its ``kind``, in sequence
+        with the finals, so the client sees retraction pairs in the
+        exact order the engine emitted them."""
+        entry = self.entry
+        if entry.broken:
+            return
+        entry.windows_pushed += 1
+        self.session.enqueue_push(
+            entry,
+            protocol.window_push(entry.sub_id, rows, open_time, close_time,
+                                 kind=kind, seq=entry.next_seq(),
+                                 watermark=self._watermark()))
 
     def window_sink(self, rows, open_time, close_time) -> None:
         """The ``fn(rows, open, close)`` shape CQ sinks expect."""
@@ -293,6 +325,8 @@ class Session:
             sink = SessionSink(self, entry)
             entry.sink = sink
             result.stream_to(sink.window_sink)
+            if _wire_event_time(result.cq, sink):
+                result.cq.add_correction_sink(sink.on_correction)
             entry.detach = result.close  # session-owned CQ: closing stops it
             return ("subscription", entry)
         if isinstance(result, ResultSet):
@@ -374,6 +408,8 @@ class Session:
                     entry.tuples_pushed += 1
                     self.enqueue_push(entry, protocol.tuple_push(
                         entry.sub_id, row, when, replayed=True))
+            if stream.tracker is not None:
+                sink.watermark_fn = lambda: stream.watermark
             stream.subscribe(sink)
             entry.detach = lambda: stream.unsubscribe(sink)
             return entry
@@ -395,7 +431,11 @@ class Session:
                         db, derived, float(since)):
                     entry.windows_pushed += 1
                     self.enqueue_push(entry, protocol.window_push(
-                        entry.sub_id, rows, open_t, close_t))
+                        entry.sub_id, rows, open_t, close_t,
+                        seq=entry.next_seq()))
+            _wire_event_time(derived.cq, sink)
+            # corrections reach derived-stream subscribers through
+            # DerivedStream.publish_correction (sink.on_correction)
             derived.subscribe(sink)
             entry.detach = lambda: derived.unsubscribe(sink)
             return entry
@@ -405,7 +445,15 @@ class Session:
             sink = SessionSink(self, entry)
             entry.sink = sink
             cq.add_sink(sink.window_sink)
-            entry.detach = lambda: cq.remove_sink(sink.window_sink)
+            if _wire_event_time(cq, sink):
+                cq.add_correction_sink(sink.on_correction)
+
+                def detach(cq=cq, sink=sink):
+                    cq.remove_sink(sink.window_sink)
+                    cq.remove_correction_sink(sink.on_correction)
+                entry.detach = detach
+            else:
+                entry.detach = lambda: cq.remove_sink(sink.window_sink)
             return entry
         raise UnknownObjectError(
             f"nothing named {name!r} to subscribe to (expected a stream, "
@@ -435,6 +483,11 @@ class Session:
         if seq is not None and (not isinstance(seq, int)
                                 or isinstance(seq, bool) or seq < 1):
             raise ExecutionError("'seq' must be an integer >= 1")
+        watermark = frame.get("watermark")
+        if watermark is not None and (isinstance(watermark, bool)
+                                      or not isinstance(watermark,
+                                                        (int, float))):
+            raise ExecutionError("'watermark' must be an event time")
         nbytes = _batch_bytes(rows)
         admission = self.server.db.admission
         if sender is not None:
@@ -445,9 +498,12 @@ class Session:
             if admission.dedup.seen(stream.name, str(sender), int(seq)):
                 admission.record_result(
                     self.tenant_name, 0, 0, len(rows), 0)
-                return protocol.ok_response(
+                ack = protocol.ok_response(
                     frame.get("id"), accepted=0, shed=0, dropped=0,
                     duplicate=len(rows))
+                if stream.tracker is not None:
+                    ack["watermark"] = stream.watermark
+                return ack
         # the admission decision runs right here on the event loop —
         # refused work must never cost engine-thread time
         decision = admission.admit(self.tenant_name, len(rows), nbytes)
@@ -458,7 +514,8 @@ class Session:
                 duplicate=0)
         counts = await self.server.on_engine_fair(
             self, self.server.db.ingest_batch, stream_name,
-            [tuple(row) for row in rows], at, sender, seq)
+            [tuple(row) for row in rows], at, sender, seq,
+            watermark=watermark)
         self.rows_ingested += counts["accepted"]
         # a batch the engine recognised as a replay applied nothing, so
         # it must not count against the tenant's byte quota either
@@ -466,10 +523,13 @@ class Session:
             self.tenant_name, counts["accepted"], counts.get("shed", 0),
             counts.get("duplicate", 0),
             0 if counts.get("duplicate") else nbytes)
-        return protocol.ok_response(
+        ack = protocol.ok_response(
             frame.get("id"), accepted=counts["accepted"],
             shed=counts.get("shed", 0), dropped=counts.get("dropped", 0),
             duplicate=counts.get("duplicate", 0))
+        if "watermark" in counts:
+            ack["watermark"] = counts["watermark"]
+        return ack
 
     async def handle_advance(self, frame: dict) -> dict:
         event_time = frame.get("time")
@@ -561,6 +621,17 @@ class Session:
         """Rows merged into a remote ``SHOW all``."""
         return [(name, _render_option(self.options[name]))
                 for name in SESSION_OPTIONS]
+
+
+def _wire_event_time(cq, sink: SessionSink) -> bool:
+    """If ``cq`` runs event-time semantics, point the sink at its
+    stream's watermark (stamped onto every push) and say so."""
+    probe = getattr(cq, "is_event_time", None)
+    if probe is None or not cq.is_event_time():
+        return False
+    stream = cq.stream
+    sink.watermark_fn = lambda: stream.watermark
+    return True
 
 
 def _batch_bytes(rows) -> int:

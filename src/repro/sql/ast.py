@@ -248,6 +248,23 @@ class OrderItem(Node):
 
 
 @dataclass
+class EmitClause(Node):
+    """Event-time emission control on a continuous SELECT.
+
+    ``EMIT ON WATERMARK`` (final results when the watermark passes the
+    boundary), ``EMIT ON CHANGE`` (speculative early output on every
+    change), or ``EMIT EVERY '<dur>'`` (periodic early output), each
+    optionally followed by ``ALLOW LATENESS '<dur>'
+    DROP | DEAD LETTER | RETRACT``.
+    """
+
+    mode: str                           # 'watermark' | 'change' | 'every'
+    every: Optional[float] = None       # seconds, for EMIT EVERY
+    lateness: Optional[float] = None    # ALLOW LATENESS bound, seconds
+    late_policy: Optional[str] = None   # 'drop' | 'dead_letter' | 'retract'
+
+
+@dataclass
 class Select(Statement):
     """A SELECT statement (snapshot or continuous, decided at bind time)."""
 
@@ -260,6 +277,7 @@ class Select(Statement):
     limit: Optional[int] = None
     offset: Optional[int] = None
     distinct: bool = False
+    emit: Optional[EmitClause] = None
 
 
 @dataclass
@@ -332,11 +350,15 @@ class Analyze(Statement):
 
 @dataclass
 class CreateStream(Statement):
-    """``CREATE STREAM name (cols)`` — a raw (base) stream."""
+    """``CREATE STREAM name (cols) [WATERMARK '<dur>']`` — a raw (base)
+    stream; a watermark bound declares it event-time: rows may arrive
+    out of order and windows assign/close by the CQTIME column's event
+    time under a bounded-out-of-orderness watermark."""
 
     columns: List[ColumnDef]
     name: str
     if_not_exists: bool = False
+    watermark_bound: Optional[float] = None  # seconds
 
 
 @dataclass

@@ -20,7 +20,7 @@ _CLAUSE_KEYWORDS = {
     "FROM", "WHERE", "GROUP", "HAVING", "ORDER", "LIMIT", "OFFSET",
     "UNION", "EXCEPT", "INTERSECT", "ON", "JOIN", "INNER", "LEFT",
     "RIGHT", "FULL", "CROSS", "AS", "ASC", "DESC", "AND", "OR", "NOT",
-    "WHEN", "THEN", "ELSE", "END", "INTO", "VALUES", "SET",
+    "WHEN", "THEN", "ELSE", "END", "INTO", "VALUES", "SET", "EMIT",
 }
 
 _TYPE_WORDS = {
@@ -237,7 +237,51 @@ class Parser:
                 select.group_by.append(self._expression())
         if self._accept_word("HAVING"):
             select.having = self._expression()
+        if self._accept_word("EMIT"):
+            select.emit = self._emit_clause()
         return select
+
+    def _emit_clause(self) -> ast.EmitClause:
+        """``EMIT (ON WATERMARK | ON CHANGE | EVERY '<dur>')
+        [ALLOW LATENESS '<dur>' (DROP | DEAD LETTER | RETRACT)]``."""
+        if self._accept_word("ON"):
+            if self._accept_word("WATERMARK"):
+                emit = ast.EmitClause("watermark")
+            elif self._accept_word("CHANGE"):
+                emit = ast.EmitClause("change")
+            else:
+                self._fail("expected WATERMARK or CHANGE after EMIT ON")
+        elif self._accept_word("EVERY"):
+            emit = ast.EmitClause("every", every=self._duration("EMIT EVERY"))
+        else:
+            self._fail("expected ON WATERMARK, ON CHANGE or EVERY "
+                       "after EMIT")
+        if self._accept_word("ALLOW"):
+            self._expect_word("LATENESS")
+            emit.lateness = self._duration("ALLOW LATENESS")
+            if self._accept_word("DROP"):
+                emit.late_policy = "drop"
+            elif self._accept_word("DEAD"):
+                self._expect_word("LETTER")
+                emit.late_policy = "dead_letter"
+            elif self._accept_word("RETRACT"):
+                emit.late_policy = "retract"
+            else:
+                self._fail("expected DROP, DEAD LETTER or RETRACT "
+                           "after ALLOW LATENESS")
+        return emit
+
+    def _duration(self, what: str) -> float:
+        """An interval string (``'5 seconds'``) or a bare number of
+        seconds."""
+        token = self._peek()
+        if token.kind == STRING:
+            self._advance()
+            return parse_interval(token.text)
+        if token.kind == NUMBER:
+            self._advance()
+            return float(token.text)
+        self._fail(f"expected a duration for {what}")
 
     def _order_limit_offset(self):
         order_by = []
@@ -450,7 +494,11 @@ class Parser:
                 query = self._select()
                 return ast.CreateDerivedStream(name, query)
             columns = self._column_defs()
-            return ast.CreateStream(columns, name, if_not_exists)
+            watermark_bound = None
+            if self._accept_word("WATERMARK"):
+                watermark_bound = self._duration("WATERMARK")
+            return ast.CreateStream(columns, name, if_not_exists,
+                                    watermark_bound=watermark_bound)
         if self._accept_word("VIEW"):
             name = self._expect_ident()
             self._expect_word("AS")

@@ -183,7 +183,22 @@ def render_statement(node) -> str:
                      + ", ".join(render_expr(g) for g in node.group_by))
     if node.having is not None:
         parts.append("HAVING " + render_expr(node.having))
+    if getattr(node, "emit", None) is not None:
+        parts.append(_render_emit(node.emit))
     tail = _render_tail(node)
     if tail:
         parts.append(tail)
     return " ".join(parts)
+
+
+def _render_emit(emit: ast.EmitClause) -> str:
+    if emit.mode == "every":
+        out = f"EMIT EVERY {_quote_string(f'{emit.every} seconds')}"
+    else:
+        out = f"EMIT ON {emit.mode.upper()}"
+    if emit.lateness is not None:
+        policy = {"drop": "DROP", "dead_letter": "DEAD LETTER",
+                  "retract": "RETRACT"}.get(emit.late_policy, "DROP")
+        out += (f" ALLOW LATENESS "
+                f"{_quote_string(f'{emit.lateness} seconds')} {policy}")
+    return out

@@ -96,6 +96,72 @@ class Channel:
         if timer is not None:
             timer.observe(time.perf_counter() - started)
 
+    def on_correction(self, kind: str, rows, open_time: float,
+                      close_time: float) -> None:
+        """A typed event-time record (retract / correct / early).
+
+        REPLACE tables hold exactly the latest window, so a correction
+        applies only when it targets that window — a stale correction
+        for an older slice is skipped (the ordered run would have
+        overwritten it anyway), which is what makes shuffled input
+        converge to the ordered run's final contents.  ``retract`` is
+        a no-op on REPLACE: the paired ``correct`` rewrites the table.
+
+        APPEND tables keep every window: ``retract`` deletes the
+        retracted rows, ``correct`` inserts the recomputed ones, and
+        speculative ``early`` output is ignored (only finals are
+        archived)."""
+        if self.mode == REPLACE:
+            if kind == "retract":
+                return
+            last = self.stats.last_close
+            if last is not None and close_time < last:
+                return  # stale: a newer window already owns the table
+            self.on_batch(rows, open_time, close_time)
+            return
+        if kind == "early":
+            return
+        if self.faults is not None:
+            try:
+                self.faults.check("channel.write", self.name)
+            except Exception:
+                self.stats.write_failures += 1
+                raise
+        txn = self._txn_manager.begin()
+        try:
+            if kind == "retract":
+                removed = self._delete_rows(txn, rows)
+                self.stats.rows_replaced += removed
+            else:
+                for row in rows:
+                    self.table.insert(txn, row)
+                self.stats.rows_written += len(rows)
+            txn.commit()
+        except Exception:
+            self.stats.write_failures += 1
+            if txn.is_active():
+                txn.abort()
+            raise
+        self.stats.batches += 1
+
+    def _delete_rows(self, txn, rows) -> int:
+        """Delete one stored copy of each retracted row (values are
+        coerced through the table schema so they compare equal to what
+        ``on_batch`` stored)."""
+        from collections import Counter
+        wanted = Counter(tuple(self.table.schema.coerce_row(r))
+                         for r in rows)
+        removed = 0
+        for rid, version in list(self.table.heap.scan(self.table._pool)):
+            if version.xmax is not None:
+                continue
+            key = tuple(version.values)
+            if wanted.get(key):
+                self.table.delete_version(txn, rid, version)
+                wanted[key] -= 1
+                removed += 1
+        return removed
+
     def on_tuple(self, row: tuple, event_time: float) -> None:
         # a channel fed by a raw stream archives tuple-at-a-time
         self.on_batch([row], event_time, event_time)

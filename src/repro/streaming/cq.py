@@ -23,6 +23,12 @@ from typing import List, Optional
 
 from repro.catalog import catalog as cat
 from repro.errors import PlanningError, WindowError
+from repro.eventtime.lateness import DEAD_LETTER, DROP, RETRACT
+from repro.eventtime.operator import (
+    EMIT_ON_WATERMARK,
+    EMIT_PERIODIC,
+    EventTimeWindowOperator,
+)
 from repro.exec import operators as ops
 from repro.exec.expressions import RowLayout
 from repro.exec.planner import PlanContext, Planner
@@ -165,6 +171,22 @@ class ContinuousQuery(StreamConsumer):
         self.stats = CQStats()
         self.view = WindowConsistentView(txn_manager)
         self._sinks = []
+        # typed retract/correct/early records; separate from _sinks so
+        # the 3-arg window-sink contract (supervisor wrapping,
+        # checkpointing) is untouched.  fn(kind, rows, open, close)
+        self._correction_sinks = []
+        #: late-row quarantine hook: fn(cq_name, row, event_time,
+        #: watermark, expired) — wired by the runtime when a
+        #: supervisor's dead-letter stream exists
+        self.late_handler = None
+        # resolved event-time config (None / defaults in arrival mode)
+        self.emit_mode = None
+        self.emit_every = None
+        self.allowed_lateness = 0.0
+        self.late_policy = None
+        self._emitted = {}   # close_time -> emitted plan output (retract)
+        self._c_late = None  # eventtime.late_rows counter (event-time CQs)
+        self._h_lag = None   # eventtime.watermark_lag_seconds histogram
         self._running = True
         self.faults = None  # optional FaultInjector (cq.window crashpoint)
         self.obs = obs      # Observability facade (None = uninstrumented)
@@ -196,18 +218,74 @@ class ContinuousQuery(StreamConsumer):
         self.output_names = self._plan.column_names
         self.output_schema = self._plan.output_schema()
 
+        emit = getattr(select, "emit", None)
         if len(refs) == 2:
+            if emit is not None:
+                raise PlanningError(
+                    "EMIT is not supported on stream-stream joins")
+            if any(getattr(s, "tracker", None) is not None
+                   for s in self.streams):
+                raise PlanningError(
+                    "stream-stream joins over event-time streams are not "
+                    "supported; stage one side through a derived stream")
             self._init_two_stream(emit_empty)
         elif self._stream_ref.window is None:
+            if emit is not None:
+                raise PlanningError(
+                    "EMIT requires a window clause on the stream")
             self._window_spec = None
             self._window_op = None
             self._ports = None
             self._check_transform_shape()
         else:
             self._window_spec = WindowSpec.from_clause(self._stream_ref.window)
-            self._window_op = self._window_spec.make_operator(
-                self._on_window, emit_empty)
+            if emit is not None \
+                    or getattr(self.stream, "tracker", None) is not None:
+                self._window_op = self._init_event_time(emit, emit_empty)
+            else:
+                self._window_op = self._window_spec.make_operator(
+                    self._on_window, emit_empty)
             self._ports = None
+
+    def _init_event_time(self, emit, emit_empty: bool):
+        """Window assignment by event time: the stream's watermark (not
+        arrival order) closes slices, and the CQ's EMIT clause controls
+        emission and lateness handling."""
+        spec = self._window_spec
+        if spec.kind != "time":
+            raise PlanningError(
+                "event-time processing requires a time window "
+                "(VISIBLE/ADVANCE), not row counts or slices")
+        tracker = getattr(self.stream, "tracker", None)
+        if tracker is None:
+            raise PlanningError(
+                f"EMIT requires an event-time stream; declare "
+                f"CREATE STREAM {self.stream.name} (...) WATERMARK "
+                f"'<bound>' to designate one")
+        self.emit_mode = emit.mode if emit is not None else EMIT_ON_WATERMARK
+        self.emit_every = emit.every if emit is not None else None
+        if self.emit_mode == EMIT_PERIODIC and self.emit_every is None:
+            raise PlanningError("EMIT EVERY requires a period")
+        if emit is not None and emit.lateness is not None:
+            self.allowed_lateness = float(emit.lateness)
+        self.late_policy = (emit.late_policy
+                            if emit is not None and emit.late_policy
+                            else DROP)
+        if self.obs is not None:
+            self._c_late = self.obs.registry.counter("eventtime.late_rows")
+            self._h_lag = self.obs.registry.histogram(
+                "eventtime.watermark_lag_seconds")
+        stream = self.stream
+        return EventTimeWindowOperator(
+            spec.visible, spec.advance, self._on_window, emit_empty,
+            wm_fn=lambda: stream.watermark,
+            allowed_lateness=self.allowed_lateness,
+            late_policy=self.late_policy,
+            on_late=self._on_late,
+            on_correction=self._on_reopened,
+            on_early=self._on_early,
+            emit_mode=self.emit_mode,
+            emit_every=self.emit_every)
 
     def _init_two_stream(self, emit_empty: bool) -> None:
         specs = []
@@ -276,6 +354,18 @@ class ContinuousQuery(StreamConsumer):
         """Detach one sink (no-op when it was never added)."""
         if sink in self._sinks:
             self._sinks.remove(sink)
+
+    def add_correction_sink(self, sink) -> None:
+        """``sink(kind, rows, open_time, close_time)`` called for typed
+        retract/correct/early records (event-time CQs only)."""
+        self._correction_sinks.append(sink)
+
+    def remove_correction_sink(self, sink) -> None:
+        if sink in self._correction_sinks:
+            self._correction_sinks.remove(sink)
+
+    def is_event_time(self) -> bool:
+        return isinstance(self._window_op, EventTimeWindowOperator)
 
     def _build_plan(self):
         holder = self
@@ -351,6 +441,10 @@ class ContinuousQuery(StreamConsumer):
         self.stats.rows_scanned += len(rows)
         self.stats.rows_out += len(out)
         self.stats.last_close = close_time
+        if self.late_policy == RETRACT:
+            self._remember_emitted(close_time, out)
+        if self._h_lag is not None:
+            self._h_lag.observe(self.stream.tracker.lag())
         emit_started = time.perf_counter()
         for sink in self._sinks:
             sink(out, open_time, close_time)
@@ -360,6 +454,71 @@ class ContinuousQuery(StreamConsumer):
             if traces:
                 obs.trace_window(self, traces, self._plan.root, op_before,
                                  started_wall, exec_seconds, emit_seconds)
+
+    # -- event-time: lateness, retraction, early emission ---------------------
+
+    def _remember_emitted(self, close_time: float, out: list) -> None:
+        """Keep emitted output per closed slice while it is still
+        correctable (the retract policy's lateness bound), so a
+        recomputation can emit the matching retraction first."""
+        self._emitted[close_time] = list(out)
+        horizon = (self.stream.watermark - self.allowed_lateness
+                   - self._window_spec.advance)
+        if horizon > float("-inf"):
+            for stale in [c for c in self._emitted if c < horizon]:
+                del self._emitted[stale]
+
+    def _on_late(self, row, event_time: float, watermark: float,
+                 expired: bool) -> None:
+        """A tuple arrived below the watermark.  Counting is free; the
+        dead-letter policy (and retract's expired leftovers) hand the
+        row to the runtime-wired quarantine hook."""
+        if self._c_late is not None:
+            self._c_late.inc()
+        if self.late_handler is not None \
+                and (expired or self.late_policy == DEAD_LETTER):
+            self.late_handler(self.name, row, event_time, watermark,
+                              expired)
+
+    def _on_reopened(self, rows, open_time: float,
+                     close_time: float) -> None:
+        """An in-bound late tuple re-opened a closed slice: rerun the
+        plan over the recomputed relation and emit a typed
+        retract(old)/correct(new) pair so downstream state converges."""
+        if not self._running:
+            return
+        self.view.refresh()
+        self._batches[0] = rows
+        ctx = self._make_ctx(open_time, close_time)
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._batches[0] = []
+        self.stats.rows_out += len(out)
+        old = self._emitted.get(close_time)
+        if old is not None:
+            self._emit_correction("retract", old, open_time, close_time)
+        self._emit_correction("correct", out, open_time, close_time)
+        self._emitted[close_time] = out
+
+    def _on_early(self, rows, open_time: float, close_time: float) -> None:
+        """EMIT ON CHANGE / EMIT EVERY: speculative early output of the
+        still-open slice, typed so consumers can tell it from a final."""
+        if not self._running:
+            return
+        self.view.refresh()
+        self._batches[0] = rows
+        ctx = self._make_ctx(open_time, close_time)
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._batches[0] = []
+        self._emit_correction("early", out, open_time, close_time)
+
+    def _emit_correction(self, kind: str, rows, open_time: float,
+                         close_time: float) -> None:
+        for sink in self._correction_sinks:
+            sink(kind, rows, open_time, close_time)
 
     # -- two-stream join mode ------------------------------------------------------
 
@@ -523,5 +682,16 @@ class ContinuousQuery(StreamConsumer):
 
     def explain(self, analyze: bool = False) -> str:
         """The per-window relational plan; with ``analyze``, annotated
-        with per-operator stats accumulated since the CQ started."""
-        return self._plan.explain(analyze=analyze)
+        with per-operator stats accumulated since the CQ started.
+        Event-time CQs lead with their emit clause and lateness policy."""
+        text = self._plan.explain(analyze=analyze)
+        if self.is_event_time():
+            if self.emit_mode == EMIT_PERIODIC:
+                emit = f"EVERY {self.emit_every}s"
+            else:
+                emit = f"ON {self.emit_mode.upper()}"
+            header = (f"Emit: {emit} (lateness {self.allowed_lateness}s, "
+                      f"policy {self.late_policy}, watermark bound "
+                      f"{self.stream.watermark_bound}s)")
+            text = header + "\n" + text
+        return text

@@ -64,15 +64,21 @@ class StreamingRuntime:
 
     def create_base_stream(self, name: str, schema: Schema,
                            retention: Optional[float] = None,
-                           slack: Optional[float] = None) -> BaseStream:
+                           slack: Optional[float] = None,
+                           watermark_bound: Optional[float] = None
+                           ) -> BaseStream:
         stream = BaseStream(
             name, schema,
             disorder_policy=self.disorder_policy,
             retention=retention if retention is not None
             else self.default_retention,
-            slack=slack if slack is not None else self.default_slack,
+            # an event-time stream accepts out-of-order rows directly;
+            # the engine-wide slack reorder buffer must stay out of its way
+            slack=(0.0 if watermark_bound is not None
+                   else slack if slack is not None else self.default_slack),
             backpressure_policy=self.backpressure_policy,
             high_water_mark=self.high_water_mark,
+            watermark_bound=watermark_bound,
         )
         stream.faults = self.faults
         stream.replication_log = self.stream_logger
@@ -92,6 +98,9 @@ class StreamingRuntime:
                                 retention=self.default_retention)
         derived.cq = cq
         cq.add_sink(derived.publish)
+        if getattr(cq, "is_event_time", None) is not None \
+                and cq.is_event_time():
+            cq.add_correction_sink(derived.publish_correction)
         cq.attach()
         self.catalog.add_relation(name, cat.DERIVED_STREAM, derived)
         self._cqs[cq.name] = cq
@@ -128,16 +137,36 @@ class StreamingRuntime:
             self._counter += 1
             name = f"cq_{self._counter}"
         # parameterized CQs take the generic path (the shared aggregator
-        # compiles expressions once for all consumers, without params)
-        if self.share_slices and params is None:
+        # compiles expressions once for all consumers, without params),
+        # as do event-time CQs: the shared aggregator closes slices on
+        # arrival order, which event-time semantics forbids
+        if self.share_slices and params is None \
+                and getattr(select, "emit", None) is None:
             analysis = sharing_signature(select, self.catalog)
             if analysis is not None:
-                return self._make_shared_cq(name, select, analysis)
+                shared_source = self.catalog.get_relation(
+                    analysis.stream_name)
+                if getattr(shared_source, "tracker", None) is None:
+                    return self._make_shared_cq(name, select, analysis)
         cq = ContinuousQuery(name, select, self.catalog, self.txn_manager,
                              self.emit_empty_windows, params=params,
                              obs=self.obs)
         cq.faults = self.faults
+        cq.late_handler = self._quarantine_late
         return cq
+
+    def _quarantine_late(self, cq_name: str, row, event_time: float,
+                         watermark: float, expired: bool) -> None:
+        """Dead-letter one late row with the structured late-event
+        reason (supervisor's quarantine record shape).  Without a
+        supervisor the dead-letter policy degrades to drop-with-count."""
+        supervisor = self.supervisor
+        if supervisor is None:
+            return
+        from repro.eventtime.lateness import LATE_EVENT, late_reason
+        supervisor.quarantine(
+            cq_name, LATE_EVENT, late_reason(event_time, watermark, expired),
+            [row], open_time=event_time, close_time=watermark)
 
     def _make_shared_cq(self, name, select, analysis):
         stream = self.catalog.get_relation(analysis.stream_name)

@@ -20,6 +20,7 @@ from typing import Optional
 
 from repro.catalog.schema import Schema
 from repro.errors import BackpressureError, OutOfOrderError, StreamingError
+from repro.eventtime.watermark import WatermarkTracker
 
 RAISE = "raise"
 DROP = "drop"
@@ -60,7 +61,8 @@ class BaseStream:
                  retention: Optional[float] = None,
                  slack: float = 0.0,
                  backpressure_policy: Optional[str] = None,
-                 high_water_mark: Optional[int] = None):
+                 high_water_mark: Optional[int] = None,
+                 watermark_bound: Optional[float] = None):
         self.name = name
         self.schema = schema
         cqtime = schema.cqtime_index()
@@ -76,6 +78,20 @@ class BaseStream:
             )
         self.cqtime_index = cqtime
         self.cqtime_mode = schema.columns[cqtime].cqtime or "user"
+        if watermark_bound is not None:
+            if slack and slack > 0:
+                raise StreamingError(
+                    f"stream {name!r}: SLACK and WATERMARK are mutually "
+                    "exclusive — slack reorders arrivals, a watermark "
+                    "accepts them out of order")
+            if self.cqtime_mode == "system":
+                raise StreamingError(
+                    f"stream {name!r}: a SYSTEM-time stream cannot carry "
+                    "a watermark (arrival time is never out of order)")
+        self.watermark_bound = watermark_bound
+        #: event-time mode: None for arrival-order streams
+        self.tracker = (WatermarkTracker(watermark_bound)
+                        if watermark_bound is not None else None)
         self.disorder_policy = disorder_policy
         self.retention = retention
         self.slack = float(slack)
@@ -145,6 +161,41 @@ class BaseStream:
             raise StreamingError(
                 f"stream {self.name!r}: CQTIME value is NULL"
             )
+        if self.tracker is not None:
+            # event-time mode: out-of-order arrival is legal — windows
+            # assign by event time and lateness is the CQ's policy, so
+            # every row is delivered immediately; the watermark (not
+            # the row) closes windows, broadcast as a heartbeat after
+            # delivery so operators judge lateness against the
+            # pre-row watermark
+            final = tuple(row)
+            if event_time < self.watermark:
+                self.tuples_reordered += 1
+            if event_time > self.raw_watermark:
+                self.raw_watermark = event_time
+            self.tuples_in += 1
+            countdown = self._trace_countdown
+            if countdown:
+                if countdown == 1:
+                    self.obs.start_trace(self, event_time)
+                else:
+                    self._trace_countdown = countdown - 1
+            self._deliver(final, event_time)
+            # WatermarkTracker.observe, inlined: on ordered traffic
+            # every tuple advances the watermark, so this runs hot
+            tracker = self.tracker
+            if event_time < tracker.watermark:
+                tracker.late_rows += 1
+            if event_time > tracker.max_event_time:
+                tracker.max_event_time = event_time
+                advanced = event_time - tracker.bound
+                if advanced > tracker.watermark:
+                    tracker.watermark = advanced
+                    self.watermark = advanced
+                    # derived advances are reconstructed from the insert
+                    # records at replay time — no WAL record of their own
+                    self._broadcast_heartbeat(advanced, log=False)
+            return True
         if event_time < self.watermark:
             if self.disorder_policy == DROP:
                 self.tuples_dropped += 1
@@ -310,7 +361,18 @@ class BaseStream:
 
         With slack, the heartbeat first drains the reorder buffer up to
         ``event_time - slack`` and consumers see that (delayed) clock.
+        In event-time mode this is *explicit watermark injection*: the
+        source asserts completeness through ``event_time`` and the
+        tracker publishes it (monotone).  Unlike observation-derived
+        advances, injections are WAL-logged — they are not
+        reconstructible from the row records.
         """
+        if self.tracker is not None:
+            advanced = self.tracker.inject(event_time)
+            if advanced is not None:
+                self.watermark = advanced
+                self._broadcast_heartbeat(advanced)
+            return
         if self.slack > 0:
             self.raw_watermark = max(self.raw_watermark, event_time)
             threshold = event_time - self.slack
@@ -326,8 +388,9 @@ class BaseStream:
         self.raw_watermark = max(self.raw_watermark, event_time)
         self._broadcast_heartbeat(event_time)
 
-    def _broadcast_heartbeat(self, event_time: float) -> None:
-        if self.replication_log is not None:
+    def _broadcast_heartbeat(self, event_time: float,
+                             log: bool = True) -> None:
+        if log and self.replication_log is not None:
             self.replication_log(self.name, "advance", None, event_time)
         errors = None
         for consumer in tuple(self._consumers):
@@ -385,6 +448,23 @@ class BaseStream:
             self.tuples_in += 1
             if self.retention is not None:
                 self._tail.append((event_time, tuple(row)))
+        if self.tracker is not None:
+            # event-time replay: rows re-feed the bounded generator,
+            # bare advances re-apply explicit injections — the
+            # watermark lands exactly where it was and never regresses
+            # across boot, standby apply, or promotion
+            if row is not None:
+                advanced = self.tracker.observe(event_time)
+            else:
+                advanced = self.tracker.inject(event_time)
+            if advanced is not None:
+                self.watermark = advanced
+            self.raw_watermark = max(self.raw_watermark, event_time)
+            if self.retention is not None:
+                horizon = self.watermark - self.retention
+                while self._tail and self._tail[0][0] < horizon:
+                    self._tail.popleft()
+            return
         self.watermark = max(self.watermark, event_time)
         self.raw_watermark = max(self.raw_watermark, self.watermark)
         if self.retention is not None:
@@ -446,6 +526,25 @@ class DerivedStream:
                     consumer.on_tuple(row, close_time)
                 # let time-based consumers advance past empty windows
                 consumer.on_heartbeat(close_time)
+
+    def publish_correction(self, kind: str, rows, open_time: float,
+                           close_time: float) -> None:
+        """A typed retraction/correction/early record from the owning
+        CQ's lateness machinery.  ``correct`` rewrites the retained
+        window in place, so failover replay (``replay_windows``) hands
+        a reconnecting subscriber the *corrected* content; consumers
+        that understand corrections (``on_correction``) get the typed
+        record, others are left alone (they will converge through
+        replay or the REPLACE table)."""
+        if kind == "correct" and self.retention is not None:
+            for i, (w_open, w_close, _rows) in enumerate(self._window_tail):
+                if w_close == close_time and w_open == open_time:
+                    self._window_tail[i] = (w_open, w_close, list(rows))
+                    break
+        for consumer in self._consumers:
+            on_correction = getattr(consumer, "on_correction", None)
+            if on_correction is not None:
+                on_correction(kind, rows, open_time, close_time)
 
     def flush(self) -> None:
         for consumer in self._consumers:

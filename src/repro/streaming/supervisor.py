@@ -42,6 +42,7 @@ from typing import Callable, List, Optional
 from repro.catalog import catalog as cat
 from repro.catalog.schema import Column, Schema
 from repro.errors import RecoveryError
+from repro.eventtime.lateness import LATE_EVENT as _LATE_EVENT
 from repro.streaming.cq import ContinuousQuery
 from repro.streaming.recovery import (
     CheckpointManager,
@@ -68,6 +69,8 @@ CHANNEL_WRITE = "channel-write"
 LOAD_SHED = "load-shed"
 RESTART_LOSS = "restart-loss"
 SLOW_CONSUMER = "slow-consumer"   # a network subscriber fell behind
+#: rows below the watermark, quarantined by a CQ's lateness policy
+LATE_EVENT = _LATE_EVENT
 
 #: catalog name of the stream dead letters are republished on
 DEAD_LETTER_STREAM = "repro_dead_letter_stream"
@@ -399,6 +402,10 @@ class CQSupervisor:
             params=old.params)
         fresh.faults = old.faults
         fresh._sinks = old._sinks  # keep subscriptions/derived/channels
+        # event-time wiring rides along: corrections keep flowing to the
+        # same channels/subscriptions and late rows to the same quarantine
+        fresh._correction_sinks = old._correction_sinks
+        fresh.late_handler = old.late_handler
         return fresh
 
     def _recover(self, entry: _Entry, fresh: ContinuousQuery) -> bool:

@@ -8,6 +8,7 @@ queries.  These generators reproduce those properties deterministically
 
 from repro.workloads.generators import (
     ArrivalProcess,
+    OutOfOrderEvents,
     ZipfGenerator,
     growth_series,
 )
@@ -17,6 +18,7 @@ from repro.workloads.security import SecurityEventGenerator
 __all__ = [
     "ZipfGenerator",
     "ArrivalProcess",
+    "OutOfOrderEvents",
     "growth_series",
     "ClickstreamGenerator",
     "SecurityEventGenerator",

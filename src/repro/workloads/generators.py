@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import math
 import random
-from typing import Iterator, List
+from typing import Iterable, Iterator, List, Tuple
 
 
 class ZipfGenerator:
@@ -82,6 +82,57 @@ class ArrivalProcess:
     def times(self, count: int) -> Iterator[float]:
         for _ in range(count):
             yield self.next_time()
+
+
+class OutOfOrderEvents:
+    """Reorders timestamped events the way real networks do.
+
+    Each event is held back by a random delivery delay before it
+    reaches the server.  The common case is a bounded skew drawn
+    uniformly from ``[0, bound]`` — such an event is always on time for
+    a watermark tracking out-of-orderness ``>= bound`` — and with
+    probability ``straggler_prob`` the event is a heavy-tail straggler
+    delayed by ``bound * (1/u) ** tail`` (a Pareto tail modelling the
+    phone that reconnects minutes after leaving a dead zone), which can
+    land behind the watermark and exercise the lateness policies.
+
+    Deterministic from the seed, so tests and the X6 bench replay the
+    exact same arrival order.
+    """
+
+    def __init__(self, bound: float, straggler_prob: float = 0.0,
+                 tail: float = 1.0, seed: int = 0):
+        if bound < 0:
+            raise ValueError("bound must be non-negative")
+        if not 0.0 <= straggler_prob <= 1.0:
+            raise ValueError("straggler_prob must be in [0, 1]")
+        if tail <= 0:
+            raise ValueError("tail must be positive")
+        self.bound = bound
+        self.straggler_prob = straggler_prob
+        self.tail = tail
+        self._rng = random.Random(seed)
+
+    def delay(self) -> float:
+        """One delivery delay; ``<= bound`` unless it's a straggler."""
+        if self.straggler_prob and self._rng.random() < self.straggler_prob:
+            u = self._rng.random() or 1e-12
+            return self.bound * (1.0 / u) ** self.tail
+        return self._rng.random() * self.bound
+
+    def arrivals(self, event_times: Iterable[float]) -> List[Tuple[float, float]]:
+        """``(arrival_time, event_time)`` pairs sorted by arrival.
+
+        The sort is stable, so two events arriving at the same instant
+        keep their event-time order.
+        """
+        pairs = [(t + self.delay(), t) for t in event_times]
+        pairs.sort(key=lambda pair: pair[0])
+        return pairs
+
+    def arrival_order(self, event_times: Iterable[float]) -> List[float]:
+        """Event times in the order the network delivers them."""
+        return [event for _, event in self.arrivals(event_times)]
 
 
 def growth_series(base: int, factor: float, steps: int) -> List[int]:

@@ -249,3 +249,102 @@ class TestFailover:
             with client.connect(st.host, st.port) as c:
                 with pytest.raises(RemoteError):
                     c.promote("nope")
+
+
+# ---------------------------------------------------------------------------
+# retraction-pair sequencing across failover replay (event-time satellite)
+# ---------------------------------------------------------------------------
+
+
+class _StubConnection:
+    """Just enough of a Connection for RemoteSubscription unit tests."""
+
+    def _pump_until(self, ready, timeout):
+        pass
+
+
+def _sub():
+    return client.RemoteSubscription(_StubConnection(), 1, "counts",
+                                     ["c"], "derived")
+
+
+def _frame(seq, kind, open_time, close, rows=((1,),)):
+    frame = {"push": "window", "sub": 1, "seq": seq,
+             "open": open_time, "close": close,
+             "rows": [list(r) for r in rows]}
+    if kind != "window":
+        frame["kind"] = kind
+    return frame
+
+
+class TestRetractionPairSequencing:
+    def test_ordered_pair_is_delivered(self):
+        sub = _sub()
+        sub._on_push(_frame(1, "window", 0.0, 10.0))
+        sub._on_push(_frame(2, "retract", 0.0, 10.0))
+        sub._on_push(_frame(3, "correct", 0.0, 10.0, rows=((2,),)))
+        kinds = [w.kind for w in sub.poll()]
+        assert kinds == ["window", "retract", "correct"]
+        # corrections never advance the resume cursor
+        assert sub.last_close == 10.0
+
+    def test_unpaired_retraction_is_an_error(self):
+        sub = _sub()
+        sub._on_push(_frame(1, "retract", 0.0, 10.0))
+        with pytest.raises(ProtocolError):
+            sub._on_push(_frame(2, "window", 10.0, 20.0))
+
+    def test_double_retraction_is_an_error(self):
+        sub = _sub()
+        sub._on_push(_frame(1, "retract", 0.0, 10.0))
+        with pytest.raises(ProtocolError):
+            sub._on_push(_frame(2, "retract", 10.0, 20.0))
+
+    def test_mismatched_correction_is_an_error(self):
+        sub = _sub()
+        sub._on_push(_frame(1, "retract", 0.0, 10.0))
+        with pytest.raises(ProtocolError):
+            sub._on_push(_frame(2, "correct", 10.0, 20.0))
+
+    def test_replayed_frames_are_dropped_not_reordered(self):
+        """Failover replay overlap: the server re-delivers frames the
+        client already has.  They carry stale seqs and must be dropped
+        whole — replaying half a retract/correct pair must not trip
+        the pairing assertion or re-apply a correction."""
+        sub = _sub()
+        sub._on_push(_frame(1, "window", 0.0, 10.0))
+        sub._on_push(_frame(2, "retract", 0.0, 10.0))
+        sub._on_push(_frame(3, "correct", 0.0, 10.0, rows=((2,),)))
+        sub.poll()
+        # overlap: same frames again — including a lone retract
+        sub._on_push(_frame(2, "retract", 0.0, 10.0))
+        sub._on_push(_frame(3, "correct", 0.0, 10.0, rows=((2,),)))
+        assert sub.poll() == []
+        assert sub._pending_retract is None
+        # and delivery continues cleanly after the overlap
+        sub._on_push(_frame(4, "window", 10.0, 20.0))
+        assert [w.kind for w in sub.poll()] == ["window"]
+
+    def test_shed_gap_invalidates_pending_pair(self):
+        """A seq gap proves frames were shed (slow-client policy): a
+        half-open retraction can no longer pair and must be forgotten
+        rather than raising on the next frame."""
+        sub = _sub()
+        sub._on_push(_frame(1, "retract", 0.0, 10.0))
+        assert sub._pending_retract == (0.0, 10.0)
+        sub._on_push(_frame(4, "window", 20.0, 30.0))  # 2, 3 shed
+        assert sub._pending_retract is None
+        assert [w.kind for w in sub.poll()] == ["retract", "window"]
+
+    def test_failover_resets_seq_space(self):
+        """After failover the new primary numbers pushes from 1 again;
+        the reset must let those frames through."""
+        sub = _sub()
+        sub._on_push(_frame(7, "window", 0.0, 10.0))
+        assert sub.last_seq == 7
+        # what Connection._resume_subscriptions does on reconnect
+        sub.last_seq = None
+        sub._pending_retract = None
+        sub._on_push(_frame(1, "window", 10.0, 20.0))
+        assert sub.last_seq == 1
+        assert len(sub.poll()) == 2
