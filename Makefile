@@ -4,7 +4,7 @@ PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
 	failover-smoke obs-smoke admission-smoke eventtime-smoke \
-	coverage clean
+	vectorized-smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -58,6 +58,11 @@ admission-smoke:
 # stay within 10% of arrival-time windows on the E1 pipeline (X6)
 eventtime-smoke:
 	$(PYTHON) benchmarks/bench_x6_eventtime.py
+
+# vectorized executor gate: the columnar batch path must be at least
+# 3x the row-at-a-time iterator on the E1 ingest+window pipeline (X7)
+vectorized-smoke:
+	$(PYTHON) benchmarks/bench_x7_vectorized.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -64,6 +64,7 @@ class Database:
                  replication_logging: bool = True,
                  observability: bool = True,
                  trace_sample_rate: float = 0.01,
+                 vectorize: bool = True,
                  clock=None):
         from repro.admission import AdmissionController
         from repro.clock import SYSTEM_CLOCK
@@ -86,6 +87,7 @@ class Database:
             default_slack=stream_slack,
             backpressure_policy=backpressure_policy,
             high_water_mark=high_water_mark,
+            vectorize=vectorize,
         )
         self.runtime.faults = fault_injector
         self.runtime.obs = self.obs if self.obs.enabled else None

@@ -286,15 +286,19 @@ def install_system_views(db) -> None:
                     st.tuples_out if st else None,
                     st.calls if st else None,
                     round(st.wall_seconds * 1000.0, 6) if st else None,
+                    op.mode,
+                    st.batch_rows if st else None,
                 ))
         return out
 
     # tuples_out/calls/time_ms cover the sampled (timed) evaluations:
-    # CQs arm per-operator instrumentation on every Nth window
+    # CQs arm per-operator instrumentation on every Nth window; mode
+    # says whether the operator ran vectorized (batch) or row-at-a-time
     operator_stats = VirtualTable("repro_operator_stats", Schema([
         _text("cq"), _int("op_id"), _int("parent_id"), _int("depth"),
         _text("operator"), _int("tuples_out"), _int("calls"),
         Column("time_ms", DoubleType()),
+        _text("mode"), _int("batch_rows"),
     ]), operator_stats_rows)
 
     def tenants_rows():

@@ -30,12 +30,15 @@ class OperatorStats:
     One-shot EXPLAIN ANALYZE plans stay armed for their whole run.
     """
 
-    __slots__ = ("tuples_out", "calls", "wall_seconds")
+    __slots__ = ("tuples_out", "calls", "wall_seconds", "batch_rows")
 
     def __init__(self):
         self.tuples_out = 0
         self.calls = 0
         self.wall_seconds = 0.0
+        # rows that flowed through the vectorized (batch) path; stays 0
+        # for iterator operators
+        self.batch_rows = 0
 
 
 class Operator:
@@ -43,6 +46,13 @@ class Operator:
 
     #: OperatorStats once instrumented; None on plain plans
     stats: Optional[OperatorStats] = None
+
+    #: execution model; batch operators override with "batch"
+    mode = "iterator"
+
+    #: set on every node of a (partially) vectorized plan so EXPLAIN
+    #: annotates per-operator modes; plain plans render unchanged
+    show_mode = False
 
     def rows(self, ctx):
         raise NotImplementedError
@@ -92,6 +102,8 @@ class Operator:
             else:
                 line += (f" (actual rows={st.tuples_out} loops={st.calls}"
                          f" time={st.wall_seconds * 1000.0:.3f} ms)")
+        if self.show_mode:
+            line += f" [mode={self.mode}]"
         lines = [line]
         for child in self._children():
             lines.append(child.explain(depth + 1, analyze))

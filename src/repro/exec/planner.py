@@ -188,8 +188,10 @@ class Planner:
         # conjuncts nobody consumed become a final filter
         leftovers = [c.expr for c in conjuncts if not c.consumed]
         if leftovers:
-            predicate = compile_expr(_and_all(leftovers), layout)
-            plan = ops.Filter(plan, predicate)
+            combined = _and_all(leftovers)
+            plan = ops.Filter(plan, compile_expr(combined, layout))
+            # conversion input for the vectorized executor
+            plan.vector_info = (combined, layout)
 
         return self._plan_projection(select, plan, layout)
 
@@ -390,9 +392,9 @@ class Planner:
         if applicable:
             for c in applicable:
                 c.consumed = True
-            predicate = compile_expr(
-                _and_all([c.expr for c in applicable]), layout)
-            plan = ops.Filter(plan, predicate)
+            combined = _and_all([c.expr for c in applicable])
+            plan = ops.Filter(plan, compile_expr(combined, layout))
+            plan.vector_info = (combined, layout)
         return plan, layout
 
     def _plan_join(self, join: ast.Join,
@@ -494,7 +496,8 @@ class Planner:
             for item, original in zip(rewritten_items, items)
         ])
         return finish_projection(select, items, plan, compiled, output_layout,
-                                 rewritten_order, compile_layout)
+                                 rewritten_order, compile_layout,
+                                 item_exprs=[i.expr for i in rewritten_items])
 
     def _plan_aggregation(self, select: ast.Select, items, plan,
                           layout: RowLayout):
@@ -507,6 +510,7 @@ class Planner:
         specs = make_agg_specs(agg_calls, layout)
 
         plan = ops.HashAggregate(plan, group_fns, specs)
+        plan.vector_info = (group_exprs, agg_calls, layout)
         post_layout = post_agg_layout(group_exprs, agg_calls, layout)
 
         having_fn = (compile_expr(rewritten_having, post_layout)
@@ -521,7 +525,8 @@ class Planner:
 
 def finish_projection(select: ast.Select, items, plan, compiled,
                       output_layout: RowLayout, rewritten_order,
-                      compile_layout: RowLayout) -> PhysicalPlan:
+                      compile_layout: RowLayout,
+                      item_exprs=None) -> PhysicalPlan:
     """Build Project / Distinct / Sort / Limit on top of ``plan``.
 
     ORDER BY keys resolve, in order of preference, against: an output
@@ -570,6 +575,8 @@ def finish_projection(select: ast.Select, items, plan, compiled,
         )
 
     plan = ops.Project(plan, compiled + extra_fns)
+    if item_exprs is not None and not extra_fns:
+        plan.vector_info = (item_exprs, compile_layout)
     if select.distinct:
         plan = ops.Distinct(plan)
     if select.order_by:

@@ -17,6 +17,7 @@ Window-less stream references are allowed for pure row-wise transforms
 
 from __future__ import annotations
 
+import math
 import time
 from dataclasses import dataclass, field
 from typing import List, Optional
@@ -131,6 +132,18 @@ def stream_layout(stream) -> RowLayout:
     ])
 
 
+class _FailedSlice:
+    """A slice whose aggregation raised: the error is deferred to the
+    first window close that covers the slice, so it surfaces inside the
+    supervisable window sink (where the supervisor can quarantine it as
+    a poison window), not mid-delivery."""
+
+    __slots__ = ("error",)
+
+    def __init__(self, error: Exception):
+        self.error = error
+
+
 class _StreamPort(StreamConsumer):
     """Forwards one stream's events to its window operator and tells the
     owning two-stream CQ when that stream has flushed."""
@@ -161,7 +174,8 @@ class ContinuousQuery(StreamConsumer):
     """
 
     def __init__(self, name: str, select: ast.Select, catalog, txn_manager,
-                 emit_empty: bool = True, params=None, obs=None):
+                 emit_empty: bool = True, params=None, obs=None,
+                 vectorize: bool = True):
         self.name = name
         self.select = select
         self._catalog = catalog
@@ -213,6 +227,16 @@ class ContinuousQuery(StreamConsumer):
         self._batches = [[] for _ in refs]
 
         self._plan = self._build_plan()
+        #: True when at least one plan operator runs in batch mode
+        self.vectorized = False
+        #: the plan's BatchAggregate when the window runs sliced
+        self._sliced_agg = None
+        if vectorize:
+            from repro.exec.vectorize import vectorize_plan
+            root, changed = vectorize_plan(self._plan.root)
+            if changed:
+                self._plan.root = root
+                self.vectorized = True
         if obs is not None:
             self._plan.instrument()
         self.output_names = self._plan.column_names
@@ -245,6 +269,7 @@ class ContinuousQuery(StreamConsumer):
             else:
                 self._window_op = self._window_spec.make_operator(
                     self._on_window, emit_empty)
+                self._maybe_slice_window(emit_empty)
             self._ports = None
 
     def _init_event_time(self, emit, emit_empty: bool):
@@ -373,8 +398,14 @@ class ContinuousQuery(StreamConsumer):
         def resolver(ref: ast.TableRef):
             for i, stream_ref in enumerate(holder._stream_refs):
                 if ref is stream_ref:
-                    source = ops.RowSource(
-                        (lambda i=i: holder._batches[i]), stream_ref.name)
+                    fetch = (lambda i=i: holder._batches[i])
+                    source = ops.RowSource(fetch, stream_ref.name)
+                    # conversion input for the vectorizer: the window
+                    # relation can be pulled as one column batch
+                    source.vector_source = (
+                        fetch,
+                        [c.datatype for c in holder.streams[i].schema],
+                        stream_ref.name, True)
                     return source, stream_layout(holder.streams[i])
             return None
 
@@ -454,6 +485,124 @@ class ContinuousQuery(StreamConsumer):
             if traces:
                 obs.trace_window(self, traces, self._plan.root, op_before,
                                  started_wall, exec_seconds, emit_seconds)
+
+    # -- sliced window mode (vectorized incremental aggregation) --------------
+
+    def _maybe_slice_window(self, emit_empty: bool) -> None:
+        """Upgrade a plain time window to per-slice incremental
+        aggregation when the vectorized plan allows it: a single
+        BatchAggregate over a batch filter/project chain rooted at the
+        stream's window relation, with nothing below the aggregate
+        reading the window-close context.  Each sealed slice is then
+        reduced once, and window close merges slice partials instead of
+        re-aggregating every visible row."""
+        from repro.exec import batch_ops
+        from repro.exec.vectorize import walk
+        from repro.streaming.shared import _time_gcd
+        from repro.streaming.windows import (
+            SlicedTimeWindowOperator,
+            TimeWindowOperator,
+        )
+
+        spec = self._window_spec
+        if (not self.vectorized
+                or spec.kind != "time"
+                or math.isinf(spec.visible)
+                or type(self._window_op) is not TimeWindowOperator):
+            return
+        aggs = [op for op in walk(self._plan.root)
+                if isinstance(op, batch_ops.BatchAggregate)]
+        if len(aggs) != 1:
+            return
+        agg = aggs[0]
+        if agg.uses_context:
+            return
+        node = agg.child
+        while isinstance(node, (batch_ops.BatchFilter,
+                                batch_ops.BatchProject)):
+            if node.uses_context:
+                # cq_close/cq_open below the aggregate vary per window;
+                # a slice partial would bake in the wrong close time
+                return
+            node = node.child
+        if not (isinstance(node, batch_ops.BatchSource)
+                and node.is_stream_source):
+            return
+        width = _time_gcd(spec.visible, spec.advance)
+        self._sliced_agg = agg
+        self._window_op = SlicedTimeWindowOperator(
+            spec.visible, spec.advance, self._on_sliced_window, emit_empty,
+            self._slice_partial, width)
+
+    def _slice_partial(self, rows):
+        """Reduce one sealed slice's rows to mergeable partial states by
+        running the batch subtree under the aggregate.  Evaluation
+        errors (division by zero, type clashes) are deferred: sealing
+        happens during stream delivery, but the error belongs to the
+        window close, where the supervisor can quarantine it as a
+        poison window just like an iterator-mode plan failure."""
+        ctx = {"params": self.params} if self.params is not None else {}
+        self._batches[0] = rows
+        try:
+            return self._sliced_agg.accumulate(ctx)
+        except Exception as exc:
+            return _FailedSlice(exc)
+        finally:
+            self._batches[0] = []
+
+    def _finalize_slices(self, partials):
+        for part in partials:
+            if isinstance(part, _FailedSlice):
+                raise part.error
+        agg = self._sliced_agg
+        return agg.finalize(agg.merge_partials(partials))
+
+    def _on_sliced_window(self, partials, open_time: float,
+                          close_time: float) -> None:
+        """Window closed on the sliced path: merge + finalize the slice
+        partials, then run the plan with the aggregate pinned to the
+        result — post-aggregate operators (projection with cq_close,
+        HAVING, ORDER BY) and the plan's instrumentation behave exactly
+        as in iterator mode."""
+        if not self._running:
+            return
+        if self.faults is not None:
+            self.faults.check("cq.window", self.name)
+        self.view.refresh()
+        obs = self.obs
+        traces = op_before = None
+        if obs is not None:
+            timed = self._arm_timing()
+            traces = obs.take_traces(self.stream, close_time)
+            if traces and timed:
+                op_before = self._op_snapshot()
+        started_wall = time.time()
+        started = time.perf_counter()
+        ctx = self._make_ctx(open_time, close_time)
+        rows = self._finalize_slices(partials)
+        self._sliced_agg.set_merged(rows)
+        try:
+            out = list(self._plan.execute(ctx))
+        finally:
+            self._sliced_agg.set_merged(None)
+        exec_seconds = time.perf_counter() - started
+        self.stats.windows_evaluated += 1
+        self.stats.rows_scanned += self._window_op.last_window_input
+        self.stats.rows_out += len(out)
+        self.stats.last_close = close_time
+        emit_started = time.perf_counter()
+        for sink in self._sinks:
+            sink(out, open_time, close_time)
+        if obs is not None:
+            emit_seconds = time.perf_counter() - emit_started
+            self._record_window(exec_seconds + emit_seconds, close_time)
+            if traces:
+                obs.trace_window(self, traces, self._plan.root, op_before,
+                                 started_wall, exec_seconds, emit_seconds)
+
+    def is_sliced(self) -> bool:
+        """True when the window runs incremental per-slice aggregation."""
+        return self._sliced_agg is not None
 
     # -- event-time: lateness, retraction, early emission ---------------------
 

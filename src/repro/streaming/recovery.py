@@ -74,6 +74,11 @@ def restore_window_state(cq: ContinuousQuery, state: dict) -> None:
         op._buffer.append((when, tuple(row)))
     op._base = state["base"]
     op._boundary_index = state["boundary_index"]
+    # sliced operators re-derive their per-slice aggregate partials
+    # from the restored buffer (the checkpoint stays plain data)
+    rebuild = getattr(op, "rebuild_slices", None)
+    if rebuild is not None:
+        rebuild()
 
 
 class CheckpointManager:
@@ -183,13 +188,17 @@ def recover_from_active_table(new_cq: ContinuousQuery, table, txn_manager,
 
 def _suppress_through(cq: ContinuousQuery, last_close: float) -> None:
     """Wrap the CQ's emission so windows already produced are dropped."""
-    original = cq._on_window
+    op = cq._window_op
+    if op is None:
+        return
+    # wrap the operator's live sink (plain windows use _on_window,
+    # sliced windows _on_sliced_window) rather than assuming one
+    original = op.sink
 
     def guarded(rows, open_time, close_time):
         if close_time > last_close + 1e-9:
             original(rows, open_time, close_time)
-    if cq._window_op is not None:
-        cq._window_op.sink = guarded
+    op.sink = guarded
 
 
 def _check_replayable(stream, replay_from: float) -> None:

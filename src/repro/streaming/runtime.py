@@ -34,10 +34,12 @@ class StreamingRuntime:
                  disorder_policy: str = "raise",
                  default_slack: float = 0.0,
                  backpressure_policy: Optional[str] = None,
-                 high_water_mark: Optional[int] = None):
+                 high_water_mark: Optional[int] = None,
+                 vectorize: bool = True):
         self.catalog = catalog
         self.txn_manager = txn_manager
         self.share_slices = share_slices
+        self.vectorize = vectorize
         self.emit_empty_windows = emit_empty_windows
         self.default_retention = default_retention
         self.disorder_policy = disorder_policy
@@ -150,7 +152,7 @@ class StreamingRuntime:
                     return self._make_shared_cq(name, select, analysis)
         cq = ContinuousQuery(name, select, self.catalog, self.txn_manager,
                              self.emit_empty_windows, params=params,
-                             obs=self.obs)
+                             obs=self.obs, vectorize=self.vectorize)
         cq.faults = self.faults
         cq.late_handler = self._quarantine_late
         return cq

@@ -335,6 +335,9 @@ class BaseStream:
         disorder policy.  The ingest wire ack reports these numbers, so
         they must add up: accepted + shed + dropped == len(rows).
         """
+        fast = self._insert_fast_batch(rows, at)
+        if fast is not None:
+            return fast
         stored = 0
         submitted = 0
         shed_before = self.tuples_shed
@@ -355,6 +358,95 @@ class BaseStream:
             "shed": shed_total,
             "dropped": dropped_late,
         }
+
+    def _insert_fast_batch(self, rows, at: Optional[float]) -> Optional[dict]:
+        """Batch ingest without the per-row :meth:`insert` overhead.
+
+        Only the plain configuration qualifies: arrival-ordered traffic
+        (no watermark tracker, no slack reorder buffer), unsupervised
+        delivery, no armed fault injector.  Any disorder, NULL CQTIME,
+        or coercion problem defers to the per-row path, which raises
+        (or drops) with exactly the single-insert semantics.  Consumers
+        implementing ``on_tuples(rows, times)`` receive the whole sorted
+        batch in one call.  Returns None when the batch must take the
+        slow path.
+        """
+        if (self.tracker is not None or self.slack > 0
+                or self.error_handler is not None
+                or (self.faults is not None and self.faults.armed)):
+            return None
+        consumers = self._consumers
+        batch_capable = all(
+            getattr(consumer, "on_tuples", None) is not None
+            for consumer in consumers)
+        if not batch_capable and len(consumers) > 1:
+            # per-row fan-out interleaves consumers row by row; keep
+            # those exact semantics (incl. error accumulation) slow
+            return None
+        cqtime = self.cqtime_index
+        try:
+            coerced = self.schema.coerce_rows(rows)
+        except Exception:
+            return None
+        n = len(coerced)
+        if n == 0:
+            return {"accepted": 0, "shed": 0, "dropped": 0}
+        if self.cqtime_mode == "system":
+            arrival = float(at if at is not None
+                            else max(self.watermark, 0.0))
+            coerced = [row[:cqtime] + (arrival,) + row[cqtime + 1:]
+                       for row in coerced]
+            times = [arrival] * n
+        else:
+            times = [row[cqtime] for row in coerced]
+            if any(when is None for when in times):
+                return None
+            for i in range(1, n):
+                if times[i] < times[i - 1]:
+                    return None
+        if times[0] < self.watermark:
+            return None
+        final_rows = coerced
+        self.watermark = max(self.watermark, times[-1])
+        self.raw_watermark = self.watermark
+        self.tuples_in += n
+        # trace sampling: the batch form of insert()'s every-Nth
+        # countdown — trace rows countdown-1, then every interval
+        countdown = self._trace_countdown
+        if countdown:
+            i = countdown - 1
+            while i < n:
+                self.obs.start_trace(self, times[i])
+                countdown = self._trace_countdown  # re-armed interval
+                if not countdown:
+                    break
+                i += countdown
+            if countdown:
+                self._trace_countdown = i - n + 1
+        if self.retention is not None:
+            for when, row in zip(times, final_rows):
+                self._retain(when, row)
+        if self.replication_log is not None:
+            log = self.replication_log
+            name = self.name
+            for when, row in zip(times, final_rows):
+                log(name, "insert", row, when)
+        if batch_capable:
+            for consumer in tuple(consumers):
+                try:
+                    consumer.on_tuples(final_rows, times)
+                except Exception as exc:
+                    self._report_delivery_errors(
+                        None, times[-1], [(consumer, exc)])
+        else:
+            for consumer in tuple(consumers):
+                for when, row in zip(times, final_rows):
+                    try:
+                        consumer.on_tuple(row, when)
+                    except Exception as exc:
+                        self._report_delivery_errors(
+                            row, when, [(consumer, exc)])
+        return {"accepted": n, "shed": 0, "dropped": 0}
 
     def advance_to(self, event_time: float) -> None:
         """Heartbeat: assert no tuple before ``event_time`` will arrive.

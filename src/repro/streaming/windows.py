@@ -15,6 +15,7 @@ window closed and belongs to the next one.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from collections import deque
 from typing import Callable, Optional
 
@@ -154,6 +155,138 @@ class TimeWindowOperator(StreamConsumer):
     @property
     def buffered(self) -> int:
         return len(self._buffer)
+
+
+class SlicedTimeWindowOperator(TimeWindowOperator):
+    """Time window with incremental per-slice aggregation.
+
+    The window's timeline is cut into slices of ``slice_width`` (the gcd
+    of VISIBLE and ADVANCE, so every close boundary and every window
+    open falls on a slice edge).  When a slice fills, ``slice_fn``
+    reduces its rows to a mergeable aggregate *partial*; a window close
+    hands the covered partials to the sink, which merges and finalizes
+    them instead of re-aggregating the whole buffer.  An overlapping
+    window therefore pays for each row once, not once per window it is
+    visible in.  ``slice_fn`` must not raise: evaluation errors are
+    wrapped into the partial and surface at window close, inside the
+    (supervisable) sink call — exactly where the plain operator's plan
+    execution would have raised them.
+
+    The row buffer is kept alongside the partials: eviction, the
+    ``buffered`` gauge, and checkpoint/recovery (which re-derives the
+    slice state via :meth:`rebuild_slices`) all work as in the parent.
+    """
+
+    def __init__(self, visible: float, advance: float, sink: Sink,
+                 emit_empty: bool, slice_fn, slice_width: float):
+        super().__init__(visible, advance, sink, emit_empty)
+        self.slice_width = float(slice_width)
+        self._slice_fn = slice_fn        # rows -> partial (never raises)
+        self._sealed = {}                # slice index -> (row_count, partial)
+        self._cur_index: Optional[int] = None
+        self._cur_rows: list = []
+        #: rows visible in the most recently closed window
+        self.last_window_input = 0
+
+    def _slice_index(self, event_time: float) -> int:
+        # the epsilon keeps an event exactly on a slice edge (up to float
+        # representation) in the slice it opens
+        return int(math.floor(event_time / self.slice_width + 1e-9))
+
+    def on_tuple(self, row: tuple, event_time: float) -> None:
+        if self._base is None:
+            self._start_at(event_time)
+        self._close_through(event_time)
+        idx = self._slice_index(event_time)
+        if idx != self._cur_index:
+            if self._cur_index is not None:
+                self._seal_current()
+            self._cur_index = idx
+        self._cur_rows.append(row)
+        self._buffer.append((event_time, row))
+        self.tuples_in += 1
+
+    def on_tuples(self, rows: list, times: list) -> None:
+        """Bulk arrival (sorted): chunk rows by slice so each chunk is
+        appended with two list extends instead of per-row calls."""
+        n = len(rows)
+        i = 0
+        width = self.slice_width
+        while i < n:
+            when = times[i]
+            if self._base is None:
+                self._start_at(when)
+            self._close_through(when)
+            idx = self._slice_index(when)
+            if idx != self._cur_index:
+                if self._cur_index is not None:
+                    self._seal_current()
+                self._cur_index = idx
+            # the chunk may not cross the next close boundary (windows
+            # must fire in order) nor the end of the current slice (the
+            # slice edge shares _slice_index's epsilon)
+            limit = min(self._next_boundary(), (idx + 1 - 1e-9) * width)
+            j = bisect_left(times, limit, i)
+            chunk = rows[i:j]
+            self._cur_rows.extend(chunk)
+            self._buffer.extend(zip(times[i:j], chunk))
+            self.tuples_in += j - i
+            i = j
+
+    def _seal_current(self) -> None:
+        rows = self._cur_rows
+        if rows:
+            self._sealed[self._cur_index] = (len(rows), self._slice_fn(rows))
+        self._cur_rows = []
+        self._cur_index = None
+
+    def _close(self, boundary: float) -> None:
+        # every buffered row is below the boundary and boundaries are
+        # multiples of the slice width, so the open slice is complete
+        if self._cur_index is not None:
+            self._seal_current()
+        open_time = boundary - self.visible
+        width = self.slice_width
+        first = int(round(open_time / width))
+        last = int(round(boundary / width))
+        total = 0
+        parts = []
+        sealed = self._sealed
+        for idx in range(first, last):
+            entry = sealed.get(idx)
+            if entry is not None:
+                total += entry[0]
+                parts.append(entry[1])
+        self._boundary_index += 1
+        horizon = self._next_boundary() - self.visible
+        buffer = self._buffer
+        while buffer and buffer[0][0] < horizon:
+            buffer.popleft()
+        # a slice no future window can see goes with its rows
+        horizon_index = int(math.floor(horizon / width + 1e-9))
+        for idx in [k for k in sealed if k < horizon_index]:
+            del sealed[idx]
+        self.windows_closed += 1
+        self.rows_emitted += total
+        self.last_window_input = total
+        if total or self.emit_empty:
+            # the sink merges + finalizes the partials; a deferred slice
+            # error re-raises there, under the supervisor's window guard
+            self.sink(parts, open_time, boundary)
+
+    def rebuild_slices(self) -> None:
+        """Recompute the slice state from the (restored) row buffer;
+        called by checkpoint recovery after it refills ``_buffer``."""
+        self._sealed = {}
+        self._cur_index = None
+        self._cur_rows = []
+        for event_time, row in self._buffer:
+            idx = self._slice_index(event_time)
+            if idx != self._cur_index:
+                if self._cur_index is not None:
+                    self._seal_current()
+                self._cur_index = idx
+            self._cur_rows.append(row)
 
 
 class RowWindowOperator(StreamConsumer):

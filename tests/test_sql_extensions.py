@@ -223,7 +223,8 @@ class TestExplainStatement:
         result = db.execute(
             "EXPLAIN SELECT count(*) FROM s <VISIBLE '1 minute'>")
         text = "\n".join(line for (line,) in result.rows)
-        assert "RowSource" in text or "SharedSliceAggregator" in text
+        assert ("RowSource" in text or "BatchSource" in text
+                or "SharedSliceAggregator" in text)
 
     def test_explain_shows_index(self, db):
         db.execute("CREATE INDEX a_x ON a (x)")
