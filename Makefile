@@ -3,8 +3,8 @@
 PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
-	failover-smoke obs-smoke admission-smoke eventtime-smoke \
-	vectorized-smoke coverage clean
+	failover-smoke dr-smoke obs-smoke admission-smoke eventtime-smoke \
+	vectorized-smoke wal-smoke coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -19,9 +19,11 @@ bench:
 # docs/FAULTS.md.  The replication/restart files exercise the
 # replication.ship, replication.apply and server.boot_recovery
 # crashpoints; the admission file exercises admission.quota_check and
-# admission.dedup_persist (refusal-not-corruption, torn-batch discard).
+# admission.dedup_persist (refusal-not-corruption, torn-batch discard);
+# the wal-segments file exercises wal.segment_roll, wal.compact,
+# backup.snapshot and scrub.verify (crash-safe WAL lifecycle).
 chaos:
-	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py tests/test_eventtime_chaos.py -q
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py tests/test_eventtime_chaos.py tests/test_wal_segments.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -44,6 +46,12 @@ smoke:
 failover-smoke:
 	$(PYTHON) scripts/failover_smoke.py
 
+# disaster recovery end to end: online backup over the protocol,
+# kill -9, restore + point-in-time recovery to a mid-stream LSN; the
+# rebuilt CQ output must be identical to a never-crashed reference
+dr-smoke:
+	$(PYTHON) scripts/dr_smoke.py
+
 # observability overhead gate: metrics + 1% tracing must stay within
 # 5% of the bare engine on the E1 ingest+window workload (X4, small)
 obs-smoke:
@@ -63,6 +71,11 @@ eventtime-smoke:
 # 3x the row-at-a-time iterator on the E1 ingest+window pipeline (X7)
 vectorized-smoke:
 	$(PYTHON) benchmarks/bench_x7_vectorized.py
+
+# segmented-WAL overhead gate: rolling segments must stay within 5%
+# of the single-file baseline on the E1 durable ingest pipeline (X8)
+wal-smoke:
+	$(PYTHON) benchmarks/bench_x8_wal.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

@@ -1,0 +1,159 @@
+"""X8 — segmented WAL overhead: rolling segments must not tax ingest.
+
+The durability loop (segmented log + manifest + roll-at-flush checks)
+replaces the legacy append-only ``wal.jsonl`` as the on-disk format for
+every data-dir-backed server.  Its write path does strictly more work
+per flush: a byte-budget check, an occasional file rotation with a
+manifest rewrite, and per-segment accounting.  The gate asserts that on
+the E1 ingest+window workload — durable stream ingest through a
+windowed rollup CQ into an archival channel — the segmented layout
+stays within 5% of the single-file baseline, even with segments small
+enough to roll hundreds of times during the run.
+
+Paired per-round measurement, as in X4/X6: each round runs both layouts
+back to back (order rotating) in fresh temp directories, and overhead
+is the median of per-round ratios.
+"""
+
+import shutil
+import sys
+import tempfile
+import time
+
+from repro import Database
+from repro.bench.harness import format_table
+from repro.workloads import SecurityEventGenerator
+
+GATE_PCT = 5.0
+
+#: small enough that a 15k-event run rolls the log many times over
+SEGMENT_BYTES = 256 * 1024
+
+STREAM_DDL = """
+CREATE STREAM security_events (
+    etime timestamp CQTIME USER,
+    src_ip varchar(50),
+    dst_ip varchar(50),
+    dst_port integer,
+    action varchar(10),
+    severity integer,
+    bytes_sent bigint
+)
+"""
+
+CONTINUOUS_DDL = """
+CREATE STREAM blocked_rollup AS
+    SELECT severity, count(*) AS hits, sum(bytes_sent) AS bytes,
+           cq_close(*)
+    FROM security_events <VISIBLE '5 seconds'>
+    WHERE action = 'block'
+    GROUP BY severity;
+CREATE TABLE blocked_archive (severity integer,
+    hits bigint, bytes bigint, stime timestamp);
+CREATE CHANNEL blocked_channel FROM blocked_rollup INTO blocked_archive APPEND;
+"""
+
+CONFIGS = ["single-file", "segmented"]
+
+
+def run_once(n_events, config, chunk=2_000):
+    """One full durable ingest+window pass; returns wall seconds."""
+    workdir = tempfile.mkdtemp(prefix="repro-x8-")
+    try:
+        if config == "segmented":
+            db = Database(buffer_pages=64, observability=False,
+                          wal_path=f"{workdir}/wal",
+                          wal_segment_bytes=SEGMENT_BYTES,
+                          wal_archive_dir=f"{workdir}/wal_archive")
+        else:
+            db = Database(buffer_pages=64, observability=False,
+                          wal_path=f"{workdir}/wal.jsonl")
+        db.execute(STREAM_DDL)
+        db.execute_script(CONTINUOUS_DDL)
+        gen = SecurityEventGenerator(rate_per_second=1000.0, seed=1)
+        events = gen.batch(n_events)
+        started = time.perf_counter()
+        for i in range(0, len(events), chunk):
+            db.insert_stream("security_events", events[i:i + chunk])
+        db.advance_streams(events[-1][0] + 60.0)
+        wall = time.perf_counter() - started
+        # sanity: end-to-end results and, for segments, real rolling
+        archived = db.query(
+            "SELECT count(*) FROM blocked_archive").scalar()
+        assert archived and archived > 0
+        if config == "segmented":
+            assert db.storage.wal.segments.rolls >= 3, (
+                f"only {db.storage.wal.segments.rolls} rolls — "
+                f"shrink SEGMENT_BYTES so the bench exercises rotation")
+        db.close()
+        return wall
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+def measure(n_events, repeats=7):
+    walls = {label: [] for label in CONFIGS}
+    for round_no in range(repeats):
+        shift = round_no % len(CONFIGS)
+        order = CONFIGS[shift:] + CONFIGS[:shift]
+        for label in order:
+            walls[label].append(run_once(n_events, label))
+    return walls
+
+
+def _median(values):
+    ordered = sorted(values)
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def build_report(n_events, walls):
+    rows = []
+    ratios = [w / base for w, base
+              in zip(walls["segmented"], walls["single-file"])]
+    overhead = (_median(ratios) - 1.0) * 100.0
+    for label in CONFIGS:
+        wall = _median(walls[label])
+        rows.append([label, n_events, round(wall * 1000, 2),
+                     round(n_events / wall, 0),
+                     "-" if label == "single-file"
+                     else f"{overhead:+.2f}%"])
+    text = format_table(
+        ["layout", "events", "median wall ms", "events/s",
+         "median paired overhead"],
+        rows,
+        title="X8: segmented-WAL ingest overhead vs the single-file "
+              f"baseline (gate: within {GATE_PCT:.0f}%)")
+    return text, overhead
+
+
+def test_x8_wal_overhead(report):
+    report.experiment_id = "X8_wal"
+    n_events = 40_000
+    walls = measure(n_events, repeats=5)
+    text, overhead = build_report(n_events, walls)
+    print("\n" + text)
+    report.add(text)
+    assert overhead < GATE_PCT, (
+        f"segmented WAL costs {overhead:.2f}% (gate {GATE_PCT}%)")
+
+
+def main():
+    """Standalone smoke entry point (``make wal-smoke``): smaller run,
+    same gate, nonzero exit on failure."""
+    n_events = 15_000
+    walls = measure(n_events, repeats=3)
+    text, overhead = build_report(n_events, walls)
+    print(text)
+    if overhead >= GATE_PCT:
+        print(f"FAIL: segmented WAL overhead {overhead:.2f}% "
+              f">= gate {GATE_PCT}%", file=sys.stderr)
+        return 1
+    print(f"OK: segmented WAL overhead {overhead:.2f}% < gate {GATE_PCT}%")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,175 @@
+#!/usr/bin/env python
+"""CI smoke test for disaster recovery: online backup, kill -9, PITR.
+
+Boots a primary as a real subprocess on a segmented WAL, builds the
+standard ingest → derived-window → archive-channel pipeline, then:
+
+1. ingests two full windows and takes an **online backup** over the
+   protocol (the server keeps serving while it copies);
+2. ingests a third window and records the durable head LSN as the
+   point-in-time mark;
+3. ingests a fourth window that is *meant to be lost*;
+4. SIGKILLs the server mid-flight;
+5. reboots it with ``--restore-from BACKUP --until-lsn MARK`` — restore
+   merges the backup with the crashed data dir's surviving segments,
+   discards everything past the mark, and boot recovery rebuilds every
+   CQ window from the restored log;
+6. compares the archive table against a never-crashed reference server
+   fed exactly the pre-mark input: the rows must be identical.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/dr_smoke.py
+"""
+
+import os
+import re
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+
+
+def fail(message):
+    print(f"DR SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+def boot(args):
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.server", "--port", "0"] + args,
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True)
+    # a restore prints its summary line before the listening banner
+    for _ in range(20):
+        line = proc.stdout.readline()
+        if not line:
+            break
+        print(f"  server: {line.rstrip()}")
+        match = re.search(r"listening on ([\d.]+):(\d+)", line)
+        if match:
+            return proc, match.group(1), int(match.group(2))
+    proc.kill()
+    fail("server never printed its listening banner")
+
+
+def build_pipeline(conn):
+    conn.execute("CREATE STREAM s (v integer, ts timestamp CQTIME USER)")
+    conn.execute("CREATE STREAM totals AS SELECT count(*) c, sum(v) t, "
+                 "cq_close(*) FROM s "
+                 "<VISIBLE '10 seconds' ADVANCE '10 seconds'>")
+    conn.execute("CREATE TABLE archive (c bigint, t bigint, ts timestamp)")
+    conn.execute("CREATE CHANNEL arch FROM totals INTO archive APPEND")
+
+
+# the four ingest phases; windows close at 10, 20, 30 (and 40 for the
+# doomed phase).  Phase D exists only to be discarded by the PITR.
+BATCH_A = [(i, float(i)) for i in range(1, 10)]           # (0, 10]
+BATCH_B = [(2 * i, 10.0 + i) for i in range(1, 6)]        # (10, 20]
+BATCH_C = [(3 * i, 20.0 + i) for i in range(1, 8)]        # (20, 30]
+BATCH_D = [(99, 31.0), (98, 32.0), (97, 41.0)]            # doomed
+
+
+def wait_archive_rows(conn, want, timeout=20.0):
+    deadline = time.monotonic() + timeout
+    rows = []
+    while time.monotonic() < deadline:
+        rows = conn.query(
+            "SELECT c, t, ts FROM archive ORDER BY ts").rows
+        if len(rows) >= want:
+            return rows
+        time.sleep(0.1)
+    fail(f"archive never reached {want} windows: {rows}")
+
+
+def main():
+    workdir = tempfile.mkdtemp(prefix="repro-dr-")
+    data_dir = os.path.join(workdir, "primary")
+    backup_dir = os.path.join(workdir, "backup")
+    prim = ref = None
+    try:
+        prim, host, port = boot(
+            ["--data-dir", data_dir, "--retention", "600",
+             "--wal-segment-bytes", "1024", "--compact-interval", "0.3"])
+        print(f"primary up at {host}:{port}")
+
+        import repro.client as client
+        conn = client.connect(host, port)
+        build_pipeline(conn)
+
+        # two full windows, then an online backup over the protocol
+        conn.ingest("s", BATCH_A)
+        conn.ingest("s", BATCH_B)
+        conn.ingest("s", [(0, 21.0)])            # closes (10, 20]
+        wait_archive_rows(conn, 2)
+        info = conn.backup(backup_dir)
+        if not info.get("head_lsn") or not info.get("segments"):
+            fail(f"backup returned no snapshot: {info!r}")
+        if not os.path.exists(os.path.join(backup_dir, "BACKUP.json")):
+            fail("backup directory has no BACKUP.json commit point")
+        print(f"online backup taken: {info}")
+
+        # a third window lands *after* the backup, then the mark
+        conn.ingest("s", BATCH_C)
+        conn.ingest("s", [(0, 31.0)])            # closes (20, 30]
+        wait_archive_rows(conn, 3)
+        mark = conn.query(
+            "SELECT head_lsn FROM repro_storage").scalar()
+        if not mark or mark <= info["head_lsn"]:
+            fail(f"bad PITR mark {mark!r} (backup head {info['head_lsn']})")
+        print(f"point-in-time mark: lsn {mark}")
+
+        # a fourth, doomed window — durable, then kill -9
+        conn.ingest("s", BATCH_D)                # closes (30, 40]
+        wait_archive_rows(conn, 4)
+        prim.send_signal(signal.SIGKILL)
+        prim.wait(timeout=10)
+        print("primary SIGKILLed with a durable post-mark window")
+
+        # restore: backup + surviving segments, cut at the mark
+        prim, host, port = boot(
+            ["--data-dir", data_dir, "--retention", "600",
+             "--wal-segment-bytes", "1024",
+             "--restore-from", backup_dir, "--until-lsn", str(mark)])
+        rconn = client.connect(host, port)
+        restored = wait_archive_rows(rconn, 3)
+        if len(restored) != 3:
+            fail(f"PITR kept the doomed window: {restored}")
+        head = rconn.query("SELECT head_lsn FROM repro_storage").scalar()
+        if head != mark:
+            fail(f"restored head {head} != mark {mark}")
+        print(f"restored to lsn {head}: {restored}")
+
+        # the reference: a never-crashed server fed the pre-mark input
+        ref, rhost, rport = boot(
+            [ "--data-dir", os.path.join(workdir, "reference"),
+             "--retention", "600"])
+        cref = client.connect(rhost, rport)
+        build_pipeline(cref)
+        cref.ingest("s", BATCH_A)
+        cref.ingest("s", BATCH_B)
+        cref.ingest("s", [(0, 21.0)])
+        cref.ingest("s", BATCH_C)
+        cref.ingest("s", [(0, 31.0)])
+        expected = wait_archive_rows(cref, 3)
+
+        if restored != expected:
+            fail(f"restored CQ output diverges from the reference:\n"
+                 f"  restored: {restored}\n  expected: {expected}")
+        print(f"restored CQ output identical to reference: {expected}")
+
+        cref.close()
+        rconn.close()
+        conn.close()
+        print("DR SMOKE OK")
+    finally:
+        for proc in (prim, ref):
+            if proc is not None and proc.poll() is None:
+                proc.kill()
+                proc.wait()
+        shutil.rmtree(workdir, ignore_errors=True)
+
+
+if __name__ == "__main__":
+    main()

@@ -18,6 +18,7 @@ commands:
     \\supervisor     supervision status of every CQ/stream/channel
     \\deadletters [N] last N quarantined tuples/windows (default 20)
     \\replication    replication role, shipped/applied LSNs, lag
+    \\storage        WAL segments, archive, backups, scrub status
     \\watermarks     per-stream event-time watermark, lag, late rows
     \\tenants        per-tenant admission counters + controller status
     \\stats [cq]     engine metrics + per-CQ window/operator stats
@@ -103,6 +104,8 @@ class Shell:
             self._dead_letters(int(args[0]) if args else 20)
         elif command == "\\replication":
             self._replication()
+        elif command == "\\storage":
+            self._storage()
         elif command == "\\watermarks":
             self._watermarks()
         elif command == "\\tenants":
@@ -166,6 +169,16 @@ class Shell:
         result = (self.db or self.conn).query(
             "SELECT role, peer, state, shipped_lsn, applied_lsn, lag, "
             "last_error FROM repro_replication_status")
+        self.write(result.pretty())
+
+    def _storage(self) -> None:
+        """WAL lifecycle status (repro_storage)."""
+        source = self.db if self.db is not None else self.conn
+        result = source.query(
+            "SELECT mode, live_segments, live_bytes, archive_segments, "
+            "archive_bytes, head_lsn, low_water_lsn, last_backup_lsn, "
+            "backups, scrubs, scrub_errors, quarantined "
+            "FROM repro_storage")
         self.write(result.pretty())
 
     def _watermarks(self) -> None:
@@ -360,6 +373,8 @@ class RemoteShell(Shell):
             self._describe()
         elif command == "\\replication":
             self._replication()
+        elif command == "\\storage":
+            self._storage()
         elif command == "\\watermarks":
             self._watermarks()
         elif command == "\\tenants":

@@ -49,6 +49,7 @@ from repro.errors import (
     ConnectionTimeoutError,
     ProtocolError,
     RemoteError,
+    ReplicationGapError,
 )
 from repro.server.protocol import FrameDecoder, encode_frame
 
@@ -574,6 +575,12 @@ class Connection:
         response = self._request("promote", reason=reason)
         return response.get("promotion", {})
 
+    def backup(self, dest: str) -> dict:
+        """Take an online backup into ``dest`` on the *server's*
+        filesystem; returns the backup manifest summary."""
+        response = self._request("backup", dest=dest)
+        return response.get("backup", {})
+
     def replication_status(self) -> ResultSet:
         return self.query("SELECT * FROM repro_replication_status")
 
@@ -665,6 +672,13 @@ class Connection:
                     retry_after_ms=error.get("retry_after_ms"),
                     tenant=error.get("tenant", ""),
                     reason=error.get("reason", ""))
+            if error.get("type") == "ReplicationGapError":
+                # typed so a standby can log / react to the exact
+                # missing range instead of parsing the message
+                raise ReplicationGapError(
+                    message,
+                    missing_from=error.get("missing_from", 0),
+                    missing_to=error.get("missing_to", 0))
             raise RemoteError(message, error.get("type", "TruvisoError"))
         return response
 

@@ -61,6 +61,8 @@ class Database:
                  backpressure_policy: Optional[str] = None,
                  high_water_mark: Optional[int] = None,
                  wal_path: Optional[str] = None,
+                 wal_segment_bytes: Optional[int] = None,
+                 wal_archive_dir: Optional[str] = None,
                  replication_logging: bool = True,
                  observability: bool = True,
                  trace_sample_rate: float = 0.01,
@@ -74,7 +76,9 @@ class Database:
         self.obs = Observability(enabled=observability,
                                  sample_rate=trace_sample_rate)
         self.storage = StorageManager(buffer_pages, faults=fault_injector,
-                                      wal_path=wal_path)
+                                      wal_path=wal_path,
+                                      wal_segment_bytes=wal_segment_bytes,
+                                      wal_archive_dir=wal_archive_dir)
         self.obs.bind_storage(self.storage)
         self.txn_manager = TransactionManager(self.storage.wal)
         self.catalog = Catalog()
@@ -111,6 +115,11 @@ class Database:
         # rate/quota/tier checks on, dedup works regardless.
         self.admission = AdmissionController(clock=self.clock,
                                              faults=fault_injector)
+        # WAL lifecycle: compaction, online backup, scrubbing.  Always
+        # created; a no-op (or typed error) unless the WAL is segmented.
+        from repro.storage.lifecycle import WalLifecycle
+        self.wal_lifecycle = WalLifecycle(self)
+        self.obs.bind_wal_lifecycle(self.wal_lifecycle)
         from repro.core.system_views import install_system_views
         install_system_views(self)
         self.obs.bind_admission(self.admission)
@@ -1044,6 +1053,24 @@ class Database:
     def drop_caches(self) -> None:
         """Simulate a cold start: empty the buffer pool."""
         self.storage.pool.clear()
+
+    def backup(self, dest: str) -> dict:
+        """Take an online backup of the WAL into ``dest``.
+
+        Requires a segmented (data-dir) WAL; see
+        :meth:`~repro.storage.lifecycle.WalLifecycle.backup`.
+        """
+        return self.wal_lifecycle.backup(dest)
+
+    def compact_wal(self) -> dict:
+        """Run one checkpoint-anchored compaction pass (see
+        :meth:`~repro.storage.lifecycle.WalLifecycle.compact`)."""
+        return self.wal_lifecycle.compact()
+
+    def scrub_wal(self) -> dict:
+        """Run one integrity-scrub pass over sealed segments and heap
+        pages (see :meth:`~repro.storage.lifecycle.WalLifecycle.scrub`)."""
+        return self.wal_lifecycle.scrub()
 
     def close(self) -> None:
         """Shut down the streaming side: stop every CQ (including those

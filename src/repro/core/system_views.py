@@ -357,6 +357,21 @@ def install_system_views(db) -> None:
         _int("late_rows"), _int("injections"),
     ]), watermarks_rows)
 
+    def storage_rows():
+        lifecycle = getattr(db, "wal_lifecycle", None)
+        if lifecycle is None:
+            return []
+        return [lifecycle.status_row()]
+
+    storage = VirtualTable("repro_storage", Schema([
+        _text("mode"), _int("live_segments"), _int("live_bytes"),
+        _int("archive_segments"), _int("archive_bytes"),
+        _int("archived_total"), _int("head_lsn"), _int("low_water_lsn"),
+        _int("last_backup_lsn"), _int("backups"), _int("scrubs"),
+        Column("last_scrub", TimestampType()), _int("scrub_errors"),
+        _int("quarantined"),
+    ]), storage_rows)
+
     def traces_rows():
         return db.obs.tracer.rows()
 
@@ -369,5 +384,5 @@ def install_system_views(db) -> None:
     for view in (streams, channels, tables, indexes, cqs, io, stats,
                  supervisor, dead_letters, crashpoints, connections,
                  replication, metrics, cq_stats, operator_stats, traces,
-                 tenants, admission, watermarks):
+                 tenants, admission, watermarks, storage):
         db.catalog.add_relation(view.name, SYSTEM, view)

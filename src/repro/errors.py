@@ -143,6 +143,26 @@ class ReplicationError(NetworkError):
     """WAL shipping or standby apply failed (gap, bad record, bad role)."""
 
 
+class ReplicationGapError(ReplicationError):
+    """The requested WAL range is no longer retained anywhere reachable.
+
+    Raised by ``WriteAheadLog.records_from`` when ``from_lsn`` predates
+    the records still held in memory, and by the archive fetch path when
+    even the archived segments cannot cover the range.  Carries the
+    missing range as structured fields so the primary's attach path can
+    consume it (serve the archive instead) and so a standby that does
+    hit it logs exactly which LSNs are unrecoverable.  The server ships
+    both bounds over the wire so a remote client rebuilds this same
+    typed error.
+    """
+
+    def __init__(self, message: str, missing_from: int = 0,
+                 missing_to: int = 0):
+        super().__init__(message)
+        self.missing_from = missing_from
+        self.missing_to = missing_to
+
+
 class AdmissionError(TruvisoError):
     """A request was refused by admission control (quota, rate limit,
     or overload shedding) — the request was *not* applied.

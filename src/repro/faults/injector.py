@@ -68,6 +68,19 @@ ADMISSION_DEDUP_PERSIST = register_crashpoint(
 EVENTTIME_WATERMARK_PERSIST = register_crashpoint(
     "eventtime.watermark_persist",
     "crash between a watermark advance and the WAL flush making it durable")
+WAL_SEGMENT_ROLL = register_crashpoint(
+    "wal.segment_roll",
+    "crash while sealing the active WAL segment and opening the next")
+WAL_COMPACT = register_crashpoint(
+    "wal.compact",
+    "crash mid-compaction: segment copied to the archive, live copy "
+    "not yet deleted")
+BACKUP_SNAPSHOT = register_crashpoint(
+    "backup.snapshot",
+    "crash while copying sealed segments into an online backup")
+SCRUB_VERIFY = register_crashpoint(
+    "scrub.verify",
+    "the integrity scrubber dies mid-pass over sealed segments")
 
 
 @dataclass

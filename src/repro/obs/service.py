@@ -180,6 +180,25 @@ class Observability:
         reg.gauge("wal.flushes", fn=lambda: wal.flush_count)
         wal.flush_timer = reg.histogram("wal.flush_seconds")
 
+    def bind_wal_lifecycle(self, lifecycle) -> None:
+        if not self.enabled:
+            return
+        reg = self.registry
+
+        def segs():
+            return lifecycle.wal.segments
+
+        reg.gauge("wal.live_bytes",
+                  fn=lambda: segs().live_bytes() if segs() else 0)
+        reg.gauge("wal.live_segments",
+                  fn=lambda: segs().live_count() if segs() else 0)
+        reg.gauge("wal.archive_bytes",
+                  fn=lambda: segs().archive_bytes() if segs() else 0)
+        reg.gauge("wal.segments_archived",
+                  fn=lambda: lifecycle.segments_archived)
+        reg.gauge("wal.backups", fn=lambda: lifecycle.backups)
+        reg.gauge("wal.scrub_errors", fn=lambda: lifecycle.scrub_errors)
+
     def bind_channel(self, channel) -> None:
         if not self.enabled:
             return

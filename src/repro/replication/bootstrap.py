@@ -29,8 +29,32 @@ from repro.streaming.recovery import (
 )
 from repro.streaming.windows import TimeWindowOperator
 
-#: the WAL file name inside a ``--data-dir``
+#: the legacy single-file WAL name inside a ``--data-dir`` (pre-segment
+#: layouts are migrated into the segmented directory on first open)
 WAL_FILENAME = "wal.jsonl"
+#: the segmented WAL directory inside a ``--data-dir``
+WAL_DIRNAME = "wal"
+#: where compaction parks sealed segments (still replayed at boot)
+WAL_ARCHIVE_DIRNAME = "wal_archive"
+
+
+def _data_dir_wal_options(data_dir: str, options: dict) -> str:
+    """Resolve a data dir to the segmented-WAL layout (migrating a
+    legacy single-file ``wal.jsonl`` into segment 1) and default the
+    segment/archive options.  Returns the WAL directory path."""
+    from repro.storage.segments import DEFAULT_SEGMENT_BYTES, segment_name
+    os.makedirs(data_dir, exist_ok=True)
+    wal_dir = os.path.join(data_dir, WAL_DIRNAME)
+    legacy = os.path.join(data_dir, WAL_FILENAME)
+    if os.path.exists(legacy) and not os.path.isdir(wal_dir):
+        os.makedirs(wal_dir, exist_ok=True)
+        os.replace(legacy, os.path.join(wal_dir, segment_name(1)))
+    if options.get("wal_segment_bytes") is None:
+        options["wal_segment_bytes"] = DEFAULT_SEGMENT_BYTES
+    if options.get("wal_archive_dir") is None:
+        options["wal_archive_dir"] = os.path.join(
+            data_dir, WAL_ARCHIVE_DIRNAME)
+    return wal_dir
 
 
 def open_database(data_dir: Optional[str] = None,
@@ -42,15 +66,21 @@ def open_database(data_dir: Optional[str] = None,
     rows reloaded, stream tails rebuilt, and every derived CQ resumed at
     the correct window boundary.  Recovery statistics are left on the
     database as ``db.recovery_stats``.
+
+    A data dir uses the segmented WAL layout (``wal/`` + a
+    ``wal_archive/`` sibling); boot recovery replays archive + live
+    segments, then archived records are released from memory so a
+    long-compacted history costs RAM only during boot.  Passing
+    ``wal_path`` directly keeps the legacy single-file mode.
     """
     if data_dir is not None:
-        os.makedirs(data_dir, exist_ok=True)
-        wal_path = os.path.join(data_dir, WAL_FILENAME)
+        wal_path = _data_dir_wal_options(data_dir, options)
     db = Database(wal_path=wal_path, **options)
     if db.storage.wal.records:
         db.recovery_stats = recover_runtime(db)
     else:
         db.recovery_stats = None
+    db.storage.wal.release_archived()
     return db
 
 
@@ -65,8 +95,7 @@ def open_standby_database(data_dir: Optional[str] = None,
     ``deferred`` is the held streaming DDL for the promotion path.
     """
     if data_dir is not None:
-        os.makedirs(data_dir, exist_ok=True)
-        wal_path = os.path.join(data_dir, WAL_FILENAME)
+        wal_path = _data_dir_wal_options(data_dir, options)
     db = Database(wal_path=wal_path, replication_logging=False, **options)
     deferred: List[dict] = []
     if db.storage.wal.records:
@@ -74,6 +103,7 @@ def open_standby_database(data_dir: Optional[str] = None,
         deferred = db.recovery_stats["deferred"]
     else:
         db.recovery_stats = None
+    db.storage.wal.release_archived()
     return db, deferred
 
 

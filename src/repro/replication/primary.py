@@ -18,6 +18,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Optional
 
+from repro.errors import ReplicationGapError
 from repro.server import protocol
 from repro.storage.wal import record_to_wire
 
@@ -53,6 +54,12 @@ class ReplicationManager:
         db.enable_replication_logging()
         db.storage.wal.on_append = self._on_append
         db.replication_registry = self.status_rows
+        self.archive_serves = 0      # attaches satisfied from the archive
+        lifecycle = getattr(db, "wal_lifecycle", None)
+        if lifecycle is not None:
+            # compaction must retain everything an attached standby has
+            # not yet acknowledged
+            lifecycle.retain_hooks.append(self._retain_floor)
         obs = getattr(db, "obs", None)
         if obs is not None:
             obs.bind_replication_primary(self)
@@ -60,14 +67,35 @@ class ReplicationManager:
     # -- attach / detach ---------------------------------------------------
 
     def attach(self, session, entry, from_lsn: int) -> StandbyPeer:
-        """Register a standby and queue its backlog.  Engine thread."""
+        """Register a standby and queue its backlog.  Engine thread.
+
+        A standby that fell below the compacted range is caught up from
+        the archive: the archived stretch is shipped first (as wire
+        dicts read straight off the archived segments), then the
+        in-memory tail from where the archive hands over.
+        """
         peer = StandbyPeer(session, entry, from_lsn)
         self.peers[entry.sub_id] = peer
-        backlog = self.db.storage.wal.records_from(from_lsn)
+        wal = self.db.storage.wal
+        try:
+            backlog = wal.records_from(from_lsn)
+        except ReplicationGapError as gap:
+            archived = wal.archived_wire_records(
+                gap.missing_from, gap.missing_to)
+            self.archive_serves += 1
+            for start in range(0, len(archived), BACKLOG_CHUNK):
+                self._send_wire(peer, archived[start:start + BACKLOG_CHUNK])
+            backlog = wal.records_from(gap.missing_to + 1)
         for start in range(0, len(backlog), BACKLOG_CHUNK):
             chunk = backlog[start:start + BACKLOG_CHUNK]
             self._send(peer, chunk)
         return peer
+
+    def _retain_floor(self) -> Optional[int]:
+        """Lowest LSN compaction must keep live for attached standbys."""
+        floors = [peer.acked_lsn + 1 for peer in self.peers.values()
+                  if not peer.entry.broken]
+        return min(floors) if floors else None
 
     def detach(self, sub_id: int) -> None:
         self.peers.pop(sub_id, None)
@@ -87,6 +115,15 @@ class ReplicationManager:
                 self.peers.pop(peer.entry.sub_id, None)
                 continue
             self._send(peer, [record])
+
+    def _send_wire(self, peer: StandbyPeer, wire_records: List[dict]) -> None:
+        """Ship records already in wire form (archived segments)."""
+        if not wire_records:
+            return
+        frame = wal_push(peer.entry.sub_id, wire_records,
+                         head=self.db.storage.wal.head_lsn)
+        peer.session.enqueue_push(peer.entry, frame)
+        peer.sent_lsn = max(peer.sent_lsn, wire_records[-1]["lsn"])
 
     def _send(self, peer: StandbyPeer, records: List) -> None:
         if not records:

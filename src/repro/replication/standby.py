@@ -33,6 +33,7 @@ from typing import Dict, List, Optional
 
 from repro import client as client_mod
 from repro.catalog import catalog as cat
+from repro.errors import ReplicationGapError
 from repro.storage import wal as walrec
 from repro.storage.wal import record_from_wire
 from repro.replication.bootstrap import (
@@ -315,7 +316,20 @@ class StandbyController:
         try:
             from_lsn = engine.submit(
                 lambda: self.db.storage.wal.head_lsn).result(30.0) + 1
-            response = conn._request("replicate", from_lsn=from_lsn)
+            try:
+                response = conn._request("replicate", from_lsn=from_lsn)
+            except ReplicationGapError as gap:
+                # the primary compacted past its archive: this standby
+                # cannot be caught up incrementally any more.  Surface
+                # the exact missing range so the operator knows a
+                # re-seed (restore from backup) is required.
+                self.state = "gap"
+                raise ReplicationGapError(
+                    f"primary no longer retains lsns "
+                    f"{gap.missing_from}..{gap.missing_to}; "
+                    f"re-seed this standby from a backup",
+                    missing_from=gap.missing_from,
+                    missing_to=gap.missing_to) from None
             sub_id = response["sub"]
             self.head_seen = max(self.head_seen,
                                  response.get("head", 0) or 0)

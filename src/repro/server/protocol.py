@@ -59,7 +59,12 @@ from __future__ import annotations
 import json
 import struct
 
-from repro.errors import AdmissionError, ProtocolError, TruvisoError
+from repro.errors import (
+    AdmissionError,
+    ProtocolError,
+    ReplicationGapError,
+    TruvisoError,
+)
 
 #: bump when the frame vocabulary changes incompatibly
 PROTOCOL_VERSION = 1
@@ -178,6 +183,9 @@ def error_response(request_id, exc: BaseException) -> dict:
         error["retry_after_ms"] = exc.retry_after_ms
         error["tenant"] = exc.tenant
         error["reason"] = exc.reason
+    if isinstance(exc, ReplicationGapError):
+        error["missing_from"] = exc.missing_from
+        error["missing_to"] = exc.missing_to
     return {"id": request_id, "ok": False, "error": error}
 
 

@@ -67,6 +67,10 @@ class TruSQLServer:
                  miss_limit: int = 3,
                  idle_timeout: Optional[float] = None,
                  reap_interval: Optional[float] = None,
+                 compact_interval: Optional[float] = None,
+                 scrub_interval: Optional[float] = None,
+                 backup_to: Optional[str] = None,
+                 backup_interval: Optional[float] = None,
                  clock=None,
                  **db_options):
         from repro.clock import SYSTEM_CLOCK
@@ -95,9 +99,14 @@ class TruSQLServer:
         self.miss_limit = miss_limit
         self.idle_timeout = idle_timeout
         self.reap_interval = reap_interval
+        self.compact_interval = compact_interval
+        self.scrub_interval = scrub_interval
+        self.backup_to = backup_to
+        self.backup_interval = backup_interval
         self.standby = None            # StandbyController when following
         self._replication = None       # ReplicationManager, created lazily
         self._reaper_task: Optional[asyncio.Task] = None
+        self._maintenance_task: Optional[asyncio.Task] = None
         self.executor = SingleWriterExecutor()
         self.sessions: Dict[int, Session] = {}
         self._session_counter = 0
@@ -142,6 +151,11 @@ class TruSQLServer:
             self.standby.start()
         if self.idle_timeout is not None:
             self._reaper_task = asyncio.ensure_future(self._reap_idle())
+        if (self.compact_interval is not None
+                or self.scrub_interval is not None
+                or self.backup_to is not None):
+            self._maintenance_task = asyncio.ensure_future(
+                self._run_maintenance())
 
     def request_shutdown(self) -> None:
         """Ask the serve loop to stop (safe from any thread)."""
@@ -166,10 +180,12 @@ class TruSQLServer:
         if self._stopped:
             return
         self._stopped = True
-        if self._reaper_task is not None:
-            self._reaper_task.cancel()
+        for task in (self._reaper_task, self._maintenance_task):
+            if task is None:
+                continue
+            task.cancel()
             try:
-                await self._reaper_task
+                await task
             except (asyncio.CancelledError, Exception):
                 pass
         if self.standby is not None:
@@ -333,6 +349,48 @@ class TruSQLServer:
                 except Exception:
                     pass
 
+    async def _run_maintenance(self) -> None:
+        """WAL lifecycle chores on the engine thread's system lane.
+
+        Same shape as the idle reaper: an asyncio timer that crosses
+        into the engine through :meth:`on_engine`, so compaction,
+        scrubbing and periodic backups serialize with normal traffic
+        instead of racing it.  Each chore runs on its own cadence; a
+        failing chore is recorded on the lifecycle and retried next
+        tick rather than killing the task.
+        """
+        lifecycle = self.db.wal_lifecycle
+        jobs = []
+        if self.compact_interval is not None:
+            jobs.append(["compact", self.compact_interval,
+                         lifecycle.compact, ()])
+        if self.scrub_interval is not None:
+            jobs.append(["scrub", self.scrub_interval,
+                         lifecycle.scrub, ()])
+        if self.backup_to is not None:
+            interval = self.backup_interval
+            if interval is None:
+                interval = 60.0
+            jobs.append(["backup", interval,
+                         lifecycle.backup, (self.backup_to,)])
+        if not jobs:
+            return
+        tick = max(0.05, min(interval for _, interval, _fn, _a in jobs))
+        last = {name: 0.0 for name, _i, _fn, _a in jobs}
+        while not self._stopped:
+            await asyncio.sleep(tick)
+            now = time.monotonic()
+            for name, interval, fn, fn_args in jobs:
+                if now - last[name] < interval:
+                    continue
+                last[name] = now
+                try:
+                    await self.on_engine(fn, *fn_args)
+                except asyncio.CancelledError:
+                    raise
+                except Exception as exc:
+                    lifecycle.last_error = f"{name}: {exc}"
+
     def crash(self) -> None:
         """Abrupt death for failover tests: abort every socket — no
         goodbye, no drain, no final flush.  Safe from any thread.  The
@@ -470,6 +528,14 @@ class TruSQLServer:
                 return await session.handle_replicate_ack(frame)
             if op == "promote":
                 return await self._handle_promote(request_id, frame)
+            if op == "backup":
+                dest = frame.get("dest")
+                if not isinstance(dest, str) or not dest:
+                    raise ExecutionError(
+                        "backup: 'dest' must be a non-empty path")
+                info = await self.on_engine(
+                    self.db.wal_lifecycle.backup, dest)
+                return protocol.ok_response(request_id, backup=info)
             if op == "metrics":
                 return await self._handle_metrics(request_id)
             if op == "hello":
@@ -674,15 +740,56 @@ def main(argv=None) -> int:
                              "standby promotes itself")
     parser.add_argument("--idle-timeout", type=float, default=None,
                         help="reap client sessions silent this long")
+    parser.add_argument("--wal-segment-bytes", type=int, default=None,
+                        help="roll WAL segments at this size (data-dir "
+                             "mode; default 4 MiB)")
+    parser.add_argument("--archive-dir", default=None,
+                        help="where compaction parks sealed segments "
+                             "(default: wal_archive beside the data dir)")
+    parser.add_argument("--compact-interval", type=float, default=30.0,
+                        help="seconds between WAL compaction passes "
+                             "(0 disables)")
+    parser.add_argument("--scrub-interval", type=float, default=None,
+                        help="seconds between integrity scrub passes")
+    parser.add_argument("--backup-to", metavar="DIR", default=None,
+                        help="take periodic online backups into DIR")
+    parser.add_argument("--backup-interval", type=float, default=60.0,
+                        help="seconds between online backups "
+                             "(with --backup-to)")
+    parser.add_argument("--restore-from", metavar="DIR", default=None,
+                        help="before serving, rebuild --data-dir from "
+                             "this backup plus any surviving WAL")
+    parser.add_argument("--until-lsn", type=int, default=None,
+                        help="with --restore-from: point-in-time limit "
+                             "(discard records past this LSN)")
     args = parser.parse_args(argv)
 
+    if args.restore_from is not None:
+        if args.data_dir is None:
+            parser.error("--restore-from requires --data-dir")
+        from repro.storage.lifecycle import restore_backup
+        stats = restore_backup(args.restore_from, args.data_dir,
+                               until_lsn=args.until_lsn)
+        print(f"restored {stats['records']} records "
+              f"(lsn {stats['first_lsn']}..{stats['head_lsn']}) "
+              f"into {args.data_dir}", flush=True)
+
     async def amain() -> None:
+        compact_interval = (args.compact_interval
+                            if args.data_dir is not None
+                            and args.compact_interval else None)
         server = TruSQLServer(
             host=args.host, port=args.port,
             data_dir=args.data_dir, standby_of=args.standby_of,
             auto_promote=not args.no_auto_promote,
             heartbeat_interval=args.heartbeat_interval,
             miss_limit=args.miss_limit, idle_timeout=args.idle_timeout,
+            compact_interval=compact_interval,
+            scrub_interval=args.scrub_interval,
+            backup_to=args.backup_to,
+            backup_interval=args.backup_interval,
+            wal_segment_bytes=args.wal_segment_bytes,
+            wal_archive_dir=args.archive_dir,
             supervised=args.supervised,
             stream_retention=args.retention)
         if args.init and server.role == "primary":

@@ -17,6 +17,22 @@ leaves a record whose stored checksum no longer matches its content;
 recovery *truncates* the log at the first such record — everything before
 it is trusted, everything after it is discarded — instead of failing
 mid-replay.
+
+The log runs in one of three modes:
+
+- **in-memory** (no ``path``): records only live in ``self.records``;
+- **single-file** (``path`` points at a file): the original unbounded
+  ``wal.jsonl`` — kept for compatibility and for tests that pass a
+  ``wal_path`` directly;
+- **segmented** (``path`` is a directory + ``segment_bytes``): records
+  land in fixed-size rolling segment files managed by
+  :class:`~repro.storage.segments.SegmentedLog`.  Sealed segments can be
+  *archived* (moved to the archive dir by checkpoint-anchored
+  compaction) and the matching in-memory records trimmed; the in-memory
+  list then mirrors the live directory, with ``compacted_below`` naming
+  the lowest LSN still held.  A ``records_from`` below that boundary
+  raises a typed :class:`~repro.errors.ReplicationGapError` whose range
+  the primary's attach path answers from the archive.
 """
 
 from __future__ import annotations
@@ -27,6 +43,8 @@ import time
 import zlib
 from dataclasses import dataclass
 from typing import Iterator, List, Optional
+
+from repro.errors import ReplicationGapError, WALError
 
 # record kinds
 INSERT = "insert"
@@ -121,7 +139,9 @@ class WriteAheadLog:
     WAL_FILE_ID = 0
 
     def __init__(self, disk=None, page_size: int = 8192, faults=None,
-                 path: Optional[str] = None):
+                 path: Optional[str] = None,
+                 segment_bytes: Optional[int] = None,
+                 archive_dir: Optional[str] = None):
         self.disk = disk
         self.page_size = page_size
         self.faults = faults
@@ -136,10 +156,24 @@ class WriteAheadLog:
         self.on_append = None
         #: obs histogram observing flush wall time (None = untimed)
         self.flush_timer = None
+        #: lowest LSN still held in ``records``; anything below was
+        #: trimmed after being archived (segmented mode only moves it)
+        self.compacted_below = 1
+        #: cq name -> LSN of its latest checkpoint record (compaction
+        #: anchor: segments holding these are never archived past)
+        self._checkpoint_lsns = {}
         self.path = path
         self._fh = None
+        self.segments = None
         if path is not None:
-            self._open_file(path)
+            if segment_bytes is not None:
+                from repro.storage.segments import SegmentedLog
+                self.segments = SegmentedLog(
+                    path, archive_dir=archive_dir,
+                    segment_bytes=segment_bytes)
+                self._open_segments()
+            else:
+                self._open_file(path)
 
     def append(self, txid: int, kind: str, table: str = None, rid=None,
                before=None, after=None, payload=None) -> LogRecord:
@@ -151,6 +185,7 @@ class WriteAheadLog:
         self.records.append(record)
         self._unflushed_bytes += _RECORD_OVERHEAD + _value_bytes(before) \
             + _value_bytes(after) + _payload_bytes(payload)
+        self._note_record(record)
         if self.on_append is not None:
             self.on_append(record)
         return record
@@ -167,22 +202,72 @@ class WriteAheadLog:
         self._unflushed_bytes += _RECORD_OVERHEAD \
             + _value_bytes(record.before) + _value_bytes(record.after) \
             + _payload_bytes(record.payload)
+        self._note_record(record)
         if self.on_append is not None:
             self.on_append(record)
         return record
+
+    def _note_record(self, record: LogRecord) -> None:
+        """Track compaction anchors as records pass through.
+
+        The latest ``cq_checkpoint`` per CQ pins its segment against
+        archiving (promotion-time recovery must find it in the live
+        log); a logged DROP of the owning stream releases the pin so a
+        deleted CQ cannot hold retention hostage forever.
+        """
+        if record.kind == CHECKPOINT:
+            self._checkpoint_lsns[record.table] = record.lsn
+        elif record.kind == DDL_OBJ and isinstance(record.payload, dict) \
+                and record.payload.get("op") == "drop":
+            name = record.payload.get("name")
+            self._checkpoint_lsns.pop(name, None)
+            self._checkpoint_lsns.pop(f"derived:{name}", None)
 
     def records_from(self, from_lsn: int) -> List[LogRecord]:
         """All records with ``lsn >= from_lsn`` (shipping resume point).
 
         The in-memory list is contiguous by LSN starting at
-        ``records[0].lsn``, so this is a slice, not a scan.
+        ``records[0].lsn``, so this is a slice, not a scan.  Edge cases
+        pin the contract: an empty log and a ``from_lsn`` past the head
+        both return ``[]`` (nothing to ship *yet*); a ``from_lsn`` below
+        :attr:`compacted_below` raises a typed
+        :class:`~repro.errors.ReplicationGapError` naming the missing
+        range, which the primary answers from the archive.
         """
+        from_lsn = max(1, int(from_lsn))
+        if from_lsn < self.compacted_below:
+            raise ReplicationGapError(
+                f"wal records {from_lsn}..{self.compacted_below - 1} "
+                "are no longer retained in memory (compacted to the "
+                "archive)", missing_from=from_lsn,
+                missing_to=self.compacted_below - 1)
         if not self.records:
             return []
         start = from_lsn - self.records[0].lsn
         if start <= 0:
             return list(self.records)
+        if start >= len(self.records):
+            return []
         return list(self.records[start:])
+
+    def archived_wire_records(self, from_lsn: int,
+                              to_lsn: Optional[int] = None) -> List[dict]:
+        """Wire records served from archived segments (standby catch-up).
+
+        Raises :class:`~repro.errors.ReplicationGapError` when even the
+        archive cannot cover ``from_lsn`` — the range is then truly
+        unrecoverable without a backup.
+        """
+        floor = (self.segments.archive_floor_lsn()
+                 if self.segments is not None else None)
+        if floor is None or floor > from_lsn:
+            missing_to = floor - 1 if floor is not None else \
+                (to_lsn if to_lsn is not None else self.compacted_below - 1)
+            raise ReplicationGapError(
+                f"wal records {from_lsn}..{missing_to} are unrecoverable"
+                ": not in memory and not in the archive",
+                missing_from=from_lsn, missing_to=missing_to)
+        return self.segments.archived_records(from_lsn, to_lsn)
 
     @property
     def head_lsn(self) -> int:
@@ -214,19 +299,88 @@ class WriteAheadLog:
             for _ in range(pages):
                 self.disk.write_page(self.WAL_FILE_ID, self._next_wal_page)
                 self._next_wal_page += 1
-        if self._fh is not None:
+        if self._fh is not None or self.segments is not None:
             for record in self.records[self._flushed_upto:]:
                 line = json.dumps(record_to_wire(record), default=str)
-                if record.torn:
-                    self._fh.write(line[:max(1, len(line) // 2)])
+                data = (line[:max(1, len(line) // 2)] if record.torn
+                        else line + "\n")
+                if self.segments is not None:
+                    self.segments.write(record.lsn, data)
                 else:
-                    self._fh.write(line + "\n")
-            self._fh.flush()
+                    self._fh.write(data)
+            if self.segments is not None:
+                self.segments.flush()
+            else:
+                self._fh.flush()
         self._unflushed_bytes = 0
         self._flushed_upto = len(self.records)
         self.flush_count += 1
+        if self.segments is not None and self.segments.should_roll():
+            # everything above is already durable: a crash here (the
+            # wal.segment_roll crashpoint) loses nothing, and the next
+            # flush simply retries the roll
+            self.roll_segment()
         if timer is not None:
             timer.observe(time.perf_counter() - started)
+
+    def roll_segment(self, force: bool = False):
+        """Seal the active segment and open the next (segmented mode).
+
+        ``force`` seals a non-empty active segment regardless of size —
+        the online backup uses it so a backup always ends on a sealed
+        segment boundary.  Returns the sealed segment, or None when
+        there was nothing to seal.
+        """
+        if self.segments is None:
+            return None
+        if self.segments.active.first_lsn is None:
+            return None
+        if not force and not self.segments.should_roll():
+            return None
+        if self.faults is not None and self.faults.armed:
+            self.faults.check("wal.segment_roll",
+                              f"segment {self.segments.active.index}")
+        return self.segments.roll()
+
+    def trim_below(self, lsn: int) -> int:
+        """Forget in-memory records with ``lsn`` below the given bound.
+
+        Called after the matching segments were archived: the records
+        stay readable through :meth:`archived_wire_records`, memory and
+        the live directory shrink together.  Unflushed records are never
+        trimmed.  Returns how many records were dropped.
+        """
+        lsn = min(lsn, self.head_lsn + 1)
+        if not self.records:
+            self.compacted_below = max(self.compacted_below, lsn)
+            return 0
+        drop = min(lsn - self.records[0].lsn, self._flushed_upto,
+                   len(self.records))
+        if drop <= 0:
+            return 0
+        del self.records[:drop]
+        self._flushed_upto -= drop
+        self.compacted_below = (self.records[0].lsn if self.records
+                                else lsn)
+        return drop
+
+    def release_archived(self) -> int:
+        """Drop records held only by archived segments from memory.
+
+        Boot recovery loads the *whole* log (archive included) to
+        rebuild state; once that is done, memory needs to mirror only
+        the live directory.  Returns how many records were released.
+        """
+        if self.segments is None:
+            return 0
+        floor = None
+        for seg in self.segments.segments:
+            if not seg.archived and seg.first_lsn is not None:
+                floor = seg.first_lsn
+                break
+        if floor is None:
+            floor = self.head_lsn + 1
+        return self.trim_below(floor)
 
     # -- file persistence --------------------------------------------------
 
@@ -261,12 +415,60 @@ class WriteAheadLog:
                                     default=str) + "\n")
         self._fh = open(path, "a", encoding="utf-8")
 
+    def _open_segments(self) -> None:
+        """Load the segmented log: archive + live segments, in order.
+
+        All records (archived included) are loaded into memory so boot
+        recovery sees the full history; the caller trims them back with
+        :meth:`release_archived` once recovery completes.  The active
+        segment keeps the truncate-at-first-corrupt contract: its
+        validated prefix is rewritten, a torn tail physically dropped.
+        A corrupt record in a *sealed* segment is not truncatable — it
+        would silently discard durable history — and raises instead.
+        """
+        wires = self.segments.load()
+        loaded: List[LogRecord] = []
+        invalid_at: Optional[int] = None
+        for fields in wires:
+            record = record_from_wire(fields)
+            if not record.is_valid():
+                invalid_at = record.lsn
+                break
+            loaded.append(record)
+        active = self.segments.active
+        if invalid_at is not None and (
+                active.first_lsn is None or invalid_at < active.first_lsn):
+            raise WALError(
+                f"corrupt record at lsn {invalid_at} in a sealed WAL "
+                "segment (scrub or restore from backup)")
+        self.records = loaded
+        if loaded:
+            self._next_lsn = loaded[-1].lsn + 1
+            self.compacted_below = loaded[0].lsn
+        self._flushed_upto = len(loaded)
+        for record in loaded:
+            self._note_record(record)
+        # rewrite the active segment's validated prefix (drops any torn
+        # tail) and reopen it for append
+        lines = []
+        survivors = []
+        if active.first_lsn is not None:
+            survivors = [r for r in loaded if r.lsn >= active.first_lsn]
+            lines = [json.dumps(record_to_wire(r), default=str) + "\n"
+                     for r in survivors]
+        active.first_lsn = survivors[0].lsn if survivors else None
+        active.last_lsn = survivors[-1].lsn if survivors else None
+        self.segments.rewrite_active(lines)
+
     def close(self) -> None:
         """Flush and release the backing file (no-op when in-memory)."""
         if self._fh is not None:
             self.flush()
             self._fh.close()
             self._fh = None
+        if self.segments is not None:
+            self.flush()
+            self.segments.close()
 
     # -- validation --------------------------------------------------------
 
@@ -331,11 +533,43 @@ class WriteAheadLog:
         return tables
 
     def latest_checkpoint(self, name: str):
-        """Most recent durable cq_checkpoint payload for ``name`` (or None)."""
+        """Most recent durable cq_checkpoint payload for ``name`` (or None).
+
+        Compaction never archives past the latest checkpoint of a live
+        CQ, so this normally finds it in memory; the archive fallback
+        covers a standby promoting after its *local* compaction ran
+        (the anchor LSN is tracked, so the fallback reads exactly one
+        archived record instead of scanning).
+        """
         for record in reversed(self._validated()):
             if record.kind == CHECKPOINT and record.table == name:
                 return record.payload
+        if self.segments is not None:
+            lsn = self._checkpoint_lsns.get(name)
+            if lsn is not None and lsn < self.compacted_below:
+                for wire in self.segments.archived_records(lsn, lsn):
+                    record = record_from_wire(wire)
+                    if record.is_valid() and record.kind == CHECKPOINT \
+                            and record.table == name:
+                        return record.payload
         return None
+
+    def checkpoint_anchor_lsn(self, live_names=None) -> Optional[int]:
+        """Lowest LSN any (live) CQ's latest checkpoint sits at.
+
+        Compaction must retain the segment holding it.  ``live_names``
+        restricts the anchors to CQs that still exist; None keeps all.
+        """
+        lsns = [lsn for name, lsn in self._checkpoint_lsns.items()
+                if live_names is None or name in live_names]
+        return min(lsns) if lsns else None
+
+    @property
+    def durable_lsn(self) -> int:
+        """LSN of the newest record known durable (0 when none are)."""
+        if self._flushed_upto > 0 and self.records:
+            return self.records[self._flushed_upto - 1].lsn
+        return self.compacted_below - 1
 
     def __len__(self):
         return len(self.records)

@@ -288,3 +288,60 @@ class TestActiveTableRecovery:
         assert "clicks" in message
         assert f"need {needed}" in message
         assert f"have {stream.replay_horizon()}" in message
+
+
+class TestRecordsFromEdges:
+    """Direct contract tests for WriteAheadLog.records_from/head_lsn.
+
+    These edges back the replication attach path: an empty log and a
+    resume point past the head both mean "nothing to ship yet", never
+    an error; a resume point inside a torn record resumes at the
+    truncated (durable) head.
+    """
+
+    def test_empty_log(self):
+        from repro.storage.wal import WriteAheadLog
+        wal = WriteAheadLog()
+        assert wal.head_lsn == 0
+        assert wal.records_from(1) == []
+        assert wal.records_from(100) == []
+
+    def test_from_lsn_past_head_returns_nothing(self):
+        from repro.storage.wal import WriteAheadLog
+        wal = WriteAheadLog()
+        for i in range(3):
+            wal.append(1, "insert", "t", rid=(0, i), after=(i,))
+        assert wal.head_lsn == 3
+        assert wal.records_from(4) == []
+        assert wal.records_from(99) == []
+        assert [r.lsn for r in wal.records_from(3)] == [3]
+
+    def test_from_lsn_clamps_below_one(self):
+        from repro.storage.wal import WriteAheadLog
+        wal = WriteAheadLog()
+        wal.append(1, "insert", "t", rid=(0, 0), after=(1,))
+        # 0 and negatives mean "from the beginning", not a gap error
+        assert [r.lsn for r in wal.records_from(0)] == [1]
+        assert [r.lsn for r in wal.records_from(-5)] == [1]
+
+    def test_from_lsn_mid_torn_record(self, tmp_path):
+        """A torn tail truncates the durable log; a resume point at or
+        past the torn record finds nothing rather than garbage."""
+        from repro.faults import FaultInjector
+        from repro.storage.wal import WriteAheadLog
+        path = str(tmp_path / "wal.jsonl")
+        faults = FaultInjector(7)
+        wal = WriteAheadLog(faults=faults, path=path)
+        wal.append(1, "insert", "t", rid=(0, 1), after=(1, "a"))
+        wal.append(1, "insert", "t", rid=(0, 2), after=(2, "b"))
+        wal.flush()
+        wal.append(2, "insert", "t", rid=(0, 3), after=(3, "c"))
+        faults.arm("wal.torn_write", probability=1.0, count=1)
+        wal.flush()                      # tears the lsn-3 record
+        wal.close()
+
+        reloaded = WriteAheadLog(path=path)
+        assert reloaded.head_lsn == 2    # truncate-at-first-corrupt
+        assert reloaded.records_from(3) == []
+        assert [r.lsn for r in reloaded.records_from(2)] == [2]
+        assert [r.lsn for r in reloaded.records_from(1)] == [1, 2]
