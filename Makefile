@@ -4,7 +4,8 @@ PYTHON ?= python
 
 .PHONY: install test bench chaos examples shell server smoke \
 	failover-smoke dr-smoke obs-smoke admission-smoke eventtime-smoke \
-	vectorized-smoke wal-smoke coverage clean
+	vectorized-smoke wal-smoke partition-smoke partition-bench \
+	coverage clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -21,9 +22,12 @@ bench:
 # crashpoints; the admission file exercises admission.quota_check and
 # admission.dedup_persist (refusal-not-corruption, torn-batch discard);
 # the wal-segments file exercises wal.segment_roll, wal.compact,
-# backup.snapshot and scrub.verify (crash-safe WAL lifecycle).
+# backup.snapshot and scrub.verify (crash-safe WAL lifecycle); the
+# partition file exercises partition.route, partition.merge and
+# partition.worker_crash (atomic refusal, pending-merge retry,
+# restart-with-replay).
 chaos:
-	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py tests/test_eventtime_chaos.py tests/test_wal_segments.py -q
+	$(PYTHON) -m pytest tests/test_chaos.py tests/test_faults.py tests/test_supervisor.py tests/test_replication.py tests/test_ha_restart.py tests/test_admission_chaos.py tests/test_eventtime_chaos.py tests/test_wal_segments.py tests/test_partition_chaos.py -q
 
 examples:
 	$(PYTHON) examples/quickstart.py
@@ -76,6 +80,17 @@ vectorized-smoke:
 # of the single-file baseline on the E1 durable ingest pipeline (X8)
 wal-smoke:
 	$(PYTHON) benchmarks/bench_x8_wal.py
+
+# partitioned execution end to end: real subprocess workers, SIGKILL
+# one mid-window, restart-with-replay; CQ output must be bit-identical
+# to the single engine
+partition-smoke:
+	$(PYTHON) scripts/partition_smoke.py
+
+# partition throughput gate: 4 workers must reach 2x the single engine
+# on E1 (X9); advisory-only on machines with fewer than 4 cores
+partition-bench:
+	$(PYTHON) benchmarks/bench_x9_partition.py
 
 artifacts:
 	$(PYTHON) -m pytest tests/ 2>&1 | tee test_output.txt

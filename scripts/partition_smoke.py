@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI smoke test for partitioned execution: real workers, real SIGKILL.
+
+Boots a :class:`PartitionedEngine` with **subprocess workers** over
+loopback sockets, runs the standard keyed window CQ, then:
+
+1. ingests two batches and notes each worker's PID from the
+   ``repro_partitions`` status rows;
+2. SIGKILLs one worker **mid-window** (its shard has buffered rows the
+   next boundary still needs — no frame in flight, no warning);
+3. keeps ingesting: the next frame owed to the dead worker triggers
+   restart-with-replay — respawn, replay of the acked frame log,
+   watermark fast-forward, then the in-flight frame;
+4. flushes and compares the full window sequence against a plain
+   single-process :class:`Database` fed exactly the same batches: the
+   output must be **bit-identical** — same boundaries, same rows, no
+   gap and no duplicate where the crash happened;
+5. checks the restart surfaced in the status rows (``restarts == 1``,
+   ``replayed_batches >= 1``) and that every worker ended ``up``.
+
+Run from the repository root::
+
+    PYTHONPATH=src python scripts/partition_smoke.py
+"""
+
+import os
+import signal
+import sys
+
+
+def fail(message):
+    print(f"PARTITION SMOKE FAIL: {message}", file=sys.stderr)
+    sys.exit(1)
+
+
+DDL = ("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+       "PARTITION BY k")
+CQ = ("SELECT k, count(*) AS n, sum(v) AS total, min(v) AS lo, "
+      "max(v) AS hi FROM s <visible 10 advance 5> GROUP BY k "
+      "ORDER BY k")
+
+KEYS = ["alpha", "beta", "gamma", "delta", "epsilon"]
+BATCHES = [
+    [(float(t), KEYS[(t * 3 + b) % len(KEYS)], float(t % 7 - 3))
+     for t in range(b * 6, b * 6 + 6)]
+    for b in range(8)
+]
+KILL_AFTER = 2          # SIGKILL between batches 2 and 3 (mid-window)
+
+
+def collect(sub):
+    return [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+            for w in sub.poll()]
+
+
+def reference():
+    from repro import Database
+
+    db = Database()
+    db.execute(DDL.replace(" PARTITION BY k", ""))
+    sub = db.execute(CQ)
+    for rows in BATCHES:
+        db.ingest_batch("s", rows)
+    db.flush_streams()
+    out = collect(sub)
+    db.close()
+    return out
+
+
+def main():
+    from repro.partition import PartitionedEngine
+
+    print("== partition smoke: subprocess workers + SIGKILL mid-window ==")
+    want = reference()
+    print(f"  reference: {len(want)} windows from the single engine")
+
+    eng = PartitionedEngine(partitions=3, transport="process")
+    try:
+        eng.execute(DDL)
+        sub = eng.execute(CQ)
+        for rows in BATCHES[:KILL_AFTER]:
+            eng.ingest("s", rows)
+
+        rows = eng.status_rows()
+        if any(r[3] != "process" for r in rows):
+            fail(f"expected subprocess transport, got {rows}")
+        victim, pid = rows[1][0], rows[1][1]
+        print(f"  SIGKILL worker {victim} (pid {pid}) mid-window")
+        os.kill(pid, signal.SIGKILL)
+
+        for rows in BATCHES[KILL_AFTER:]:
+            eng.ingest("s", rows)
+        eng.flush()
+        got = collect(sub)
+
+        status = eng.status_rows()
+        for line in status:
+            print(f"  worker {line[0]}: state={line[2]} "
+                  f"routed={line[5]} restarts={line[10]} "
+                  f"replayed={line[11]}")
+        if got != want:
+            diff = next((i for i, (g, w) in enumerate(zip(got, want))
+                         if g != w), min(len(got), len(want)))
+            fail(f"output diverged at window {diff}: "
+                 f"got {got[diff:diff + 1]} want {want[diff:diff + 1]} "
+                 f"({len(got)} vs {len(want)} windows)")
+        if status[victim][10] != 1:
+            fail(f"worker {victim} restarts = {status[victim][10]}, "
+                 "expected exactly 1")
+        if status[victim][11] < 1:
+            fail("restart replayed no batches")
+        if any(r[2] != "up" for r in status):
+            fail(f"not all workers ended up: {status}")
+    finally:
+        eng.close()
+
+    print(f"PARTITION SMOKE PASS: {len(want)} windows bit-identical "
+          "across a SIGKILL + restart-with-replay")
+
+
+if __name__ == "__main__":
+    sys.path.insert(
+        0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+    main()

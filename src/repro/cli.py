@@ -20,6 +20,7 @@ commands:
     \\replication    replication role, shipped/applied LSNs, lag
     \\storage        WAL segments, archive, backups, scrub status
     \\watermarks     per-stream event-time watermark, lag, late rows
+    \\partitions     per-worker shard, routed rows, watermark, lag
     \\tenants        per-tenant admission counters + controller status
     \\stats [cq]     engine metrics + per-CQ window/operator stats
     \\trace [N]      span trees of the last N sampled tuples (default 5)
@@ -108,6 +109,8 @@ class Shell:
             self._storage()
         elif command == "\\watermarks":
             self._watermarks()
+        elif command == "\\partitions":
+            self._partitions()
         elif command == "\\tenants":
             self._tenants()
         elif command == "\\stats":
@@ -192,6 +195,18 @@ class Shell:
             self.write(result.pretty())
         else:
             self.write("(no streams yet)")
+
+    def _partitions(self) -> None:
+        """Partition-worker status (repro_partitions)."""
+        source = self.db if self.db is not None else self.conn
+        result = source.query(
+            "SELECT worker, pid, state, transport, streams, rows_routed, "
+            "batches, spill_rows, watermark, lag_seconds, restarts, "
+            "replayed_batches FROM repro_partitions")
+        if result.rows:
+            self.write(result.pretty())
+        else:
+            self.write("(not a partition coordinator; see docs/PARTITION.md)")
 
     def _tenants(self) -> None:
         """Admission-control status: controller tier + per-tenant counters."""
@@ -377,6 +392,8 @@ class RemoteShell(Shell):
             self._storage()
         elif command == "\\watermarks":
             self._watermarks()
+        elif command == "\\partitions":
+            self._partitions()
         elif command == "\\tenants":
             self._tenants()
         elif command == "\\stats":

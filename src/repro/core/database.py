@@ -110,6 +110,9 @@ class Database:
         # set by the replication layer: a zero-argument callable
         # returning rows for the repro_replication_status system view
         self.replication_registry = None
+        # set by the partitioned engine (repro.partition): a zero-argument
+        # callable returning rows for the repro_partitions system view
+        self.partition_registry = None
         # admission control: tenants, quotas, and the ingest dedup index.
         # Created disabled; SET admission = on (or the server) turns the
         # rate/quota/tier checks on, dedup works regardless.
@@ -178,6 +181,7 @@ class Database:
                 "retention": stream.retention, "slack": stream.slack,
                 "disorder_policy": stream.disorder_policy,
                 "watermark_bound": stream.watermark_bound,
+                "partition_by": stream.partition_by,
             })
         for name, view in self.catalog.relations(cat.VIEW):
             self._log_ddl({
@@ -634,7 +638,8 @@ class Database:
         schema = _schema_from_defs(statement.columns, for_stream=True)
         stream = self.runtime.create_base_stream(
             statement.name, schema,
-            watermark_bound=statement.watermark_bound)
+            watermark_bound=statement.watermark_bound,
+            partition_by=statement.partition_by)
         from repro.core.dump import _column_spec
         self._log_ddl({
             "op": "create", "kind": "stream", "name": statement.name,
@@ -642,6 +647,7 @@ class Database:
             "retention": stream.retention, "slack": stream.slack,
             "disorder_policy": stream.disorder_policy,
             "watermark_bound": stream.watermark_bound,
+            "partition_by": stream.partition_by,
         })
         return _ok()
 

@@ -372,6 +372,23 @@ def install_system_views(db) -> None:
         _int("quarantined"),
     ]), storage_rows)
 
+    def partitions_rows():
+        provider = getattr(db, "partition_registry", None)
+        if provider is None:
+            return []
+        return provider()
+
+    # one row per partition worker, provided by the coordinating
+    # PartitionedEngine (repro.partition); empty when this database is
+    # not a partition coordinator
+    partitions = VirtualTable("repro_partitions", Schema([
+        _int("worker"), _int("pid"), _text("state"), _text("transport"),
+        _int("streams"), _int("rows_routed"), _int("batches"),
+        _int("spill_rows"), Column("watermark", TimestampType()),
+        Column("lag_seconds", DoubleType()), _int("restarts"),
+        _int("replayed_batches"),
+    ]), partitions_rows)
+
     def traces_rows():
         return db.obs.tracer.rows()
 
@@ -384,5 +401,5 @@ def install_system_views(db) -> None:
     for view in (streams, channels, tables, indexes, cqs, io, stats,
                  supervisor, dead_letters, crashpoints, connections,
                  replication, metrics, cq_stats, operator_stats, traces,
-                 tenants, admission, watermarks, storage):
+                 tenants, admission, watermarks, storage, partitions):
         db.catalog.add_relation(view.name, SYSTEM, view)

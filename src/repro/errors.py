@@ -118,6 +118,16 @@ class BackpressureError(StreamingError):
     ``raise`` backpressure policy."""
 
 
+class PartitionError(StreamingError):
+    """A CQ or stream cannot run on the partitioned engine (unsupported
+    plan shape, missing partition key, bad worker configuration)."""
+
+
+class WorkerDiedError(StreamingError):
+    """A partition worker process died mid-exchange; the coordinator
+    restarts it with replay and retries."""
+
+
 class NetworkError(TruvisoError):
     """Base class for client/server wire-boundary failures."""
 

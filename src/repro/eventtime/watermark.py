@@ -79,3 +79,50 @@ class WatermarkTracker:
         return (f"WatermarkTracker(bound={self.bound}, "
                 f"watermark={self.watermark}, "
                 f"max_event_time={self.max_event_time})")
+
+
+class WatermarkMerge:
+    """Minimum-of-inputs watermark across a fixed set of named inputs.
+
+    Used wherever one consumer fans in from several independently
+    progressing producers — partition workers reporting per-shard
+    watermarks, or multiple upstream streams feeding one operator.  The
+    merged watermark is ``min(latest per input)``: it only moves when
+    the *slowest* input moves, so a stalled input holds the merge down
+    and an out-of-order (regressing) report from one input is ignored
+    per-input monotonicity before the min is taken.
+
+    Inputs that have never reported hold the merge at ``-inf``.
+    """
+
+    __slots__ = ("_inputs", "merged")
+
+    def __init__(self, input_ids):
+        ids = list(input_ids)
+        if not ids:
+            raise ValueError("WatermarkMerge needs at least one input")
+        self._inputs = {input_id: NEG_INF for input_id in ids}
+        self.merged = NEG_INF
+
+    def update(self, input_id, watermark: float) -> Optional[float]:
+        """Record ``input_id``'s latest watermark.  Returns the new
+        merged watermark when this report advanced it, else None.
+        Per-input regressions are ignored (each input is monotone)."""
+        if input_id not in self._inputs:
+            raise KeyError(f"unknown watermark input: {input_id!r}")
+        if watermark > self._inputs[input_id]:
+            self._inputs[input_id] = watermark
+            candidate = min(self._inputs.values())
+            if candidate > self.merged:
+                self.merged = candidate
+                return candidate
+        return None
+
+    def input_watermark(self, input_id) -> float:
+        return self._inputs[input_id]
+
+    def inputs(self):
+        return dict(self._inputs)
+
+    def __repr__(self):
+        return f"WatermarkMerge(merged={self.merged}, inputs={self._inputs})"

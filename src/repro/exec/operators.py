@@ -362,6 +362,12 @@ class HashAggregate(Operator):
     ``agg_specs`` is a list of ``(Aggregate, arg_fn | None)``; a None
     arg_fn means ``count(*)``.  With no group keys, exactly one output
     row is produced even over empty input (scalar-aggregate semantics).
+
+    Like :class:`repro.exec.batch_ops.BatchAggregate` it exposes the
+    mergeable-partial protocol (``accumulate`` / ``merge_partials`` /
+    ``finalize`` / ``set_merged``) so partitioned and sliced execution
+    work on the iterator path too.  Groups are emitted in first-seen
+    order.
     """
 
     def __init__(self, child: Operator, group_exprs: Sequence[Callable],
@@ -369,9 +375,22 @@ class HashAggregate(Operator):
         self.child = child
         self._group_exprs = list(group_exprs)
         self._agg_specs = list(agg_specs)
+        self._merged = None
 
     def rows(self, ctx):
-        groups = {}
+        if self._merged is not None:
+            yield from self._merged
+            return
+        yield from self.finalize(self.accumulate(ctx))
+
+    def set_merged(self, rows) -> None:
+        self._merged = rows
+
+    # -- partial aggregation (mirrors BatchAggregate) -----------------------
+
+    def accumulate(self, ctx) -> dict:
+        """Aggregate the child's rows into a partial-state dict."""
+        groups: dict = {}
         group_exprs = self._group_exprs
         specs = self._agg_specs
         for row in self.child.rows(ctx):
@@ -383,14 +402,34 @@ class HashAggregate(Operator):
             for i, (agg, arg_fn) in enumerate(specs):
                 value = arg_fn(row, ctx) if arg_fn is not None else None
                 states[i] = agg.add(states[i], value)
-        if not groups and not group_exprs:
-            groups[()] = [agg.create() for agg, _ in specs]
-        for key, states in groups.items():
-            results = tuple(
-                agg.result(state)
-                for (agg, _), state in zip(specs, states)
-            )
-            yield key + results
+        return groups
+
+    def merge_partials(self, partials) -> dict:
+        specs = self._agg_specs
+        merged: dict = {}
+        for part in partials:
+            for key, states in part.items():
+                current = merged.get(key)
+                if current is None:
+                    # copy the state lists: partials are reused across
+                    # overlapping windows and must never be mutated
+                    merged[key] = list(states)
+                else:
+                    merged[key] = [
+                        agg.merge(a, b)
+                        for (agg, _), a, b in zip(specs, current, states)
+                    ]
+        return merged
+
+    def finalize(self, groups: dict):
+        specs = self._agg_specs
+        if not groups and not self._group_exprs:
+            groups = {(): [agg.create() for agg, _ in specs]}
+        return [
+            key + tuple(agg.result(state)
+                        for (agg, _), state in zip(specs, states))
+            for key, states in groups.items()
+        ]
 
     def _children(self):
         return [self.child]

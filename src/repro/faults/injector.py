@@ -81,6 +81,18 @@ BACKUP_SNAPSHOT = register_crashpoint(
 SCRUB_VERIFY = register_crashpoint(
     "scrub.verify",
     "the integrity scrubber dies mid-pass over sealed segments")
+PARTITION_ROUTE = register_crashpoint(
+    "partition.route",
+    "the coordinator's ingest router dies before any shard is sent "
+    "(batch refused atomically, retryable)")
+PARTITION_MERGE = register_crashpoint(
+    "partition.merge",
+    "the coordinator merge stage dies before emitting a merged window "
+    "(partials retained, boundary stays pending)")
+PARTITION_WORKER_CRASH = register_crashpoint(
+    "partition.worker_crash",
+    "a partition worker dies while shipping window partials "
+    "(coordinator restarts it with replay)")
 
 
 @dataclass

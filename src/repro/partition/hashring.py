@@ -1,0 +1,64 @@
+"""Consistent hashing of partition keys onto workers.
+
+The ring places ``replicas`` virtual nodes per worker on a 32-bit
+circle; a key routes to the first virtual node at or clockwise from its
+hash.  Keys hash through :func:`zlib.crc32` over their string form —
+deterministic across processes and Python runs, unlike the builtin
+``hash()`` which is salted per process (``PYTHONHASHSEED``) and would
+break restart-with-replay and cross-run parity.
+
+NULL keys never enter the ring: the router sends them down the **spill
+lane**, a designated worker (worker 0 by convention) that absorbs rows
+the key expression cannot place.
+"""
+
+from __future__ import annotations
+
+import bisect
+import zlib
+from typing import List
+
+
+def stable_hash(value) -> int:
+    """Deterministic 32-bit hash of a key value (process-independent).
+
+    Hashes the *string form* so ``5`` and ``np.int64(5)`` place
+    identically; a str/int collision only co-locates two keys on one
+    worker, which is harmless (grouping still uses exact values).
+    """
+    return zlib.crc32(str(value).encode("utf-8", "surrogatepass"))
+
+
+class HashRing:
+    """Consistent hash ring over ``n_workers`` workers."""
+
+    def __init__(self, n_workers: int, replicas: int = 64,
+                 spill_worker: int = 0):
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        if not 0 <= spill_worker < n_workers:
+            raise ValueError("spill worker out of range")
+        self.n_workers = n_workers
+        self.replicas = replicas
+        self.spill_worker = spill_worker
+        points = []
+        for worker in range(n_workers):
+            for replica in range(replicas):
+                points.append((stable_hash(f"w{worker}:{replica}"), worker))
+        points.sort()
+        self._hashes: List[int] = [h for h, _ in points]
+        self._workers: List[int] = [w for _, w in points]
+
+    def worker_for(self, key) -> int:
+        """Worker owning ``key``; NULL keys go to the spill lane."""
+        if key is None:
+            return self.spill_worker
+        point = stable_hash(key)
+        i = bisect.bisect_left(self._hashes, point)
+        if i == len(self._hashes):
+            i = 0
+        return self._workers[i]
+
+    def __repr__(self):
+        return (f"HashRing(workers={self.n_workers}, "
+                f"replicas={self.replicas}, spill={self.spill_worker})")

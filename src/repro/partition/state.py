@@ -1,0 +1,49 @@
+"""Cross-process form of aggregate partial state.
+
+A partial is ``{group_key_tuple: [state, ...]}`` as produced by
+``BatchAggregate.accumulate`` / ``partial_for_rows`` and
+``HashAggregate.accumulate``.  The vectorized kernels materialize
+states through ``.tolist()`` (native Python), but the row-wise
+fallbacks and min/max over object lanes can leave **numpy scalars**
+inside keys or states.  Those pickle fine, yet they would make merged
+coordinator output differ in type from single-engine output (numpy
+scalars compare equal but are not identical on the wire and render
+differently), so every partial is normalized to native Python values
+before transport.  ``normalize_partial`` is idempotent and cheap for
+already-native state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+try:
+    import numpy as _np
+except ImportError:                          # pragma: no cover
+    _np = None
+
+
+def normalize_value(value):
+    """Native-Python twin of ``value`` (numpy scalars via ``.item()``,
+    containers recursively)."""
+    if _np is not None and isinstance(value, _np.generic):
+        return value.item()
+    if isinstance(value, tuple):
+        return tuple(normalize_value(v) for v in value)
+    if isinstance(value, list):
+        return [normalize_value(v) for v in value]
+    return value
+
+
+def normalize_partial(groups: Dict[Tuple, List]) -> Dict[Tuple, List]:
+    """Partial-state dict with every key and state made native."""
+    return {
+        tuple(normalize_value(k) for k in key):
+            [normalize_value(state) for state in states]
+        for key, states in groups.items()
+    }
+
+
+def normalize_rows(rows) -> List[tuple]:
+    """Native-Python twin of a list of output rows."""
+    return [tuple(normalize_value(v) for v in row) for row in rows]

@@ -1,0 +1,82 @@
+"""Worker↔coordinator exchange framing.
+
+Same length-prefixed framing as the replication/server protocol
+(:mod:`repro.server.protocol`): a 4-byte big-endian length followed by
+the body, with the same 32 MiB frame cap.  The body is a pickled dict
+rather than JSON — partial aggregate states carry tuples and numpy
+scalars, and JSON framing was measured (PR 3/X3) to both lose dtypes
+and dominate small-batch cost.  Pickle is safe here because both ends
+of the socket are the same trusted process tree (the coordinator spawns
+the workers; nothing else can connect — the listener is loopback-bound
+and workers authenticate with a nonce handed over argv).
+"""
+
+from __future__ import annotations
+
+import pickle
+import struct
+
+from repro.errors import ProtocolError, WorkerDiedError
+
+MAX_FRAME_BYTES = 32 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+def encode_frame(message: dict) -> bytes:
+    """One framed message: length prefix + pickled body."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"partition frame of {len(body)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte limit")
+    return _LENGTH.pack(len(body)) + body
+
+
+def decode_body(body: bytes) -> dict:
+    message = pickle.loads(body)
+    if not isinstance(message, dict):
+        raise ProtocolError("partition frame body must be a dict")
+    return message
+
+
+def roundtrip(message: dict) -> dict:
+    """Encode + decode one message (the in-process transport uses this
+    so inline workers exercise the same serialization as subprocesses)."""
+    data = encode_frame(message)
+    (length,) = _LENGTH.unpack_from(data)
+    return decode_body(data[_LENGTH.size:_LENGTH.size + length])
+
+
+def send_frame(sock, message: dict) -> None:
+    try:
+        sock.sendall(encode_frame(message))
+    except OSError as exc:
+        raise WorkerDiedError(f"send failed: {exc}") from exc
+
+
+def recv_frame(sock) -> dict:
+    """Read exactly one frame; raises WorkerDiedError on EOF/socket
+    errors (the peer process died)."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack_from(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"incoming partition frame claims {length} bytes "
+            f"(limit {MAX_FRAME_BYTES}); stream is corrupt")
+    return decode_body(_recv_exact(sock, length))
+
+
+def _recv_exact(sock, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        try:
+            chunk = sock.recv(remaining)
+        except OSError as exc:
+            raise WorkerDiedError(f"recv failed: {exc}") from exc
+        if not chunk:
+            raise WorkerDiedError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)

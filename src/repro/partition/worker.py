@@ -1,0 +1,247 @@
+"""One partition worker: the full engine on one shard.
+
+A worker hosts a plain :class:`~repro.core.database.Database` and
+applies coordinator frames in order: DDL, partial-mode CQ creation,
+ingest segments (rows + watermark/clock syncs), flush.  CQs run in
+**partial mode**: the window operator's sink is redirected so a window
+close ships the shard's mergeable partial states (and, under the
+retract policy, late corrections ship recomputed partials) instead of
+finalized rows — the coordinator merges and finalizes.
+
+The module doubles as the subprocess entry point::
+
+    python -m repro.partition.worker <host> <port> <worker_id> <nonce>
+
+which connects back to the coordinator's loopback listener,
+authenticates with the argv nonce, and serves frames until the socket
+closes or a ``stop`` frame arrives.  :class:`WorkerEngine` itself is
+transport-free so the inline (in-process) transport used by tests runs
+the identical code path.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Optional
+
+from repro.core.database import Database
+from repro.errors import FaultInjected, PartitionError
+from repro.faults.injector import FaultInjector
+from repro.partition import wire
+from repro.partition.planner import partition_plan
+from repro.partition.state import normalize_partial
+
+
+class WorkerEngine:
+    """Frame handler for one worker (shared by inline and subprocess
+    transports)."""
+
+    def __init__(self, worker_id: int):
+        self.worker_id = worker_id
+        self.db = Database()
+        self.faults: Optional[FaultInjector] = None
+        self._cqs = {}      # cq name -> (cq, agg)
+        self._out = []      # partial frames queued during apply
+
+    # -- partial-mode CQ ----------------------------------------------------
+
+    def create_cq(self, name: str, sql: str, params=None,
+                  vectorize: bool = True) -> None:
+        """Create the per-partition half of a CQ: parse the same SQL,
+        plan it locally, then redirect the window operator's sink to
+        ship partials instead of running the post-aggregate plan.
+
+        ``vectorize`` mirrors the coordinator's executor choice so both
+        sides aggregate with the same operator class and the partial
+        state representations line up."""
+        from repro.sql.parser import parse_statement
+        from repro.sql import ast
+
+        statement = parse_statement(sql)
+        if not isinstance(statement, ast.Select):
+            raise PartitionError(f"worker CQ {name!r}: not a SELECT")
+        runtime = self.db.runtime
+        saved = runtime.vectorize
+        runtime.vectorize = vectorize
+        try:
+            cq = runtime.create_cq(statement, name=name, params=params)
+        finally:
+            runtime.vectorize = saved
+        split = partition_plan(cq)
+        agg = split.agg
+        op = cq._window_op
+        # a shard with no rows in a window must still report an (empty)
+        # partial, or the coordinator could not tell "empty" from
+        # "still open"; emission gating by the CQ's real emit_empty
+        # happens once, at the merge stage
+        op.emit_empty = True
+        if cq.is_sliced():
+            op.sink = self._make_sliced_ship(name, cq, agg)
+        else:
+            op.sink = self._make_rows_ship(name, cq, agg, "final")
+        if cq.is_event_time():
+            # late corrections recompute the shard's contribution; the
+            # coordinator re-merges and emits the retract/correct pair
+            op.on_correction = self._make_rows_ship(name, cq, agg,
+                                                    "correct")
+        self._cqs[name] = (cq, agg)
+
+    def _make_sliced_ship(self, name, cq, agg):
+        from repro.streaming.cq import _FailedSlice
+
+        def ship(partials, open_time, close_time):
+            for part in partials:
+                if isinstance(part, _FailedSlice):
+                    raise part.error
+            groups = agg.merge_partials(partials)
+            self._ship(name, "final", groups, open_time, close_time,
+                       cq._window_op.last_window_input)
+        return ship
+
+    def _make_rows_ship(self, name, cq, agg, kind):
+        def ship(rows, open_time, close_time):
+            ctx = cq._make_ctx(open_time, close_time)
+            cq._batches[0] = rows
+            try:
+                groups = agg.accumulate(ctx)
+            finally:
+                cq._batches[0] = []
+            self._ship(name, kind, groups, open_time, close_time,
+                       len(rows))
+        return ship
+
+    def _ship(self, name, kind, groups, open_time, close_time, rows):
+        if self.faults is not None and self.faults.armed:
+            self.faults.check("partition.worker_crash",
+                              f"{name}:{close_time}")
+        self._out.append({
+            "type": "partial", "cq": name, "kind": kind,
+            "open": open_time, "close": close_time,
+            "groups": normalize_partial(groups), "rows": rows,
+        })
+
+    # -- frame dispatch -----------------------------------------------------
+
+    def handle(self, msg: dict) -> list:
+        """Apply one coordinator frame; returns response frames, the
+        last of which is an ``ack`` (or a single ``error`` frame).  A
+        ``partition.worker_crash`` fault is *not* folded into an error
+        frame — it propagates, so the transport dies exactly as a real
+        worker crash would."""
+        self._out = []
+        try:
+            ack = self._dispatch(msg)
+        except FaultInjected as exc:
+            if getattr(exc, "crashpoint", "") == "partition.worker_crash":
+                raise
+            return [{"type": "error", "error": type(exc).__name__,
+                     "message": str(exc)}]
+        except Exception as exc:            # noqa: BLE001 — one frame,
+            return [{"type": "error", "error": type(exc).__name__,
+                     "message": str(exc)}]  # typed for the coordinator
+        return self._out + [ack]
+
+    def _dispatch(self, msg: dict) -> dict:
+        op = msg.get("op")
+        if op == "ddl":
+            self.db.execute(msg["sql"])
+            return self._ack()
+        if op == "cq":
+            self.create_cq(msg["name"], msg["sql"], msg.get("params"),
+                           msg.get("vectorize", True))
+            return self._ack()
+        if op == "stopcq":
+            entry = self._cqs.pop(msg["name"], None)
+            if entry is not None:
+                self.db.runtime.stop_cq(entry[0])
+            return self._ack()
+        if op == "ingest":
+            return self._ingest(msg)
+        if op == "flush":
+            self.db.flush_streams()
+            return self._ack()
+        if op == "explain":
+            cq, _agg = self._cqs[msg["name"]]
+            return self._ack(
+                explain=cq.explain(analyze=msg.get("analyze", False)))
+        if op == "arm_fault":
+            if self.faults is None:
+                self.faults = FaultInjector(seed=msg.get("seed", 0))
+            self.faults.arm(msg["crashpoint"],
+                            probability=msg.get("probability", 1.0),
+                            count=msg.get("count"),
+                            after=msg.get("after", 0))
+            return self._ack()
+        if op == "ping":
+            return self._ack()
+        if op == "stop":
+            return self._ack(stopping=True)
+        raise PartitionError(f"unknown worker op {op!r}")
+
+    def _ingest(self, msg: dict) -> dict:
+        stream = self.db.runtime.get_stream(msg["stream"])
+        accepted = dropped = 0
+        for segment in msg["segments"]:
+            kind = segment[0]
+            if kind == "rows":
+                _kind, rows, at = segment
+                counts = stream.insert_many_counted(rows, at=at)
+                accepted += counts["accepted"]
+                dropped += counts["dropped"]
+            elif kind == "wm":
+                stream.advance_to(segment[1])
+            else:
+                raise PartitionError(f"unknown segment kind {kind!r}")
+        return self._ack(watermark=stream.watermark,
+                         counts={"accepted": accepted, "dropped": dropped})
+
+    def _ack(self, **extra) -> dict:
+        ack = {"type": "ack", "worker": self.worker_id}
+        ack.update(extra)
+        return ack
+
+
+def serve(host: str, port: int, worker_id: int, nonce: str) -> int:
+    """Subprocess main loop: connect back, authenticate, serve frames."""
+    import socket
+
+    engine = WorkerEngine(worker_id)
+    sock = socket.create_connection((host, port))
+    try:
+        wire.send_frame(sock, {"type": "hello", "worker": worker_id,
+                               "nonce": nonce})
+        while True:
+            try:
+                msg = wire.recv_frame(sock)
+            except Exception:
+                return 0        # coordinator went away; die quietly
+            try:
+                frames = engine.handle(msg)
+            except FaultInjected:
+                # injected worker crash: die like a SIGKILL would —
+                # no error frame, no socket shutdown courtesy
+                import os
+                os._exit(23)
+            for frame in frames:
+                wire.send_frame(sock, frame)
+            if frames and frames[-1].get("stopping"):
+                return 0
+    finally:
+        sock.close()
+
+
+def main(argv=None) -> int:
+    argv = argv if argv is not None else sys.argv[1:]
+    if len(argv) != 4:
+        print("usage: python -m repro.partition.worker "
+              "<host> <port> <worker_id> <nonce>", file=sys.stderr)
+        return 2
+    host, port, worker_id, nonce = argv
+    try:
+        return serve(host, int(port), int(worker_id), nonce)
+    except KeyboardInterrupt:
+        return 0    # stray terminal signal; the coordinator owns us
+
+
+if __name__ == "__main__":
+    sys.exit(main())

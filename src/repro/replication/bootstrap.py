@@ -237,7 +237,8 @@ def apply_ddl_record(db: Database, record, deferred: List[dict]) -> None:
                 name, _build_schema(payload["columns"]),
                 retention=payload.get("retention"),
                 slack=payload.get("slack") or 0.0,
-                watermark_bound=payload.get("watermark_bound"))
+                watermark_bound=payload.get("watermark_bound"),
+                partition_by=payload.get("partition_by"))
             policy = payload.get("disorder_policy")
             if policy:
                 stream.disorder_policy = policy

@@ -71,6 +71,7 @@ class TruSQLServer:
                  scrub_interval: Optional[float] = None,
                  backup_to: Optional[str] = None,
                  backup_interval: Optional[float] = None,
+                 partitions: Optional[int] = None,
                  clock=None,
                  **db_options):
         from repro.clock import SYSTEM_CLOCK
@@ -90,6 +91,17 @@ class TruSQLServer:
             else:
                 db = Database(**db_options)
         self.db = db
+        # partitioned execution: statements and ingest route through a
+        # PartitionedEngine wrapping this database (worker subprocesses
+        # are volatile — incompatible with standby replication)
+        self.partition_engine = None
+        if partitions:
+            if standby_of is not None:
+                raise ValueError(
+                    "partitions are incompatible with standby mode")
+            from repro.partition import PartitionedEngine
+            self.partition_engine = PartitionedEngine(
+                partitions=partitions, transport="process", db=self.db)
         self.requested_host = host
         self.requested_port = port
         self.standby_of = (_parse_hostport(standby_of)
@@ -195,7 +207,10 @@ class TruSQLServer:
             await self._server.wait_closed()
         if drain and self.sessions:
             try:
-                await self.on_engine(self.db.flush_streams)
+                flush = (self.partition_engine.flush
+                         if self.partition_engine is not None
+                         else self.db.flush_streams)
+                await self.on_engine(flush)
             except Exception:
                 pass  # a poisoned stream must not wedge shutdown
         for session in list(self.sessions.values()):
@@ -217,10 +232,44 @@ class TruSQLServer:
         if self._handlers:
             await asyncio.gather(*self._handlers, return_exceptions=True)
         self.executor.shutdown()
+        if self.partition_engine is not None:
+            self.partition_engine.close()
 
     # ------------------------------------------------------------------
     # engine bridge
     # ------------------------------------------------------------------
+
+    def execute_entry(self, sql, params=None):
+        """Statement entry point for sessions — partition-aware when
+        the server was started with ``--partitions``."""
+        if self.partition_engine is not None:
+            return self.partition_engine.execute(sql, params)
+        return self.db.execute(sql, params)
+
+    def ingest_entry(self, name, rows, at=None, sender=None, seq=None,
+                     watermark=None):
+        """Ingest entry point for sessions; same counted-ack shape as
+        :meth:`Database.ingest_batch` in both modes."""
+        if self.partition_engine is not None:
+            return self.partition_engine.ingest(
+                name, rows, at=at, watermark=watermark,
+                sender=sender, seq=seq)
+        return self.db.ingest_batch(name, rows, at, sender, seq,
+                                    watermark=watermark)
+
+    def advance_entry(self, event_time):
+        """Clock-advance entry point — fans out to worker shards so
+        their windows close in step with the coordinator."""
+        if self.partition_engine is not None:
+            return self.partition_engine.advance(event_time)
+        return self.db.advance_streams(event_time)
+
+    def flush_entry(self):
+        """Flush entry point — drains worker shards before the local
+        engine so no partial is stranded in a subprocess."""
+        if self.partition_engine is not None:
+            return self.partition_engine.flush()
+        return self.db.flush_streams()
 
     async def on_engine(self, fn, *args, **kwargs):
         """Run ``fn`` on the single-writer engine thread and await it.
@@ -762,7 +811,18 @@ def main(argv=None) -> int:
     parser.add_argument("--until-lsn", type=int, default=None,
                         help="with --restore-from: point-in-time limit "
                              "(discard records past this LSN)")
+    parser.add_argument("--partitions", type=int, default=None,
+                        help="hash-partition PARTITION BY streams "
+                             "across N worker subprocesses")
     args = parser.parse_args(argv)
+
+    if args.partitions:
+        if args.standby_of is not None:
+            parser.error("--partitions is incompatible with --standby-of "
+                         "(worker shards are not replicated)")
+        if args.data_dir is not None:
+            parser.error("--partitions is incompatible with --data-dir "
+                         "(WAL replay would bypass the partition router)")
 
     if args.restore_from is not None:
         if args.data_dir is None:
@@ -791,6 +851,7 @@ def main(argv=None) -> int:
             wal_segment_bytes=args.wal_segment_bytes,
             wal_archive_dir=args.archive_dir,
             supervised=args.supervised,
+            partitions=args.partitions,
             stream_retention=args.retention)
         if args.init and server.role == "primary":
             with open(args.init, "r", encoding="utf-8") as handle:

@@ -318,7 +318,7 @@ class Session:
 
     def _execute_on_engine(self, sql, params, sub_id):
         """Engine thread: run the statement; adopt a CQ if one results."""
-        result = self.server.db.execute(sql, params)
+        result = self.server.execute_entry(sql, params)
         if isinstance(result, Subscription):
             entry = SubscriptionEntry(
                 sub_id, result.cq.name, "query", result.columns)
@@ -513,7 +513,7 @@ class Session:
                 frame.get("id"), accepted=0, shed=len(rows), dropped=0,
                 duplicate=0)
         counts = await self.server.on_engine_fair(
-            self, self.server.db.ingest_batch, stream_name,
+            self, self.server.ingest_entry, stream_name,
             [tuple(row) for row in rows], at, sender, seq,
             watermark=watermark)
         self.rows_ingested += counts["accepted"]
@@ -536,11 +536,11 @@ class Session:
         if not isinstance(event_time, (int, float)):
             raise StreamingError("advance needs a numeric 'time'")
         await self.server.on_engine_fair(
-            self, self.server.db.advance_streams, float(event_time))
+            self, self.server.advance_entry, float(event_time))
         return protocol.ok_response(frame.get("id"))
 
     async def handle_flush(self, frame: dict) -> dict:
-        await self.server.on_engine_fair(self, self.server.db.flush_streams)
+        await self.server.on_engine_fair(self, self.server.flush_entry)
         return protocol.ok_response(frame.get("id"))
 
     # ------------------------------------------------------------------

@@ -350,15 +350,18 @@ class Analyze(Statement):
 
 @dataclass
 class CreateStream(Statement):
-    """``CREATE STREAM name (cols) [WATERMARK '<dur>']`` — a raw (base)
-    stream; a watermark bound declares it event-time: rows may arrive
-    out of order and windows assign/close by the CQTIME column's event
-    time under a bounded-out-of-orderness watermark."""
+    """``CREATE STREAM name (cols) [WATERMARK '<dur>'] [PARTITION BY col]``
+    — a raw (base) stream; a watermark bound declares it event-time:
+    rows may arrive out of order and windows assign/close by the CQTIME
+    column's event time under a bounded-out-of-orderness watermark.  A
+    partition key declares how a partitioned engine shards the stream's
+    rows across workers (ignored by the single-process engine)."""
 
     columns: List[ColumnDef]
     name: str
     if_not_exists: bool = False
     watermark_bound: Optional[float] = None  # seconds
+    partition_by: Optional[str] = None       # column name
 
 
 @dataclass

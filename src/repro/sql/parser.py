@@ -497,8 +497,13 @@ class Parser:
             watermark_bound = None
             if self._accept_word("WATERMARK"):
                 watermark_bound = self._duration("WATERMARK")
+            partition_by = None
+            if self._accept_word("PARTITION"):
+                self._expect_word("BY")
+                partition_by = self._expect_ident()
             return ast.CreateStream(columns, name, if_not_exists,
-                                    watermark_bound=watermark_bound)
+                                    watermark_bound=watermark_bound,
+                                    partition_by=partition_by)
         if self._accept_word("VIEW"):
             name = self._expect_ident()
             self._expect_word("AS")

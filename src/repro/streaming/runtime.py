@@ -67,7 +67,8 @@ class StreamingRuntime:
     def create_base_stream(self, name: str, schema: Schema,
                            retention: Optional[float] = None,
                            slack: Optional[float] = None,
-                           watermark_bound: Optional[float] = None
+                           watermark_bound: Optional[float] = None,
+                           partition_by: Optional[str] = None
                            ) -> BaseStream:
         stream = BaseStream(
             name, schema,
@@ -81,6 +82,7 @@ class StreamingRuntime:
             backpressure_policy=self.backpressure_policy,
             high_water_mark=self.high_water_mark,
             watermark_bound=watermark_bound,
+            partition_by=partition_by,
         )
         stream.faults = self.faults
         stream.replication_log = self.stream_logger

@@ -62,7 +62,8 @@ class BaseStream:
                  slack: float = 0.0,
                  backpressure_policy: Optional[str] = None,
                  high_water_mark: Optional[int] = None,
-                 watermark_bound: Optional[float] = None):
+                 watermark_bound: Optional[float] = None,
+                 partition_by: Optional[str] = None):
         self.name = name
         self.schema = schema
         cqtime = schema.cqtime_index()
@@ -89,6 +90,13 @@ class BaseStream:
                     f"stream {name!r}: a SYSTEM-time stream cannot carry "
                     "a watermark (arrival time is never out of order)")
         self.watermark_bound = watermark_bound
+        if partition_by is not None and not schema.has_column(partition_by):
+            raise StreamingError(
+                f"stream {name!r}: PARTITION BY column "
+                f"{partition_by!r} is not in the schema")
+        #: declared partition key column (None = unpartitioned); the
+        #: single-process engine records it but does not act on it
+        self.partition_by = partition_by
         #: event-time mode: None for arrival-order streams
         self.tracker = (WatermarkTracker(watermark_bound)
                         if watermark_bound is not None else None)

@@ -1,0 +1,541 @@
+"""Partition subsystem building blocks.
+
+Covers the consistent-hash ring (determinism, spread, spill lane), the
+pickle wire framing (dtype-preserving serialization of partial state —
+the satellite fix: JSON framing lost numpy dtypes), partial-state
+normalization, the iterator-path HashAggregate's mergeable-partial
+protocol, partition-plan validation, PARTITION BY DDL, and the
+``repro_partitions`` system view + ``\\partitions`` shell command.
+"""
+
+import io
+import pickle
+
+import pytest
+
+from repro import Database
+from repro.cli import Shell
+from repro.errors import (
+    ParseError,
+    PartitionError,
+    ProtocolError,
+    StreamingError,
+)
+from repro.partition import HashRing, PartitionedEngine, partition_plan
+from repro.partition import wire
+from repro.partition.hashring import stable_hash
+from repro.partition.state import normalize_partial, normalize_value
+
+
+# -- hash ring ----------------------------------------------------------------
+
+
+class TestHashRing:
+    def test_deterministic_across_instances(self):
+        a = HashRing(4)
+        b = HashRing(4)
+        keys = [f"ip-{i}" for i in range(500)] + list(range(500))
+        assert [a.worker_for(k) for k in keys] \
+            == [b.worker_for(k) for k in keys]
+
+    def test_stable_hash_ignores_numeric_wrapper(self):
+        np = pytest.importorskip("numpy")
+        # np.int64(5) and 5 must land on the same worker, or replayed
+        # batches (native) would route differently from live (numpy)
+        assert stable_hash(np.int64(5)) == stable_hash(5)
+
+    def test_every_worker_gets_a_share(self):
+        ring = HashRing(4)
+        counts = [0] * 4
+        for i in range(4000):
+            counts[ring.worker_for(f"key-{i}")] += 1
+        assert all(c > 0 for c in counts)
+        # consistent hashing with 64 vnodes: no worker should see more
+        # than half the keyspace
+        assert max(counts) < 2000
+
+    def test_null_key_takes_the_spill_lane(self):
+        ring = HashRing(4, spill_worker=2)
+        assert ring.worker_for(None) == 2
+        assert HashRing(4).worker_for(None) == 0
+
+    def test_scaling_moves_a_minority_of_keys(self):
+        # the consistent-hash property: going 4 -> 5 workers remaps
+        # roughly 1/5 of keys, not all of them
+        a, b = HashRing(4), HashRing(5)
+        keys = [f"key-{i}" for i in range(2000)]
+        moved = sum(a.worker_for(k) != b.worker_for(k) for k in keys)
+        assert moved < len(keys) // 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HashRing(0)
+        with pytest.raises(ValueError):
+            HashRing(2, spill_worker=5)
+
+
+# -- wire framing -------------------------------------------------------------
+
+
+class TestWire:
+    def test_roundtrip_preserves_tuples_and_none(self):
+        msg = {"op": "ingest", "segments": [("rows", [(1.0, None, "x")],
+                                            None), ("wm", 5.0)]}
+        back = wire.roundtrip(msg)
+        assert back == msg
+        assert isinstance(back["segments"][0][1][0], tuple)
+
+    def test_roundtrip_preserves_numpy_dtypes(self):
+        np = pytest.importorskip("numpy")
+        partial = {("k",): [np.int64(3), np.float64(2.5)]}
+        back = wire.roundtrip({"groups": partial})["groups"]
+        assert back[("k",)][0] == 3 and back[("k",)][1] == 2.5
+        # pickle keeps the dtype (JSON would have collapsed it)
+        assert type(back[("k",)][0]) is np.int64
+
+    def test_oversize_frame_refused(self):
+        with pytest.raises(ProtocolError):
+            wire.encode_frame({"blob": b"x" * (wire.MAX_FRAME_BYTES + 1)})
+
+    def test_non_dict_body_refused(self):
+        body = pickle.dumps([1, 2, 3])
+        with pytest.raises(ProtocolError):
+            wire.decode_body(body)
+
+    def test_frame_layout_is_length_prefixed(self):
+        data = wire.encode_frame({"a": 1})
+        length = int.from_bytes(data[:4], "big")
+        assert len(data) == 4 + length
+
+
+# -- partial-state normalization ---------------------------------------------
+
+
+class TestStateNormalization:
+    def test_numpy_scalars_become_native(self):
+        np = pytest.importorskip("numpy")
+        partial = {(np.int64(1), "k"): [np.float64(2.5), np.int64(7),
+                                        (np.int64(1), np.int64(2))]}
+        out = normalize_partial(partial)
+        ((key, states),) = out.items()
+        assert key == (1, "k")
+        assert all(type(k) in (int, str) for k in key)
+        assert type(states[0]) is float and type(states[1]) is int
+        assert all(type(v) is int for v in states[2])
+
+    def test_pickle_roundtrip_after_normalize_is_pure_python(self):
+        np = pytest.importorskip("numpy")
+        partial = normalize_partial({(np.str_("a"),): [np.int64(3)]})
+        back = pickle.loads(pickle.dumps(partial))
+        ((key, states),) = back.items()
+        assert type(key[0]) is str and type(states[0]) is int
+
+    def test_idempotent_and_cheap_on_native(self):
+        partial = {("a", 1): [2, 3.5, None, [1, 2]]}
+        assert normalize_partial(partial) == partial
+        assert normalize_value("x") == "x"
+
+
+# -- HashAggregate mergeable partials ----------------------------------------
+
+
+class TestHashAggregatePartials:
+    def _agg_cq(self, db):
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE)")
+        sub = db.execute(
+            "SELECT k, count(*) AS n, sum(v) AS total, avg(v) AS mean "
+            "FROM s <visible 10 advance 10> GROUP BY k")
+        cq = sub.cq
+        assert not cq.vectorized        # iterator path
+        return sub, cq, partition_plan(cq).agg
+
+    def test_split_accumulate_merge_matches_single_run(self):
+        db = Database()
+        db.runtime.vectorize = False
+        sub, cq, agg = self._agg_cq(db)
+        rows = [(float(t), f"k{t % 3}", float(t)) for t in range(9)]
+        halves = []
+        for shard in (rows[:4], rows[4:]):
+            cq._batches[0] = list(shard)
+            try:
+                halves.append(agg.accumulate({}))
+            finally:
+                cq._batches[0] = []
+        merged = agg.finalize(agg.merge_partials(halves))
+
+        cq._batches[0] = list(rows)
+        try:
+            whole = agg.finalize(agg.accumulate({}))
+        finally:
+            cq._batches[0] = []
+        assert sorted(merged) == sorted(whole)
+
+    def test_merge_does_not_mutate_inputs(self):
+        db = Database()
+        db.runtime.vectorize = False
+        sub, cq, agg = self._agg_cq(db)
+        cq._batches[0] = [(1.0, "a", 2.0)]
+        try:
+            part = agg.accumulate({})
+        finally:
+            cq._batches[0] = []
+        snapshot = pickle.dumps(part)
+        agg.merge_partials([part, part])
+        agg.merge_partials([part, {}])
+        assert pickle.dumps(part) == snapshot
+
+    def test_empty_scalar_partial_finalizes_to_zero_row(self):
+        db = Database()
+        db.runtime.vectorize = False
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, v DOUBLE)")
+        sub = db.execute(
+            "SELECT count(*) AS n FROM s <visible 10 advance 10>")
+        agg = partition_plan(sub.cq).agg
+        assert agg.finalize(agg.merge_partials([{}, {}])) == [(0,)]
+
+    def test_set_merged_pins_rows(self):
+        db = Database()
+        db.runtime.vectorize = False
+        sub, cq, agg = self._agg_cq(db)
+        pinned = [("a", 1, 2.0, 2.0)]
+        agg.set_merged(pinned)
+        try:
+            assert list(agg.rows({})) == pinned
+        finally:
+            agg.set_merged(None)
+
+    def test_partials_survive_wire_roundtrip(self):
+        db = Database()
+        db.runtime.vectorize = False
+        sub, cq, agg = self._agg_cq(db)
+        cq._batches[0] = [(1.0, "a", 2.0), (2.0, "b", 3.0)]
+        try:
+            part = agg.accumulate({})
+        finally:
+            cq._batches[0] = []
+        shipped = wire.roundtrip({"groups": normalize_partial(part)})
+        merged = agg.finalize(agg.merge_partials([shipped["groups"]]))
+        cq._batches[0] = [(1.0, "a", 2.0), (2.0, "b", 3.0)]
+        try:
+            direct = agg.finalize(agg.accumulate({}))
+        finally:
+            cq._batches[0] = []
+        assert sorted(merged) == sorted(direct)
+
+
+# -- plan validation ----------------------------------------------------------
+
+
+class TestPartitionPlanValidation:
+    def _db(self):
+        db = Database()
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE)")
+        return db
+
+    def test_happy_path_finds_the_aggregate(self):
+        db = self._db()
+        sub = db.execute("SELECT k, count(*) AS n FROM s "
+                         "<visible 10 advance 5> GROUP BY k")
+        split = partition_plan(sub.cq)
+        assert split.stream_name == "s"
+        assert hasattr(split.agg, "merge_partials")
+
+    def test_unbounded_window_rejected(self):
+        db = self._db()
+        sub = db.execute("SELECT count(*) AS n FROM s "
+                         "<visible unbounded advance 5>")
+        with pytest.raises(PartitionError, match="UNBOUNDED"):
+            partition_plan(sub.cq)
+
+    def test_windowless_select_rejected(self):
+        db = self._db()
+        db.execute("CREATE TABLE plain (a INTEGER)")
+        result = db.execute("SELECT a FROM plain")
+        with pytest.raises(PartitionError):
+            partition_plan(result)
+
+    def test_no_aggregate_rejected(self):
+        db = self._db()
+        sub = db.execute("SELECT k, v FROM s <visible 10 advance 10>")
+        with pytest.raises(PartitionError, match="aggregation"):
+            partition_plan(sub.cq)
+
+    def test_join_rejected(self):
+        db = self._db()
+        db.execute("CREATE STREAM s2 (t DOUBLE CQTIME, k TEXT)")
+        sub = db.execute(
+            "SELECT count(*) AS n FROM s <visible 10 advance 10> "
+            "JOIN s2 <visible 10 advance 10> ON s.k = s2.k")
+        with pytest.raises(PartitionError, match="join"):
+            partition_plan(sub.cq)
+
+    def test_emit_on_change_rejected(self):
+        db = Database()
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+                   "WATERMARK '2 seconds'")
+        sub = db.execute("SELECT count(*) AS n FROM s "
+                         "<visible 10 advance 10> EMIT ON CHANGE")
+        with pytest.raises(PartitionError, match="EMIT"):
+            partition_plan(sub.cq)
+
+
+# -- DDL + engine surface -----------------------------------------------------
+
+
+class TestPartitionByDDL:
+    def test_parse_and_register(self):
+        db = Database()
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                   "PARTITION BY k")
+        assert db.get_stream("s").partition_by == "k"
+
+    def test_unknown_key_column_rejected(self):
+        db = Database()
+        with pytest.raises(StreamingError, match="PARTITION BY"):
+            db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                       "PARTITION BY missing")
+
+    def test_partition_by_survives_dump_and_restore(self, tmp_path):
+        from repro.core.dump import dump_database, restore_database
+        db = Database()
+        db.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                   "PARTITION BY k")
+        path = str(tmp_path / "dump.json")
+        dump_database(db, path)
+        restored = Database()
+        restore_database(restored, path)
+        assert restored.get_stream("s").partition_by == "k"
+
+    def test_parse_error_without_column(self):
+        db = Database()
+        with pytest.raises(ParseError):
+            db.execute("CREATE STREAM s (t DOUBLE CQTIME) PARTITION BY")
+
+
+class TestEngineSurface:
+    def test_unpartitioned_streams_pass_through(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM plain (t DOUBLE CQTIME, v DOUBLE)")
+        sub = eng.execute("SELECT count(*) AS n FROM plain "
+                          "<visible 10 advance 10>")
+        eng.ingest("plain", [(1.0, 2.0), (12.0, 3.0)])
+        eng.flush()
+        results = sub.poll()
+        assert [sorted(w.rows) for w in results] == [[(1,)], [(1,)]]
+        eng.close()
+
+    def test_non_partitionable_cq_on_partitioned_stream_rejected(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                    "PARTITION BY k")
+        with pytest.raises(PartitionError):
+            eng.execute("SELECT k FROM s <visible 10 advance 10>")
+        # the rejected CQ must not linger half-attached
+        assert not eng.db.runtime.cqs()
+        eng.close()
+
+    def test_derived_stream_over_partitioned_rejected(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                    "PARTITION BY k")
+        with pytest.raises(PartitionError, match="derived"):
+            eng.execute("CREATE STREAM d AS SELECT k, count(*) AS n "
+                        "FROM s <visible 10 advance 10> GROUP BY k")
+        eng.close()
+
+    def test_null_keys_spill_and_are_counted(self):
+        eng = PartitionedEngine(partitions=3)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+                    "PARTITION BY k")
+        sub = eng.execute("SELECT count(*) AS n FROM s "
+                          "<visible 10 advance 10>")
+        eng.ingest("s", [(1.0, None, 1.0), (2.0, "a", 2.0),
+                         (3.0, None, 3.0)])
+        eng.flush()
+        assert [w.rows for w in sub.poll()] == [[(3,)]]
+        rows = eng.status_rows()
+        assert sum(r[7] for r in rows) == 2          # spill_rows
+        assert rows[0][7] == 2                       # on the spill worker
+        eng.close()
+
+    def test_explain_carries_per_partition_sections(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+                    "PARTITION BY k")
+        eng.execute("SELECT k, count(*) AS n FROM s "
+                    "<visible 10 advance 10> GROUP BY k")
+        eng.ingest("s", [(float(t), f"k{t}", 1.0) for t in range(25)])
+        text = eng.explain("cq_1", analyze=True)
+        assert "-- partition worker 0 --" in text
+        assert "-- partition worker 1 --" in text
+        eng.close()
+
+
+# -- repro_partitions view + shell command ------------------------------------
+
+
+class TestPartitionsView:
+    def test_view_empty_without_coordinator(self):
+        db = Database()
+        assert db.query("SELECT * FROM repro_partitions").rows == []
+
+    def test_view_reports_workers(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+                    "PARTITION BY k")
+        eng.execute("SELECT k, count(*) AS n FROM s "
+                    "<visible 10 advance 10> GROUP BY k")
+        eng.ingest("s", [(float(t), f"k{t}", 1.0) for t in range(20)])
+        rows = eng.query(
+            "SELECT worker, state, transport, streams, rows_routed, "
+            "restarts FROM repro_partitions ORDER BY worker").rows
+        assert [r[0] for r in rows] == [0, 1]
+        assert all(r[1] == "up" and r[2] == "inline" for r in rows)
+        assert sum(r[4] for r in rows) == 20
+        assert all(r[3] == 1 and r[5] == 0 for r in rows)
+        eng.close()
+
+    def test_view_watermark_and_lag(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                    "PARTITION BY k")
+        eng.execute("SELECT k, count(*) AS n FROM s "
+                    "<visible 10 advance 10> GROUP BY k")
+        eng.ingest("s", [(float(t), f"k{t}", ) for t in range(5)])
+        rows = eng.query("SELECT watermark, lag_seconds "
+                         "FROM repro_partitions").rows
+        # the trailing sync brings every worker to the global clock
+        assert all(r[0] == 4.0 and r[1] == 0.0 for r in rows)
+        eng.close()
+
+    def test_shell_partitions_command(self):
+        out = io.StringIO()
+        shell = Shell(out=out)
+        shell.run(iter(["\\partitions"]))
+        assert "not a partition coordinator" in out.getvalue()
+
+        eng = PartitionedEngine(partitions=2)
+        out = io.StringIO()
+        shell = Shell(db=eng.db, out=out)
+        shell.run(iter(["\\partitions"]))
+        text = out.getvalue()
+        assert "worker" in text and "inline" in text
+        eng.close()
+
+    def test_restart_counters_surface_in_view(self):
+        eng = PartitionedEngine(partitions=2)
+        eng.execute("CREATE STREAM s (t DOUBLE CQTIME, k TEXT) "
+                    "PARTITION BY k")
+        eng.execute("SELECT k, count(*) AS n FROM s "
+                    "<visible 10 advance 10> GROUP BY k")
+        eng.ingest("s", [(1.0, "a"), (2.0, "b"), (3.0, "c"), (4.0, "d")])
+        eng.kill_worker(1)
+        eng.ingest("s", [(5.0, "a"), (6.0, "b")])
+        rows = eng.query("SELECT worker, restarts, replayed_batches "
+                         "FROM repro_partitions ORDER BY worker").rows
+        assert rows[0][1] == 0
+        assert rows[1][1] == 1 and rows[1][2] >= 1
+        eng.close()
+
+
+# -- server integration -------------------------------------------------------
+
+
+class TestServerPartitions:
+    """``repro-server --partitions N``: the wire protocol's execute,
+    ingest, advance and flush ops all route through the partition
+    coordinator, and the merged CQ output over TCP matches a single
+    unpartitioned engine bit for bit."""
+
+    DDL = ("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+           "PARTITION BY k")
+    CQ = ("SELECT k, count(*) AS n, sum(v) AS total FROM s "
+          "<visible 10 advance 5> GROUP BY k ORDER BY k")
+    ROWS = [(float(t), k, float(t * 2)) for t, k in
+            zip(range(1, 13), ["a", "b", "c", "d"] * 3)]
+
+    def _reference(self):
+        db = Database()
+        db.execute(self.DDL.replace(" PARTITION BY k", ""))
+        sub = db.subscribe(self.CQ)
+        db.ingest_batch("s", self.ROWS)
+        db.advance_streams(30.0)
+        out = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+               for w in sub.poll()]
+        db.close()
+        return out
+
+    def test_partitioned_server_end_to_end(self):
+        from repro import client
+        from repro.server import ServerThread
+
+        expected = self._reference()
+        assert expected, "reference run produced no windows"
+        with ServerThread(partitions=2) as st:
+            conn = client.connect(st.host, st.port)
+            feeder = client.connect(st.host, st.port)
+            try:
+                conn.execute(self.DDL)
+                sub = conn.execute(self.CQ)
+                accepted = feeder.ingest("s", self.ROWS)
+                assert accepted == len(self.ROWS)
+                feeder.advance(30.0)
+                windows = sub.wait_windows(len(expected), timeout=10.0)
+                got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                       for w in windows]
+                assert got == expected
+                # the coordinator's worker fleet is visible over the wire
+                rows = conn.query(
+                    "SELECT worker, state, transport "
+                    "FROM repro_partitions ORDER BY worker").rows
+                assert [(r[0], r[1], r[2]) for r in rows] == \
+                    [(0, "up", "process"), (1, "up", "process")]
+            finally:
+                feeder.close()
+                conn.close()
+
+    def test_partitioned_server_flush_op(self):
+        from repro import client
+        from repro.server import ServerThread
+
+        with ServerThread(partitions=2) as st:
+            with client.connect(st.host, st.port) as conn:
+                conn.execute(self.DDL)
+                sub = conn.execute(self.CQ)
+                conn.ingest("s", self.ROWS[:4])
+                # flush must drain the worker shards, not just the
+                # coordinator's local (empty) stream buffers
+                conn.flush()
+                windows = sub.wait_windows(1, timeout=10.0)
+                total = sum(row[1] for w in windows for row in w.rows)
+                assert total >= 4
+
+    def test_partitions_refused_with_standby(self):
+        from repro.server import TruSQLServer
+
+        with pytest.raises(ValueError, match="standby"):
+            TruSQLServer(partitions=2, standby_of="127.0.0.1:1")
+
+    def test_sql_insert_routes_to_workers(self):
+        """INSERT INTO a partitioned stream must route like ingest():
+        the local twin is silent, so rows delivered to it would vanish
+        from every partitionized CQ."""
+        eng = PartitionedEngine(partitions=2)
+        try:
+            eng.execute(self.DDL)
+            sub = eng.execute(self.CQ)
+            result = eng.execute(
+                "INSERT INTO s VALUES "
+                "(1.0, 'a', 2.0), (2.0, 'b', 4.0), (3.0, NULL, 8.0)")
+            assert result.rowcount == 3
+            eng.flush()
+            windows = sub.poll()
+            # overlapping windows (visible 10, advance 5): each of the
+            # 3 rows is visible in two closed windows
+            total = sum(row[1] for w in windows for row in w.rows)
+            assert total == 6
+            routed = eng.query(
+                "SELECT sum(rows_routed) FROM repro_partitions").rows
+            assert routed[0][0] == 3
+        finally:
+            eng.close()

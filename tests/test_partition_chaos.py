@@ -1,0 +1,214 @@
+"""Chaos scenarios for the three partition crashpoints.
+
+Promises under test (see docs/PARTITION.md):
+
+* ``partition.route`` — the router dies *before any shard send*: the
+  whole batch is refused atomically (no counters moved, no worker saw
+  a row), and a client retry of the identical batch converges on the
+  unfaulted output.
+* ``partition.merge`` — the merge stage dies *before emitting*: the
+  shard partials stay stored and the boundary stays pending; the next
+  drive retries and the window comes out exactly once.
+* ``partition.worker_crash`` — a worker dies mid-window while shipping
+  a partial: the coordinator respawns it, replays the acked frame log,
+  fast-forwards the watermark, and retries the in-flight frame — the
+  merged output is gap-free and identical to a never-crashed run.
+
+The deterministic schedule (seed 2009, ``make chaos``) keeps every
+failure reproducible; nothing here sleeps or races.
+"""
+
+import pytest
+
+from repro.errors import FaultInjected
+from repro.partition import PartitionedEngine
+
+DDL = ("CREATE STREAM s (t DOUBLE CQTIME, k TEXT, v DOUBLE) "
+       "PARTITION BY k")
+CQ = ("SELECT k, count(*) AS n, sum(v) AS total FROM s "
+      "<visible 10 advance 5> GROUP BY k ORDER BY k")
+EVENT_DDL = ("CREATE STREAM s (k TEXT, v DOUBLE, ts TIMESTAMP "
+             "CQTIME USER) WATERMARK '4 seconds' PARTITION BY k")
+RETRACT_CQ = ("SELECT k, count(*) AS n FROM s <visible 10 advance 5> "
+              "GROUP BY k EMIT ON WATERMARK ALLOW LATENESS '6 seconds' "
+              "RETRACT ORDER BY k")
+
+BATCHES = [
+    [(1.0, "alpha", 1.0), (2.0, "beta", 2.0), (3.0, "gamma", 3.0)],
+    [(6.0, "alpha", 1.0), (8.0, "delta", 2.0)],
+    [(11.0, "beta", 1.0), (13.0, "alpha", 4.0)],
+    [(17.0, "gamma", 2.0), (19.0, "delta", 1.0)],
+]
+
+
+def run_reference(ddl=DDL, cq=CQ, batches=BATCHES):
+    eng = PartitionedEngine(partitions=3)
+    try:
+        eng.execute(ddl)
+        sub = eng.execute(cq)
+        for rows in batches:
+            eng.ingest("s", rows)
+        eng.flush()
+        return [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                for w in sub.poll()]
+    finally:
+        eng.close()
+
+
+class TestRouteCrashpoint:
+    def test_refusal_is_atomic_and_retry_converges(self):
+        want = run_reference()
+        eng = PartitionedEngine(partitions=3)
+        try:
+            eng.execute(DDL)
+            sub = eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            before = eng.status_rows()
+            eng.arm_fault("partition.route", seed=2009)
+            with pytest.raises(FaultInjected):
+                eng.ingest("s", BATCHES[1])
+            # atomic refusal: no row left the router, no counter moved,
+            # every worker is still healthy
+            after = eng.status_rows()
+            assert [r[5] for r in after] == [r[5] for r in before]
+            assert [r[7] for r in after] == [r[7] for r in before]
+            assert all(r[2] == "up" for r in after)
+            # the fault is spent; retrying the identical batch converges
+            eng.ingest("s", BATCHES[1])
+            for rows in BATCHES[2:]:
+                eng.ingest("s", rows)
+            eng.flush()
+            got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                   for w in sub.poll()]
+            assert got == want
+        finally:
+            eng.close()
+
+    def test_watermark_does_not_advance_past_refused_batch(self):
+        eng = PartitionedEngine(partitions=2)
+        try:
+            eng.execute(DDL)
+            eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            eng.arm_fault("partition.route", seed=2009)
+            with pytest.raises(FaultInjected):
+                eng.ingest("s", BATCHES[1])
+            # a refused batch must not have moved the shared clock: the
+            # retry's rows would otherwise be spuriously out of order
+            assert all(r[8] == 3.0 for r in eng.status_rows())
+            counts = eng.ingest("s", BATCHES[1])
+            assert counts["accepted"] == len(BATCHES[1])
+        finally:
+            eng.close()
+
+
+class TestMergeCrashpoint:
+    def test_boundary_stays_pending_then_emits_exactly_once(self):
+        want = run_reference()
+        eng = PartitionedEngine(partitions=3)
+        try:
+            eng.execute(DDL)
+            sub = eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            eng.arm_fault("partition.merge", seed=2009)
+            # batch 2 closes the first boundary (t=5); the merge stage
+            # dies before emitting it
+            with pytest.raises(FaultInjected):
+                eng.ingest("s", BATCHES[1])
+            assert sub.poll() == []          # nothing partial escaped
+            # the workers DID receive the batch (the crash is after the
+            # sends) — replaying rows is the client's job only for
+            # route refusals, not merge deaths; driving on is enough
+            for rows in BATCHES[2:]:
+                eng.ingest("s", rows)
+            eng.flush()
+            got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                   for w in sub.poll()]
+            assert got == want               # pending window came out once
+        finally:
+            eng.close()
+
+    def test_flush_alone_recovers_a_pending_merge(self):
+        want = run_reference(batches=BATCHES[:2])
+        eng = PartitionedEngine(partitions=2)
+        try:
+            eng.execute(DDL)
+            sub = eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            eng.arm_fault("partition.merge", seed=2009)
+            with pytest.raises(FaultInjected):
+                eng.ingest("s", BATCHES[1])
+            eng.flush()
+            got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                   for w in sub.poll()]
+            assert got == want
+        finally:
+            eng.close()
+
+
+class TestWorkerCrashCrashpoint:
+    def test_crash_mid_window_restart_with_replay_is_gap_free(self):
+        want = run_reference()
+        eng = PartitionedEngine(partitions=3)
+        try:
+            eng.execute(DDL)
+            sub = eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            # the worker dies while *shipping a partial* — mid-window,
+            # after mutating its local engine state; only a respawn
+            # from the frame log can recover it
+            eng.arm_fault("partition.worker_crash", worker=1, seed=2009)
+            for rows in BATCHES[1:]:
+                eng.ingest("s", rows)
+            eng.flush()
+            got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                   for w in sub.poll()]
+            assert got == want
+            rows = eng.status_rows()
+            assert rows[1][10] == 1          # restarts
+            assert rows[1][11] >= 1          # replayed_batches
+            assert all(r[2] == "up" for r in rows)
+        finally:
+            eng.close()
+
+    def test_crash_during_retraction_still_converges(self):
+        batches = [
+            [("alpha", 1.0, 1.0), ("beta", 1.0, 3.0)],
+            [("alpha", 1.0, 14.0)],
+            [("beta", 2.0, 6.0)],            # late: reopens [0,10)
+            [("alpha", 1.0, 26.0)],
+        ]
+        want = run_reference(ddl=EVENT_DDL, cq=RETRACT_CQ,
+                             batches=batches)
+        assert {"retract", "correct"} <= {k for k, _o, _c, _r in want}
+        eng = PartitionedEngine(partitions=3)
+        try:
+            eng.execute(EVENT_DDL)
+            sub = eng.execute(RETRACT_CQ)
+            eng.ingest("s", batches[0])
+            eng.arm_fault("partition.worker_crash", worker=0, seed=2009)
+            eng.arm_fault("partition.worker_crash", worker=1, seed=2009)
+            eng.arm_fault("partition.worker_crash", worker=2, seed=2009)
+            for rows in batches[1:]:
+                eng.ingest("s", rows)
+            eng.flush()
+            got = [(w.kind, w.open_time, w.close_time, tuple(w.rows))
+                   for w in sub.poll()]
+            assert got == want
+            assert sum(r[10] for r in eng.status_rows()) >= 1
+        finally:
+            eng.close()
+
+    def test_ping_restarts_a_killed_worker(self):
+        eng = PartitionedEngine(partitions=2)
+        try:
+            eng.execute(DDL)
+            eng.execute(CQ)
+            eng.ingest("s", BATCHES[0])
+            eng.kill_worker(1)
+            assert eng.status_rows()[1][2] == "down"
+            assert eng.ping(1)
+            assert eng.status_rows()[1][2] == "up"
+            assert eng.status_rows()[1][10] == 1
+        finally:
+            eng.close()

@@ -1,0 +1,81 @@
+"""Min-of-inputs watermark merging across partition workers.
+
+The coordinator may only close a window boundary once *every* worker
+has acked a watermark at or past it — one stalled shard must hold the
+merged clock, and per-input regressions (an out-of-order ack after a
+restart replay) must be ignored.  No sleeps anywhere: the merge is a
+pure function of the acks.
+"""
+
+import pytest
+
+from repro.eventtime.watermark import WatermarkMerge
+
+NEG_INF = float("-inf")
+
+
+class TestWatermarkMerge:
+    def test_merged_is_min_of_inputs(self):
+        m = WatermarkMerge(range(3))
+        assert m.merged == NEG_INF
+        m.update(0, 10.0)
+        m.update(1, 7.0)
+        assert m.merged == NEG_INF          # worker 2 never reported
+        assert m.update(2, 5.0) == 5.0
+        assert m.merged == 5.0
+
+    def test_stalled_input_holds_the_merge(self):
+        m = WatermarkMerge(range(3))
+        for w in range(3):
+            m.update(w, 10.0)
+        assert m.merged == 10.0
+        # two workers race ahead; the stalled one pins the merge
+        m.update(0, 50.0)
+        m.update(1, 90.0)
+        assert m.merged == 10.0
+        assert m.update(2, 60.0) == 50.0    # min moves to worker 0
+
+    def test_update_returns_advance_or_none(self):
+        m = WatermarkMerge(range(2))
+        assert m.update(0, 5.0) is None     # other input still -inf
+        assert m.update(1, 3.0) == 3.0
+        assert m.update(1, 4.0) == 4.0      # the minimum input advanced
+        assert m.update(0, 5.0) is None     # no per-input change
+        assert m.update(1, 9.0) == 5.0      # min moves to the other input
+
+    def test_per_input_regression_ignored(self):
+        # a replayed worker re-acks old watermarks; they must neither
+        # regress its input nor the merge
+        m = WatermarkMerge(range(2))
+        m.update(0, 20.0)
+        m.update(1, 30.0)
+        assert m.merged == 20.0
+        assert m.update(0, 5.0) is None
+        assert m.input_watermark(0) == 20.0
+        assert m.merged == 20.0
+
+    def test_out_of_order_acks_converge(self):
+        # acks applied in any order land on the same merged minimum
+        acks = [(0, 10.0), (1, 40.0), (0, 30.0), (1, 15.0), (0, 25.0)]
+        m1 = WatermarkMerge(range(2))
+        m2 = WatermarkMerge(range(2))
+        for w, t in acks:
+            m1.update(w, t)
+        for w, t in reversed(acks):
+            m2.update(w, t)
+        assert m1.merged == m2.merged == 30.0
+        assert m1.inputs() == m2.inputs()
+
+    def test_unknown_input_rejected(self):
+        m = WatermarkMerge(range(2))
+        with pytest.raises(KeyError):
+            m.update(7, 1.0)
+
+    def test_needs_at_least_one_input(self):
+        with pytest.raises(ValueError):
+            WatermarkMerge([])
+
+    def test_single_input_degenerates_to_tracker(self):
+        m = WatermarkMerge([0])
+        assert m.update(0, 4.0) == 4.0
+        assert m.merged == 4.0
